@@ -1,0 +1,193 @@
+// Ablation (paper §7, host computers): two database-server design choices
+// DESIGN.md calls out. (a) WAL durability policy: per-commit fsync vs group
+// commit vs none, under increasing client concurrency. (b) The embedded-
+// database sync model: cost of one bidirectional sync round over a
+// low-bandwidth cellular link as the changeset grows -- versus what the
+// same updates would cost as individual online round trips.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "host/db/db_server.h"
+#include "host/sync.h"
+#include "net/network.h"
+
+namespace {
+
+using namespace mcs;
+
+bench::TablePrinter g_wal{
+    "Ablation (7a) -- WAL durability policy vs commit throughput",
+    {"policy", "clients", "commits", "commits/s", "p50 ms", "p95 ms",
+     "fsyncs"}};
+
+bench::TablePrinter g_sync{
+    "Ablation (7b) -- embedded DB sync vs per-operation round trips (GPRS)",
+    {"changes", "sync time", "sync bytes", "online time", "online bytes",
+     "speedup"}};
+
+const char* policy_name(host::db::SyncPolicy p) {
+  switch (p) {
+    case host::db::SyncPolicy::kNone: return "no fsync";
+    case host::db::SyncPolicy::kPerCommit: return "fsync per commit";
+    case host::db::SyncPolicy::kGroup: return "group commit";
+  }
+  return "?";
+}
+
+void BM_WalPolicy(benchmark::State& state) {
+  const auto policy = static_cast<host::db::SyncPolicy>(state.range(0));
+  const int clients = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network{sim, 55};
+    auto* db_host = network.add_node("db-host");
+    host::db::Database db{"bench"};
+    db.create_table("t", {{"id", host::db::ValueType::kInt},
+                          {"v", host::db::ValueType::kText}});
+    host::db::DbServerConfig cfg;
+    cfg.sync_policy = policy;
+    cfg.fsync_delay = sim::Time::millis(4);
+    transport::TcpStack db_tcp{*db_host};
+    host::db::DbServer server{db_tcp, 5432, db, cfg};
+
+    std::vector<std::unique_ptr<transport::TcpStack>> stacks;
+    std::vector<std::unique_ptr<host::db::DbClient>> dbclients;
+    for (int c = 0; c < clients; ++c) {
+      auto* n = network.add_node(sim::strf("app%d", c));
+      network.connect(n, db_host);
+      stacks.push_back(std::make_unique<transport::TcpStack>(*n));
+    }
+    network.compute_routes();
+    for (int c = 0; c < clients; ++c) {
+      dbclients.push_back(std::make_unique<host::db::DbClient>(
+          *stacks[static_cast<std::size_t>(c)],
+          net::Endpoint{db_host->addr(), 5432}));
+    }
+
+    constexpr int kPerClient = 50;
+    int done = 0;
+    sim::Histogram latency;
+    const sim::Time start = sim.now();
+    std::function<void(int, int)> issue = [&](int c, int left) {
+      if (left == 0) return;
+      const sim::Time t0 = sim.now();
+      const int id = c * 1000 + left;
+      dbclients[static_cast<std::size_t>(c)]->insert(
+          0, "t", {sim::strf("%d", id), "row"},
+          [&, c, left, t0](host::db::DbClient::Result r) {
+            if (r.ok) ++done;
+            latency.record((sim.now() - t0).to_millis());
+            issue(c, left - 1);
+          });
+    };
+    for (int c = 0; c < clients; ++c) issue(c, kPerClient);
+    sim.run();
+    const double secs = (sim.now() - start).to_seconds();
+
+    state.counters["commits_per_s"] = secs > 0 ? done / secs : 0;
+    g_wal.add_row({policy_name(policy), std::to_string(clients),
+                   std::to_string(done),
+                   bench::fmt("%.0f", secs > 0 ? done / secs : 0),
+                   bench::fmt("%.2f", latency.percentile(50)),
+                   bench::fmt("%.2f", latency.percentile(95)),
+                   std::to_string(server.stats().counter("fsyncs").value())});
+  }
+}
+BENCHMARK(BM_WalPolicy)
+    ->ArgsProduct({{1, 0, 2}, {1, 8}})  // per-commit, none, group x clients
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EmbeddedSync(benchmark::State& state) {
+  const int changes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    // --- One sync round with `changes` queued offline updates ------------
+    sim::Simulator sim;
+    net::Network network{sim, 77};
+    auto* pda = network.add_node("pda");
+    auto* hq = network.add_node("hq");
+    net::LinkConfig cellular;
+    cellular.bandwidth_bps = 85e3;
+    cellular.propagation = sim::Time::millis(120);
+    network.connect(pda, hq, cellular);
+    network.compute_routes();
+    transport::TcpStack pda_tcp{*pda}, hq_tcp{*hq};
+    host::EmbeddedDb device{sim, 8 << 20};
+    host::EmbeddedDb server_db{sim, 8 << 20};
+    host::SyncServer sync_server{hq_tcp, 9999, server_db};
+    host::SyncClient sync_client{pda_tcp, device, {hq->addr(), 9999}};
+    for (int i = 0; i < changes; ++i) {
+      device.put(sim::strf("order:%05d", i), "customer item qty=2");
+    }
+    host::SyncClient::Outcome sync_out;
+    sync_client.sync(0, [&](host::SyncClient::Outcome o) { sync_out = o; });
+    sim.run();
+
+    // --- The same updates as individual online HTTP round trips ----------
+    sim::Simulator sim2;
+    net::Network network2{sim2, 78};
+    auto* pda2 = network2.add_node("pda");
+    auto* hq2 = network2.add_node("hq");
+    network2.connect(pda2, hq2, cellular);
+    network2.compute_routes();
+    transport::TcpStack pda2_tcp{*pda2}, hq2_tcp{*hq2};
+    host::HttpServer web{hq2_tcp, 80};
+    web.route("GET", "/order", [](const host::HttpRequest&) {
+      return host::HttpResponse::make(200, "text/plain", "OK");
+    });
+    host::HttpClient client{pda2_tcp};
+    std::uint64_t online_bytes = 0;
+    const sim::Time start2 = sim2.now();
+    std::function<void(int)> issue = [&](int left) {
+      if (left == 0) return;
+      host::HttpRequest req;
+      req.path = sim::strf("/order?n=%d&payload=customer-item-qty2", left);
+      online_bytes += req.serialize().size();
+      client.request({hq2->addr(), 80}, req,
+                     [&, left](std::optional<host::HttpResponse> r) {
+                       if (r.has_value()) online_bytes += 60;
+                       issue(left - 1);
+                     });
+    };
+    issue(changes);
+    sim2.run();
+    const sim::Time online_time = sim2.now() - start2;
+
+    state.counters["sync_ms"] = sync_out.duration.to_millis();
+    g_sync.add_row(
+        {std::to_string(changes), sync_out.duration.to_string(),
+         std::to_string(sync_out.bytes_sent + sync_out.bytes_received),
+         online_time.to_string(), std::to_string(online_bytes),
+         bench::fmt("%.1fx", sync_out.duration.to_seconds() > 0
+                                 ? online_time.to_seconds() /
+                                       sync_out.duration.to_seconds()
+                                 : 0.0)});
+  }
+}
+BENCHMARK(BM_EmbeddedSync)
+    ->Arg(5)
+    ->Arg(25)
+    ->Arg(100)
+    ->Arg(400)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_wal.print();
+  g_sync.print();
+  std::printf(
+      "Reading: (7a) per-commit fsync serializes on the log device and "
+      "caps commit throughput; group commit amortizes one fsync across the "
+      "window and approaches the no-fsync ceiling under concurrency. "
+      "(7b) batching offline work into one sync round trip beats "
+      "per-operation online requests by a growing factor as the changeset "
+      "grows -- the paper's case for embedded/mobile databases on "
+      "low-bandwidth handheld links.\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Ablation (paper §5.2, Mobile IP [6]): what Mobile IP buys a roaming
+// station, and what it costs. A correspondent streams datagrams to a mobile
+// that hands off between two cells mid-stream. Compared: (a) no mobility
+// support at all (packets keep routing to the home cell), (b) Mobile IP
+// (HA tunnels to the current FA), (c) Mobile IP + smooth handoff (the old
+// FA forwards in-flight packets). Cost side: IP-in-IP tunnelling overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "mobileip/mobile_ip.h"
+#include "net/network.h"
+#include "wireless/medium.h"
+#include "wireless/phy_profiles.h"
+
+namespace {
+
+using namespace mcs;
+
+bench::TablePrinter g_table{
+    "Ablation (5.2) -- Mobile IP during a mid-stream handoff",
+    {"mobility support", "delivered", "lost", "loss %", "reg ms",
+     "tunnel overhead B"}};
+
+enum class Mode { kNone, kMobileIp, kSmoothHandoff };
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kNone: return "none (static routes)";
+    case Mode::kMobileIp: return "Mobile IP";
+    case Mode::kSmoothHandoff: return "Mobile IP + smooth handoff";
+  }
+  return "?";
+}
+
+struct RunResult {
+  int sent = 0;
+  int delivered = 0;
+  double reg_ms = 0.0;
+  std::uint64_t tunnel_overhead = 0;
+};
+
+RunResult run_mode(Mode mode) {
+  sim::Simulator sim;
+  net::Network network{sim, 31337};
+  auto* corr = network.add_node("correspondent");
+  auto* core_rt = network.add_node("core");
+  auto* home_bs = network.add_node("home-bs");  // hosts the HA; mobile's home
+  auto* fa1_bs = network.add_node("fa1-bs");
+  auto* fa2_bs = network.add_node("fa2-bs");
+  net::LinkConfig wan;  // registration RTT is what smooth handoff hides
+  wan.bandwidth_bps = 10e6;
+  wan.propagation = sim::Time::millis(30);
+  network.connect(corr, core_rt, wan);
+  network.connect(core_rt, home_bs, wan);
+  network.connect(core_rt, fa1_bs, wan);
+  network.connect(core_rt, fa2_bs, wan);
+
+  wireless::WirelessConfig radio;
+  radio.phy = wireless::wifi_802_11b();
+  radio.phy.base_loss_rate = 0.0;
+  radio.p_good_to_bad = 0.0;
+  wireless::WirelessMedium home_cell{sim, "home", {0, 0}, radio,
+                                     sim::Rng{1}};
+  wireless::WirelessMedium fa1_cell{sim, "fa1", {1000, 0}, radio,
+                                    sim::Rng{2}};
+  wireless::WirelessMedium fa2_cell{sim, "fa2", {2000, 0}, radio,
+                                    sim::Rng{3}};
+  home_cell.set_ap_interface(
+      home_bs->add_interface(network.allocate_address()));
+  fa1_cell.set_ap_interface(
+      fa1_bs->add_interface(network.allocate_address()));
+  fa2_cell.set_ap_interface(
+      fa2_bs->add_interface(network.allocate_address()));
+  network.register_channel(&home_cell);
+  network.register_channel(&fa1_cell);
+  network.register_channel(&fa2_cell);
+
+  auto* mob = network.add_node("mobile");
+  auto* mif = mob->add_interface(network.allocate_address());
+  // Routing snapshot with the mobile at home (its address belongs there).
+  wireless::FixedPosition pos{{10, 0}};
+  home_cell.associate(mif, &pos);
+  network.compute_routes();
+
+  transport::UdpStack home_udp{*home_bs}, fa1_udp{*fa1_bs}, fa2_udp{*fa2_bs},
+      mob_udp{*mob}, corr_udp{*corr};
+  mobileip::HomeAgentConfig ha_cfg;
+  ha_cfg.smooth_handoff = mode == Mode::kSmoothHandoff;
+  mobileip::HomeAgent ha{*home_bs, home_udp, ha_cfg};
+  ha.serve_mobile(mob->addr());
+  mobileip::ForeignAgent fa1{*fa1_bs, fa1_udp, fa1_cell.ap_interface()};
+  mobileip::ForeignAgent fa2{*fa2_bs, fa2_udp, fa2_cell.ap_interface()};
+  mobileip::MobileClientConfig mc_cfg;
+  mc_cfg.home_agent = home_bs->addr();
+  mobileip::MobileIpClient mip{*mob, mob_udp, mc_cfg};
+
+  // The mobile starts already roaming in FA1's cell.
+  home_cell.disassociate(mif);
+  pos.move_to({1010, 0});
+  fa1_cell.associate(mif, &pos);
+  if (mode != Mode::kNone) {
+    mip.attach(fa1_bs->addr(), fa1_cell.ap_interface()->addr());
+  } else {
+    // Static routing straw man: routes frozen as if the mobile were in the
+    // FA1 cell (an operator configured them once).
+    mob->clear_routes();
+    mob->set_default_route(
+        net::Node::Route{mif, fa1_cell.ap_interface()->addr()});
+    core_rt->set_route(mob->addr(),
+                       net::Node::Route{core_rt->interface(2),
+                                        fa1_bs->addr()});
+    fa1_bs->set_route(mob->addr(),
+                      net::Node::Route{fa1_cell.ap_interface(),
+                                       mob->addr()});
+    home_bs->set_route(mob->addr(),
+                       net::Node::Route{home_bs->interface(0),
+                                        core_rt->interface(1)->addr()});
+  }
+  sim.run_until(sim::Time::seconds(1.0));  // let registration settle
+
+  RunResult out;
+  mob_udp.bind(5000, [&](const std::string&, net::Endpoint, std::uint16_t) {
+    ++out.delivered;
+  });
+
+  // 100 pkt/s CBR stream for 10 s.
+  const sim::Time t0 = sim.now();
+  std::function<void()> pump = [&] {
+    if (sim.now() >= t0 + sim::Time::seconds(10.0)) return;
+    ++out.sent;
+    corr_udp.send({mob->addr(), 5000}, 5000, std::string(200, 'p'));
+    sim.after(sim::Time::millis(10), pump);
+  };
+  pump();
+
+  // Handoff at t0+4s: layer 2 moves from FA1's cell to FA2's; FA1's AP sees
+  // the disassociation and tells its agent.
+  sim.after(sim::Time::seconds(4.0), [&] {
+    fa1_cell.disassociate(mif);
+    fa1.visitor_departed(mob->addr());
+    pos.move_to({2010, 0});
+    fa2_cell.associate(mif, &pos);
+    if (mode != Mode::kNone) {
+      mip.on_registered = [&](bool ok, sim::Time latency) {
+        if (ok) out.reg_ms = latency.to_millis();
+      };
+      mip.attach(fa2_bs->addr(), fa2_cell.ap_interface()->addr());
+    }
+    // Mode kNone: routes still point at FA1; the stream is dead from here.
+  });
+
+  sim.run_until(t0 + sim::Time::seconds(12.0));
+  out.tunnel_overhead =
+      ha.stats().counter("tunnel_overhead_bytes").value();
+  return out;
+}
+
+void BM_MobileIp(benchmark::State& state) {
+  const auto mode = static_cast<Mode>(state.range(0));
+  for (auto _ : state) {
+    const RunResult r = run_mode(mode);
+    const int lost = r.sent - r.delivered;
+    state.counters["loss_pct"] =
+        r.sent > 0 ? 100.0 * lost / r.sent : 0.0;
+    g_table.add_row({mode_name(mode), std::to_string(r.delivered),
+                     std::to_string(lost),
+                     bench::fmt("%.1f", r.sent > 0
+                                            ? 100.0 * lost / r.sent
+                                            : 0.0),
+                     bench::fmt("%.1f", r.reg_ms),
+                     std::to_string(r.tunnel_overhead)});
+  }
+}
+BENCHMARK(BM_MobileIp)
+    ->DenseRange(0, 2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  std::printf(
+      "Reading: without Mobile IP the stream dies at the handoff (everything "
+      "after t=4s is lost). Mobile IP re-registers in one wireless+wired "
+      "round trip and restores delivery, losing only the packets in flight "
+      "during registration; smooth handoff forwards even those from the old "
+      "FA. The price is 20 bytes of IP-in-IP encapsulation per tunnelled "
+      "datagram (triangle routing).\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction benchmarks: an aligned table
+// printer (each bench prints the paper-shaped table after the benchmark
+// run) and a transaction-workload driver over Application/ClientDriver.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/apps.h"
+#include "sim/util.h"
+#include "sim/stats.h"
+
+namespace mcs::bench {
+
+// Collects rows during benchmark execution; printed from main() after
+// benchmark::RunSpecifiedBenchmarks().
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> header)
+      : title_{std::move(title)}, header_{std::move(header)} {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      widths[c] = header_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    std::printf("\n=== %s ===\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string>& r) {
+      std::printf("|");
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string{};
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(header_);
+    std::printf("|");
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+    std::printf("\n");
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Result of a closed-loop transaction workload.
+struct WorkloadResult {
+  int attempted = 0;
+  int succeeded = 0;
+  sim::Histogram latency_ms;
+  std::uint64_t air_bytes = 0;
+  sim::Time elapsed;
+
+  double success_rate() const {
+    return attempted == 0 ? 0.0
+                          : static_cast<double>(succeeded) / attempted;
+  }
+  double txn_per_second() const {
+    const double s = elapsed.to_seconds();
+    return s > 0.0 ? succeeded / s : 0.0;
+  }
+};
+
+// Run `txns_per_client` transactions per client, closed-loop (each client
+// issues its next transaction when the previous completes). Transaction
+// sequence numbers are unique across clients and across calls (the `epoch`
+// makes payment idempotency keys fresh).
+inline WorkloadResult run_workload(
+    sim::Simulator& sim, core::Application& app,
+    const std::vector<core::ClientDriver*>& clients, const std::string& host,
+    int txns_per_client, std::uint64_t epoch = 0,
+    sim::Time think_time = sim::Time::zero()) {
+  WorkloadResult result;
+  const sim::Time start = sim.now();
+  int outstanding = 0;
+
+  std::function<void(std::size_t, int)> issue = [&](std::size_t client,
+                                                    int remaining) {
+    if (remaining == 0) return;
+    ++result.attempted;
+    ++outstanding;
+    const std::uint64_t seq = epoch * 1'000'000 +
+                              (client + 1) * 10'000 +
+                              static_cast<std::uint64_t>(remaining);
+    app.run_transaction(
+        *clients[client], host, seq,
+        [&, client, remaining](core::Application::TxnResult r) {
+          --outstanding;
+          if (r.ok) ++result.succeeded;
+          result.latency_ms.record(r.latency.to_millis());
+          result.air_bytes += r.over_air_bytes;
+          if (think_time.is_zero()) {
+            issue(client, remaining - 1);
+          } else {
+            sim.after(think_time,
+                      [&, client, remaining] { issue(client, remaining - 1); });
+          }
+        });
+  };
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    issue(c, txns_per_client);
+  }
+  sim.run();
+  result.elapsed = sim.now() - start;
+  return result;
+}
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), f, v);
+  return buf;
+}
+
+}  // namespace mcs::bench

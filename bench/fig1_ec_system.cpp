@@ -1,0 +1,85 @@
+// Figure 1: the traditional electronic commerce system structure --
+// desktop clients -> wired LAN/WAN -> host computers (web server, database
+// server, application programs). This bench exercises the four-component
+// pipeline under increasing client counts and reports how throughput scales
+// and where the latency goes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace mcs;
+
+bench::TablePrinter g_table{
+    "Figure 1 -- EC system structure: desktop clients over wired network",
+    {"clients", "txns", "ok%", "txn/s", "p50 ms", "p95 ms", "web reqs",
+     "db reqs"}};
+
+void BM_EcSystemScaling(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    core::EcSystemConfig cfg;
+    cfg.num_clients = clients;
+    core::EcSystem sys{sim, cfg};
+    core::seed_demo_accounts(sys.bank(), 8, 1e9);
+    auto apps = core::make_all_applications();
+    core::AppEnvironment env;
+    env.sim = &sim;
+    env.web = &sys.web_server();
+    env.programs = &sys.app_server();
+    env.db = &sys.database();
+    env.personalization = &sys.personalization();
+    env.payments = &sys.payments();
+    core::install_all(apps, env);
+
+    std::vector<core::ClientDriver*> drivers;
+    for (int i = 0; i < clients; ++i) {
+      drivers.push_back(sys.client(static_cast<std::size_t>(i)).driver.get());
+    }
+    // The Commerce application: catalog + 2PC purchase per transaction.
+    const auto result = bench::run_workload(
+        sim, *apps[0], drivers, sys.web_url(""), 20,
+        static_cast<std::uint64_t>(clients));
+
+    state.counters["txn_per_s"] = result.txn_per_second();
+    state.counters["p50_ms"] = result.latency_ms.percentile(50);
+    state.counters["p95_ms"] = result.latency_ms.percentile(95);
+    state.counters["ok_rate"] = result.success_rate();
+
+    g_table.add_row(
+        {std::to_string(clients), std::to_string(result.attempted),
+         bench::fmt("%.1f", 100.0 * result.success_rate()),
+         bench::fmt("%.1f", result.txn_per_second()),
+         bench::fmt("%.1f", result.latency_ms.percentile(50)),
+         bench::fmt("%.1f", result.latency_ms.percentile(95)),
+         std::to_string(
+             sys.web_server().stats().counter("requests").value()),
+         std::to_string(
+             sys.db_server().stats().counter("requests").value())});
+  }
+}
+BENCHMARK(BM_EcSystemScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  std::printf("Reading: the EC baseline of the paper's Figure 1. Throughput "
+              "grows with client count until the host computers (web CGI + "
+              "database fsync) saturate; latency is wired-RTT dominated at "
+              "low load.\n");
+  return 0;
+}

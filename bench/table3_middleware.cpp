@@ -1,0 +1,112 @@
+// Table 3: the two major kinds of mobile middleware, WAP vs i-mode,
+// measured on identical content. The qualitative columns of the paper's
+// table ("WML + WAP gateway" vs "cHTML + TCP/IP", "flexible" vs "easy to
+// use") become measured ones: translation output sizes, over-the-air bytes
+// (WBXML vs cHTML), cold/warm transaction latency, and connection behaviour
+// (per-transaction WTP vs always-on TCP).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace mcs;
+
+bench::TablePrinter g_table{
+    "Table 3 -- WAP vs i-mode middleware, measured (GPRS radio)",
+    {"middleware", "page", "cold ms", "warm ms", "air B/page", "HTML B",
+     "gw out B", "ratio"}};
+
+std::string make_page(int paragraphs) {
+  std::string body =
+      "<html><head><title>Offers</title></head><body><h1>Offers</h1>";
+  for (int i = 0; i < paragraphs; ++i) {
+    body += "<p>Offer " + std::to_string(i) +
+            ": a very good deal on a product you certainly need, includes "
+            "free shipping and a loyalty discount.</p>"
+            "<a href=\"/buy?o=" + std::to_string(i) + "\">buy now</a>";
+  }
+  body += "</body></html>";
+  return body;
+}
+
+void BM_Middleware(benchmark::State& state) {
+  const int stack = static_cast<int>(state.range(0));  // 0 wap, 1 imode, 2 wap+wtls
+  const bool imode = stack == 1;
+  const int paragraphs = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    core::McSystemConfig cfg;
+    cfg.middleware =
+        imode ? station::BrowserMode::kImode : station::BrowserMode::kWap;
+    cfg.wap_use_wtls = stack == 2;
+    cfg.phy = wireless::gprs();  // slow radio: byte savings matter
+    // Generous deck budget: measure encoding, not truncation.
+    cfg.wap.adaptation.max_serialized_bytes = 64 * 1024;
+    cfg.wap.adaptation.max_text_run = 4096;
+    cfg.imode.adaptation.max_serialized_bytes = 64 * 1024;
+    cfg.imode.adaptation.max_text_run = 4096;
+    core::McSystem sys{sim, cfg};
+    const std::string page = make_page(paragraphs);
+    sys.web_server().add_content("/offers", "text/html", page);
+
+    auto& browser = *sys.mobile(0).browser;
+    std::optional<station::MicroBrowser::PageResult> cold;
+    browser.browse(sys.web_url("/offers"), [&](auto r) { cold = r; });
+    sim.run();
+    // Second *distinct* transaction to the same host: i-mode reuses its TCP
+    // connection; WAP runs a whole new WTP transaction.
+    sys.web_server().add_content("/offers2", "text/html", page);
+    std::optional<station::MicroBrowser::PageResult> warm;
+    browser.browse(sys.web_url("/offers2"), [&](auto r) { warm = r; });
+    sim.run();
+    if (!cold || !cold->ok || !warm || !warm->ok) continue;
+
+    std::uint64_t html_in = 0;
+    std::uint64_t gw_out = 0;
+    if (imode) {
+      html_in = sys.imode_gateway().stats().html_bytes_in;
+      gw_out = sys.imode_gateway().stats().chtml_bytes_out;
+    } else {
+      html_in = sys.wap_gateway().stats().html_bytes_in;
+      gw_out = sys.wap_gateway().stats().air_bytes_out;
+    }
+    state.counters["cold_ms"] = cold->total_time.to_millis();
+    state.counters["air_bytes"] = static_cast<double>(cold->over_air_bytes);
+    g_table.add_row(
+        {stack == 2 ? "WAP + WTLS"
+                    : (imode ? "i-mode (cHTML/TCP)" : "WAP (WBXML/WTP)"),
+         sim::human_bytes(page.size()),
+         bench::fmt("%.1f", cold->total_time.to_millis()),
+         bench::fmt("%.1f", warm->total_time.to_millis()),
+         std::to_string(cold->over_air_bytes), std::to_string(html_in),
+         std::to_string(gw_out),
+         bench::fmt("%.2f",
+                    html_in > 0 ? static_cast<double>(gw_out) / html_in
+                                : 0.0)});
+  }
+}
+BENCHMARK(BM_Middleware)
+    ->ArgsProduct({{0, 1, 2}, {2, 10, 40}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  std::printf(
+      "Reading: WAP's WBXML compilation moves fewer bytes over the air "
+      "(lower gateway ratio) and its WTP transaction protocol avoids the "
+      "TCP handshake, so it wins cold-start latency; i-mode's persistent "
+      "connection narrows the gap on repeat requests and its cHTML "
+      "passthrough needs less gateway work -- Table 3's 'widely adopted "
+      "and flexible' vs 'easy to use' trade-off, quantified. The WTLS rows "
+      "show security costing one extra handshake round trip on the first "
+      "page plus 24 bytes per transaction (two sealed records).\n");
+  return 0;
+}

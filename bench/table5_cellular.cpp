@@ -1,0 +1,155 @@
+// Table 5: major cellular wireless networks (1G/2G/2.5G/3G). For each
+// standard the bench measures what its switching technique implies for
+// mobile commerce: circuit-switched rows pay call setup before any data
+// flows; packet-switched rows are always-on. Reported per row: call setup,
+// bulk goodput, and the end-to-end time for a short 10 KB commerce
+// transaction (where setup dominates circuits).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "net/network.h"
+#include "transport/udp.h"
+#include "wireless/medium.h"
+#include "wireless/phy_profiles.h"
+
+namespace {
+
+using namespace mcs;
+
+bench::TablePrinter g_table{
+    "Table 5 -- major cellular standards, measured",
+    {"gen", "standard", "switching", "setup s", "goodput kbps",
+     "10KB txn s", "nominal kbps"}};
+
+struct CellRun {
+  double setup_s = 0.0;
+  double goodput_bps = 0.0;
+  double short_txn_s = 0.0;
+};
+
+CellRun run_standard(const wireless::PhyProfile& phy) {
+  sim::Simulator sim;
+  net::Network network{sim, 99};
+  auto* host = network.add_node("host");
+  auto* bs = network.add_node("base-station");
+  auto* mob = network.add_node("mobile");
+  net::LinkConfig wired;
+  wired.bandwidth_bps = 100e6;
+  wired.propagation = sim::Time::millis(5);
+  network.connect(host, bs, wired);
+
+  wireless::WirelessConfig radio;
+  radio.phy = phy;
+  radio.phy.base_loss_rate = 0.0;
+  radio.p_good_to_bad = 0.0;
+  radio.scheduled_mac = true;  // cellular MACs are scheduled
+  wireless::WirelessMedium cell{sim, "cell", {0, 0}, radio, sim::Rng{9}};
+  cell.set_ap_interface(bs->add_interface(network.allocate_address()));
+  auto* mif = mob->add_interface(network.allocate_address());
+  wireless::FixedPosition pos{{phy.range_m * 0.1, 0}};
+  cell.associate(mif, &pos);
+  network.register_channel(&cell);
+  network.compute_routes();
+
+  CellRun out;
+
+  // Circuit standards must place a call first (the setup latency column).
+  if (phy.switching == wireless::Switching::kCircuit) {
+    bool granted = false;
+    cell.place_call(mif, [&](bool ok) { granted = ok; });
+    sim.run();
+    out.setup_s = sim.now().to_seconds();
+    if (!granted) return out;
+  }
+
+  // Bulk capacity: saturating UDP CBR for 5 s (same instrument as the
+  // Table 4 bench); TCP transaction behaviour is measured separately below.
+  transport::TcpStack host_tcp{*host};
+  transport::TcpStack mob_tcp{*mob};
+  transport::UdpStack host_udp{*host};
+  transport::UdpStack mob_udp{*mob};
+  {
+    const sim::Time t0 = sim.now();
+    const sim::Time cutoff = t0 + sim::Time::seconds(5.0);
+    std::size_t received = 0;
+    mob_udp.bind(7, [&](const std::string& d, net::Endpoint, std::uint16_t) {
+      if (sim.now() <= cutoff) received += d.size();
+    });
+    constexpr std::size_t kPayload = 1400;
+    const sim::Time gap = sim::transmission_time(
+        kPayload + 28, phy.effective_rate_bps() * 1.2);
+    std::function<void()> pump = [&] {
+      if (sim.now() >= cutoff) return;
+      host_udp.send({mob->addr(), 7}, 7, std::string(kPayload, 'c'));
+      sim.after(gap, pump);
+    };
+    pump();
+    sim.run();
+    out.goodput_bps = 8.0 * static_cast<double>(received) / 5.0;
+  }
+
+  // Short transaction: 10 KB from a cold start, including call setup for
+  // circuit standards (each m-commerce transaction redials).
+  {
+    sim::Time start = sim.now();
+    if (phy.switching == wireless::Switching::kCircuit) {
+      cell.end_call(mif);
+      bool ok2 = false;
+      cell.place_call(mif, [&](bool g) { ok2 = g; });
+      sim.run_until(sim.now() + phy.call_setup + sim::Time::seconds(1.0));
+      if (!ok2) return out;
+    }
+    std::size_t got = 0;
+    sim::Time done_at;
+    mob_tcp.listen(81, [&](transport::TcpSocket::Ptr s) {
+      s->on_data = [&](const std::string& d) {
+        got += d.size();
+        if (got >= 10'000) done_at = sim.now();
+      };
+    });
+    auto c = host_tcp.connect({mob->addr(), 81});
+    c->send(std::string(10'000, 's'));
+    sim.run_until(sim.now() + sim::Time::minutes(5.0));
+    if (got >= 10'000) out.short_txn_s = (done_at - start).to_seconds();
+  }
+  return out;
+}
+
+void BM_CellularStandard(benchmark::State& state) {
+  const auto profiles = wireless::cellular_profiles();
+  const auto& phy = profiles[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    const CellRun r = run_standard(phy);
+    state.counters["goodput_kbps"] = r.goodput_bps / 1e3;
+    state.counters["setup_s"] = r.setup_s;
+    g_table.add_row(
+        {phy.generation, phy.name,
+         phy.switching == wireless::Switching::kCircuit ? "circuit"
+                                                        : "packet",
+         bench::fmt("%.1f", r.setup_s),
+         bench::fmt("%.1f", r.goodput_bps / 1e3),
+         bench::fmt("%.2f", r.short_txn_s),
+         bench::fmt("%.1f", phy.data_rate_bps / 1e3)});
+  }
+}
+BENCHMARK(BM_CellularStandard)
+    ->DenseRange(0, 8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  g_table.print();
+  std::printf(
+      "Reading: goodput climbs by generation (1G ~9.6 kbps ... 3G Mbps-"
+      "class, crossing the paper's 'less than 1 Mbps before 3G' line), and "
+      "the switching column shows why 2.5G+ matters for m-commerce: "
+      "circuit rows spend seconds on call setup before a 10 KB transaction "
+      "even starts, packet rows are always-on.\n");
+  return 0;
+}

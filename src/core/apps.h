@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace mcs::core {
+
+// Wiring an application needs on the host side. `db` is a direct handle for
+// seeding; request handlers go through `programs` (whose context talks to
+// the database server over the LAN, like real CGI programs would).
+struct AppEnvironment {
+  sim::Simulator* sim = nullptr;
+  host::HttpServer* web = nullptr;
+  host::AppServer* programs = nullptr;
+  host::db::Database* db = nullptr;
+  PersonalizationEngine* personalization = nullptr;
+  PaymentCoordinator* payments = nullptr;
+  std::uint64_t seed = 1;
+};
+
+// One Table 1 application: a server side (routes + schema + content) and a
+// client-side transaction driver. Every application works over both the MC
+// and EC systems (the ClientDriver abstracts the path).
+class Application {
+ public:
+  struct TxnResult {
+    bool ok = false;
+    sim::Time latency;
+    std::size_t over_air_bytes = 0;
+    std::string detail;
+  };
+  using TxnCallback = std::function<void(TxnResult)>;
+
+  virtual ~Application() = default;
+  virtual std::string name() const = 0;
+  // Table 1 columns.
+  virtual std::string category() const = 0;
+  virtual std::string major_application() const = 0;
+  virtual std::string clients() const = 0;
+
+  // Install routes/content/schema on the host computers.
+  virtual void install(AppEnvironment env) = 0;
+  // Run one end-to-end client transaction. `host` is "a.b.c.d:80".
+  virtual void run_transaction(ClientDriver& client, const std::string& host,
+                               std::uint64_t user_seq, TxnCallback done) = 0;
+};
+
+// Factories, one per Table 1 row.
+std::unique_ptr<Application> make_commerce_app();        // payments
+std::unique_ptr<Application> make_education_app();       // mobile classrooms
+std::unique_ptr<Application> make_erp_app();             // resource management
+std::unique_ptr<Application> make_entertainment_app();   // media downloads
+std::unique_ptr<Application> make_health_care_app();     // patient records
+std::unique_ptr<Application> make_inventory_app();       // tracking/dispatch
+std::unique_ptr<Application> make_traffic_app();         // advisories
+std::unique_ptr<Application> make_travel_app();          // ticketing
+
+// All eight, in Table 1 order.
+std::vector<std::unique_ptr<Application>> make_all_applications();
+
+// Install every application into the environment.
+void install_all(std::vector<std::unique_ptr<Application>>& apps,
+                 const AppEnvironment& env);
+
+// Open the demo accounts ("acct0".."acct<n-1>") the application workloads
+// charge against.
+void seed_demo_accounts(PaymentProcessor& bank, int n = 8,
+                        double balance = 1e6);
+
+}  // namespace mcs::core

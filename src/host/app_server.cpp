@@ -1,0 +1,24 @@
+#include "host/app_server.h"
+
+#include "sim/util.h"
+
+namespace mcs::host {
+
+std::string query_param(const std::string& path, const std::string& key) {
+  const std::size_t q = path.find('?');
+  if (q == std::string::npos) return "";
+  const std::string qs = path.substr(q + 1);
+  for (const auto& pair : sim::split(qs, '&')) {
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) continue;
+    if (pair.substr(0, eq) == key) return pair.substr(eq + 1);
+  }
+  return "";
+}
+
+std::string path_without_query(const std::string& path) {
+  const std::size_t q = path.find('?');
+  return q == std::string::npos ? path : path.substr(0, q);
+}
+
+}  // namespace mcs::host

@@ -1,0 +1,198 @@
+#include "host/db/database.h"
+
+#include "sim/util.h"
+
+namespace mcs::host::db {
+
+namespace {
+std::string encode_row(const Row& row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += '|';
+    out += to_string(row[i]);
+  }
+  return out;
+}
+}  // namespace
+
+void Wal::append(std::uint64_t txn, std::string op) {
+  bytes_ += op.size() + 16;  // record framing overhead
+  records_.push_back(WalRecord{txn, std::move(op)});
+}
+
+void Wal::checkpoint() {
+  records_.clear();
+  bytes_ = 0;
+  ++checkpoints_;
+}
+
+// ---------------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------------
+
+Transaction::~Transaction() {
+  if (state_ == State::kActive) abort();
+}
+
+bool Transaction::lock(const std::string& table) {
+  if (!db_.try_lock(table, id_)) return false;
+  for (const auto& t : locked_tables_) {
+    if (t == table) return true;
+  }
+  locked_tables_.push_back(table);
+  return true;
+}
+
+bool Transaction::insert(const std::string& table, Row row) {
+  if (state_ != State::kActive) return false;
+  Table* t = db_.table(table);
+  if (t == nullptr || !lock(table)) return false;
+  const Value pk = row[t->primary_key_col()];
+  const std::string wal_op =
+      sim::strf("INS %s %s", table.c_str(), encode_row(row).c_str());
+  if (!t->insert(std::move(row))) return false;
+  undo_.push_back(UndoOp{UndoOp::Kind::kErase, table, pk, {}});
+  redo_.push_back(wal_op);
+  return true;
+}
+
+bool Transaction::update(const std::string& table, const Value& pk,
+                         std::size_t col, const Value& v) {
+  if (state_ != State::kActive) return false;
+  Table* t = db_.table(table);
+  if (t == nullptr || !lock(table)) return false;
+  const Row* old = t->find(pk);
+  if (old == nullptr) return false;
+  Row old_copy = *old;
+  if (!t->update(pk, col, v)) return false;
+  // After a PK-column update the row is addressed by the new key.
+  const Value new_pk = col == t->primary_key_col() ? v : pk;
+  undo_.push_back(
+      UndoOp{UndoOp::Kind::kRestoreRow, table, new_pk, std::move(old_copy)});
+  redo_.push_back(sim::strf("UPD %s %s %zu %s", table.c_str(),
+                            to_string(pk).c_str(), col,
+                            to_string(v).c_str()));
+  return true;
+}
+
+bool Transaction::erase(const std::string& table, const Value& pk) {
+  if (state_ != State::kActive) return false;
+  Table* t = db_.table(table);
+  if (t == nullptr || !lock(table)) return false;
+  const Row* old = t->find(pk);
+  if (old == nullptr) return false;
+  Row old_copy = *old;
+  if (!t->erase(pk)) return false;
+  undo_.push_back(
+      UndoOp{UndoOp::Kind::kReinsert, table, pk, std::move(old_copy)});
+  redo_.push_back(
+      sim::strf("DEL %s %s", table.c_str(), to_string(pk).c_str()));
+  return true;
+}
+
+const Row* Transaction::find(const std::string& table, const Value& pk) const {
+  const Table* t = db_.table(table);
+  return t == nullptr ? nullptr : t->find(pk);
+}
+
+bool Transaction::commit() {
+  if (state_ != State::kActive) return false;
+  for (auto& op : redo_) db_.wal_.append(id_, std::move(op));
+  db_.wal_.append(id_, "COMMIT");
+  state_ = State::kCommitted;
+  db_.unlock_all(id_, locked_tables_);
+  ++db_.committed_;
+  return true;
+}
+
+void Transaction::abort() {
+  if (state_ != State::kActive) return;
+  // Undo in reverse order.
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    Table* t = db_.table(it->table);
+    if (t == nullptr) continue;
+    switch (it->kind) {
+      case UndoOp::Kind::kErase:
+        t->erase(it->pk);
+        break;
+      case UndoOp::Kind::kRestoreRow:
+        t->update_row(it->pk, it->old_row);
+        break;
+      case UndoOp::Kind::kReinsert:
+        t->insert(it->old_row);
+        break;
+    }
+  }
+  state_ = State::kAborted;
+  db_.unlock_all(id_, locked_tables_);
+  ++db_.aborted_;
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+Table& Database::create_table(const std::string& table,
+                              std::vector<Column> columns,
+                              std::size_t primary_key_col) {
+  auto t = std::make_unique<Table>(table, std::move(columns), primary_key_col);
+  Table& ref = *t;
+  tables_[table] = std::move(t);
+  return ref;
+}
+
+Table* Database::table(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<Transaction> Database::begin() {
+  return std::unique_ptr<Transaction>{new Transaction{*this, next_txn_++}};
+}
+
+bool Database::insert(const std::string& table, Row row) {
+  auto txn = begin();
+  return txn->insert(table, std::move(row)) && txn->commit();
+}
+
+bool Database::update(const std::string& table, const Value& pk,
+                      std::size_t col, const Value& v) {
+  auto txn = begin();
+  return txn->update(table, pk, col, v) && txn->commit();
+}
+
+bool Database::erase(const std::string& table, const Value& pk) {
+  auto txn = begin();
+  return txn->erase(table, pk) && txn->commit();
+}
+
+bool Database::try_lock(const std::string& table, std::uint64_t txn) {
+  auto it = table_locks_.find(table);
+  if (it == table_locks_.end()) {
+    table_locks_[table] = txn;
+    return true;
+  }
+  return it->second == txn;
+}
+
+void Database::unlock_all(std::uint64_t txn,
+                          const std::vector<std::string>& tables) {
+  for (const auto& t : tables) {
+    auto it = table_locks_.find(t);
+    if (it != table_locks_.end() && it->second == txn) table_locks_.erase(it);
+  }
+}
+
+}  // namespace mcs::host::db

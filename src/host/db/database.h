@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "host/db/table.h"
+
+namespace mcs::host::db {
+
+// Write-ahead log record; the log is the durability model (the simulated
+// fsync cost lives in DbServer's timing, the content here).
+struct WalRecord {
+  std::uint64_t txn = 0;
+  std::string op;  // "INS product 5|Phone|299.9", "COMMIT", ...
+};
+
+class Wal {
+ public:
+  void append(std::uint64_t txn, std::string op);
+  std::size_t records() const { return records_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  const std::vector<WalRecord>& all() const { return records_; }
+  // Truncate after a checkpoint.
+  void checkpoint();
+  std::uint64_t checkpoints() const { return checkpoints_; }
+
+ private:
+  std::vector<WalRecord> records_;
+  std::size_t bytes_ = 0;
+  std::uint64_t checkpoints_ = 0;
+};
+
+class Database;
+
+// A transaction: table-level exclusive write locks (no-wait: a conflicting
+// operation fails immediately and the application retries), an undo log for
+// rollback, and WAL records emitted at commit.
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  bool active() const { return state_ == State::kActive; }
+
+  // Mutations return false on lock conflict or constraint violation; the
+  // transaction stays active (the caller decides whether to abort).
+  bool insert(const std::string& table, Row row);
+  bool update(const std::string& table, const Value& pk, std::size_t col,
+              const Value& v);
+  bool erase(const std::string& table, const Value& pk);
+
+  // Reads see committed state plus this transaction's own writes
+  // (single-version store; writers block other writers only).
+  const Row* find(const std::string& table, const Value& pk) const;
+
+  bool commit();
+  void abort();
+
+ private:
+  friend class Database;
+  enum class State { kActive, kCommitted, kAborted };
+  struct UndoOp {
+    enum class Kind { kErase, kRestoreRow, kReinsert } kind;
+    std::string table;
+    Value pk;
+    Row old_row;
+  };
+
+  Transaction(Database& db, std::uint64_t id) : db_{db}, id_{id} {}
+  bool lock(const std::string& table);
+
+  Database& db_;
+  std::uint64_t id_;
+  State state_ = State::kActive;
+  std::vector<UndoOp> undo_;
+  std::vector<std::string> redo_;  // WAL ops, written on commit
+  std::vector<std::string> locked_tables_;
+};
+
+// The server-side database engine (§7 "database servers"): named tables,
+// no-wait transactions, WAL. Single-versioned and single-threaded, matching
+// the simulator's execution model.
+class Database {
+ public:
+  explicit Database(std::string name) : name_{std::move(name)} {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  Table& create_table(const std::string& table, std::vector<Column> columns,
+                      std::size_t primary_key_col = 0);
+  Table* table(const std::string& name);
+  const Table* table(const std::string& name) const;
+  std::vector<std::string> table_names() const;
+
+  std::unique_ptr<Transaction> begin();
+
+  // Auto-commit helpers (single-op transactions).
+  bool insert(const std::string& table, Row row);
+  bool update(const std::string& table, const Value& pk, std::size_t col,
+              const Value& v);
+  bool erase(const std::string& table, const Value& pk);
+
+  Wal& wal() { return wal_; }
+  std::uint64_t committed_txns() const { return committed_; }
+  std::uint64_t aborted_txns() const { return aborted_; }
+
+ private:
+  friend class Transaction;
+  bool try_lock(const std::string& table, std::uint64_t txn);
+  void unlock_all(std::uint64_t txn,
+                  const std::vector<std::string>& tables);
+
+  std::string name_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::uint64_t> table_locks_;  // table -> txn
+  Wal wal_;
+  std::uint64_t next_txn_ = 1;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace mcs::host::db

@@ -1,0 +1,445 @@
+#include "host/db/db_server.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/util.h"
+
+namespace mcs::host::db {
+
+using sim::strf;
+
+// ---------------------------------------------------------------------------
+// Protocol helpers
+// ---------------------------------------------------------------------------
+
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case ' ': out += "%20"; break;
+      case '|': out += "%7C"; break;
+      case '%': out += "%25"; break;
+      case '\n': out += "%0A"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unesc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const std::string hex = s.substr(i + 1, 2);
+      out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string join_fields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += '|';
+    out += esc(fields[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> split_fields(const std::string& s) {
+  std::vector<std::string> out;
+  for (const auto& f : sim::split(s, '|')) out.push_back(unesc(f));
+  return out;
+}
+
+namespace {
+
+Row decode_row(const Table& t, const std::vector<std::string>& fields) {
+  Row row;
+  row.reserve(fields.size());
+  for (std::size_t i = 0; i < fields.size() && i < t.columns().size(); ++i) {
+    row.push_back(parse_value(fields[i], t.columns()[i].type));
+  }
+  return row;
+}
+
+std::string encode_row_line(const Row& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (const auto& v : row) fields.push_back(to_string(v));
+  return join_fields(fields);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DbServer
+// ---------------------------------------------------------------------------
+
+DbServer::DbServer(transport::TcpStack& stack, std::uint16_t port,
+                   Database& db, DbServerConfig cfg)
+    : stack_{stack}, db_{db}, cfg_{cfg} {
+  stack_.listen(port,
+                [this](transport::TcpSocket::Ptr s) { on_accept(std::move(s)); });
+}
+
+void DbServer::on_accept(transport::TcpSocket::Ptr s) {
+  stats_.counter("connections").add();
+  auto conn = std::make_shared<Connection>();
+  conn->socket = std::move(s);
+  conn->socket->on_data = [this, conn](const std::string& bytes) {
+    conn->buffer += bytes;
+    std::size_t nl;
+    while ((nl = conn->buffer.find('\n')) != std::string::npos) {
+      std::string line = conn->buffer.substr(0, nl);
+      conn->buffer.erase(0, nl + 1);
+      if (!line.empty()) on_line(conn, line);
+    }
+  };
+  conn->socket->on_remote_close = [conn] { conn->socket->close(); };
+}
+
+// Fill a slot and flush the in-order prefix of ready responses.
+void DbServer::complete(const std::shared_ptr<Connection>& conn,
+                        const Slot& slot, std::string msg) {
+  slot->msg = std::move(msg);
+  slot->ready = true;
+  while (!conn->outbox.empty() && conn->outbox.front()->ready) {
+    conn->socket->send(conn->outbox.front()->msg + "\n");
+    conn->outbox.pop_front();
+  }
+}
+
+void DbServer::respond(const std::shared_ptr<Connection>& conn,
+                       const Slot& slot, std::string msg) {
+  // CPU cost of handling one operation.
+  stack_.sim().after(cfg_.op_delay, [this, conn, slot, msg = std::move(msg)] {
+    complete(conn, slot, msg);
+  });
+}
+
+void DbServer::respond_commit(const std::shared_ptr<Connection>& conn,
+                              const Slot& slot, std::string msg) {
+  switch (cfg_.sync_policy) {
+    case SyncPolicy::kNone:
+      respond(conn, slot, std::move(msg));
+      return;
+    case SyncPolicy::kPerCommit: {
+      // One serialized fsync per commit on the single log device.
+      const sim::Time start = std::max(stack_.sim().now() + cfg_.op_delay,
+                                       log_busy_until_);
+      log_busy_until_ = start + cfg_.fsync_delay;
+      stack_.sim().at(log_busy_until_,
+                      [this, conn, slot, msg = std::move(msg)] {
+                        complete(conn, slot, msg);
+                      });
+      stats_.counter("fsyncs").add();
+      return;
+    }
+    case SyncPolicy::kGroup:
+      pending_commits_.emplace_back(conn, slot, std::move(msg));
+      if (!group_timer_armed_) {
+        group_timer_armed_ = true;
+        // Collect commits for one window, then issue a single fsync.
+        const sim::Time start = std::max(
+            stack_.sim().now() + cfg_.group_window, log_busy_until_);
+        log_busy_until_ = start + cfg_.fsync_delay;
+        stack_.sim().at(log_busy_until_, [this] {
+          group_timer_armed_ = false;
+          stats_.counter("fsyncs").add();
+          auto batch = std::move(pending_commits_);
+          pending_commits_.clear();
+          stats_.counter("group_commit_batches").add();
+          for (auto& [c, sl, m] : batch) complete(c, sl, std::move(m));
+        });
+      }
+      return;
+  }
+}
+
+void DbServer::respond_rows(const std::shared_ptr<Connection>& conn,
+                            const Slot& slot, const std::vector<Row>& rows) {
+  std::string msg = strf("ROWS %zu", rows.size());
+  for (const auto& r : rows) msg += "\n" + encode_row_line(r);
+  respond(conn, slot, std::move(msg));
+}
+
+void DbServer::on_line(const std::shared_ptr<Connection>& conn,
+                       const std::string& line) {
+  stats_.counter("requests").add();
+  Slot slot = std::make_shared<PendingResponse>();
+  conn->outbox.push_back(slot);
+  const auto parts = sim::split(line, ' ');
+  const std::string& cmd = parts[0];
+
+  auto get_txn = [&](std::uint64_t id) -> Transaction* {
+    auto it = conn->txns.find(id);
+    return it == conn->txns.end() ? nullptr : it->second.get();
+  };
+
+  if (cmd == "BEGIN") {
+    auto txn = db_.begin();
+    const std::uint64_t id = txn->id();
+    conn->txns[id] = std::move(txn);
+    respond(conn, slot, strf("OK %llu", static_cast<unsigned long long>(id)));
+    return;
+  }
+  if (cmd == "COMMIT" && parts.size() == 2) {
+    const std::uint64_t id = std::strtoull(parts[1].c_str(), nullptr, 10);
+    Transaction* txn = get_txn(id);
+    if (txn == nullptr) {
+      respond(conn, slot, "ERR unknown-txn");
+      return;
+    }
+    const bool ok = txn->commit();
+    conn->txns.erase(id);
+    stats_.counter(ok ? "commits" : "commit_failures").add();
+    respond_commit(conn, slot, ok ? "OK" : "ERR commit-failed");
+    return;
+  }
+  if (cmd == "ABORT" && parts.size() == 2) {
+    const std::uint64_t id = std::strtoull(parts[1].c_str(), nullptr, 10);
+    if (Transaction* txn = get_txn(id); txn != nullptr) {
+      txn->abort();
+      conn->txns.erase(id);
+    }
+    respond(conn, slot, "OK");
+    return;
+  }
+  if (cmd == "INS" && parts.size() == 4) {
+    const std::uint64_t id = std::strtoull(parts[1].c_str(), nullptr, 10);
+    Table* t = db_.table(parts[2]);
+    if (t == nullptr) {
+      respond(conn, slot, "ERR no-table");
+      return;
+    }
+    Row row = decode_row(*t, split_fields(parts[3]));
+    bool ok;
+    if (id == 0) {
+      ok = db_.insert(parts[2], std::move(row));
+      if (ok) {
+        respond_commit(conn, slot, "OK");
+        return;
+      }
+    } else {
+      Transaction* txn = get_txn(id);
+      ok = txn != nullptr && txn->insert(parts[2], std::move(row));
+    }
+    respond(conn, slot, ok ? "OK" : "ERR insert-failed");
+    return;
+  }
+  if (cmd == "UPD" && parts.size() == 6) {
+    const std::uint64_t id = std::strtoull(parts[1].c_str(), nullptr, 10);
+    Table* t = db_.table(parts[2]);
+    if (t == nullptr) {
+      respond(conn, slot, "ERR no-table");
+      return;
+    }
+    const std::size_t col = std::strtoull(parts[4].c_str(), nullptr, 10);
+    if (col >= t->columns().size()) {
+      respond(conn, slot, "ERR bad-column");
+      return;
+    }
+    const Value pk = parse_value(unesc(parts[3]),
+                                 t->columns()[t->primary_key_col()].type);
+    const Value v = parse_value(unesc(parts[5]), t->columns()[col].type);
+    bool ok;
+    if (id == 0) {
+      ok = db_.update(parts[2], pk, col, v);
+      if (ok) {
+        respond_commit(conn, slot, "OK");
+        return;
+      }
+    } else {
+      Transaction* txn = get_txn(id);
+      ok = txn != nullptr && txn->update(parts[2], pk, col, v);
+    }
+    respond(conn, slot, ok ? "OK" : "ERR update-failed");
+    return;
+  }
+  if (cmd == "DEL" && parts.size() == 4) {
+    const std::uint64_t id = std::strtoull(parts[1].c_str(), nullptr, 10);
+    Table* t = db_.table(parts[2]);
+    if (t == nullptr) {
+      respond(conn, slot, "ERR no-table");
+      return;
+    }
+    const Value pk = parse_value(unesc(parts[3]),
+                                 t->columns()[t->primary_key_col()].type);
+    bool ok;
+    if (id == 0) {
+      ok = db_.erase(parts[2], pk);
+      if (ok) {
+        respond_commit(conn, slot, "OK");
+        return;
+      }
+    } else {
+      Transaction* txn = get_txn(id);
+      ok = txn != nullptr && txn->erase(parts[2], pk);
+    }
+    respond(conn, slot, ok ? "OK" : "ERR delete-failed");
+    return;
+  }
+  if (cmd == "GET" && parts.size() == 3) {
+    Table* t = db_.table(parts[1]);
+    if (t == nullptr) {
+      respond(conn, slot, "ERR no-table");
+      return;
+    }
+    const Value pk = parse_value(unesc(parts[2]),
+                                 t->columns()[t->primary_key_col()].type);
+    const Row* r = t->find(pk);
+    respond_rows(conn, slot, r == nullptr ? std::vector<Row>{}
+                                    : std::vector<Row>{*r});
+    return;
+  }
+  if (cmd == "FINDBY" && parts.size() == 4) {
+    Table* t = db_.table(parts[1]);
+    if (t == nullptr) {
+      respond(conn, slot, "ERR no-table");
+      return;
+    }
+    const std::size_t col = std::strtoull(parts[2].c_str(), nullptr, 10);
+    if (col >= t->columns().size()) {
+      respond(conn, slot, "ERR bad-column");
+      return;
+    }
+    const Value v = parse_value(unesc(parts[3]), t->columns()[col].type);
+    respond_rows(conn, slot, t->find_by(col, v));
+    return;
+  }
+  if (cmd == "SCAN" && parts.size() == 2) {
+    Table* t = db_.table(parts[1]);
+    if (t == nullptr) {
+      respond(conn, slot, "ERR no-table");
+      return;
+    }
+    respond_rows(conn, slot, t->all());
+    return;
+  }
+  respond(conn, slot, "ERR bad-command");
+}
+
+// ---------------------------------------------------------------------------
+// DbClient
+// ---------------------------------------------------------------------------
+
+DbClient::DbClient(transport::TcpStack& stack, net::Endpoint server)
+    : stack_{stack}, server_{server} {
+  socket_ = stack_.connect(server_);
+  socket_->on_data = [this](const std::string& bytes) { on_data(bytes); };
+  socket_->on_closed = [this] { fail_all("connection-closed"); };
+}
+
+void DbClient::fail_all(const std::string& why) {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& cb : pending) {
+    Result r;
+    r.error = why;
+    cb(std::move(r));
+  }
+}
+
+void DbClient::send_command(std::string line, Callback cb) {
+  stats_.counter("commands").add();
+  pending_.push_back(std::move(cb));
+  socket_->send(line + "\n");
+}
+
+void DbClient::on_data(const std::string& bytes) {
+  buffer_ += bytes;
+  std::size_t nl;
+  while ((nl = buffer_.find('\n')) != std::string::npos) {
+    std::string line = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    on_line(line);
+  }
+}
+
+void DbClient::on_line(const std::string& line) {
+  if (rows_expected_ > 0) {
+    partial_.rows.push_back(split_fields(line));
+    if (--rows_expected_ == 0 && !pending_.empty()) {
+      auto cb = std::move(pending_.front());
+      pending_.pop_front();
+      cb(std::move(partial_));
+      partial_ = Result{};
+    }
+    return;
+  }
+  if (pending_.empty()) return;  // stray line
+
+  Result r;
+  if (sim::starts_with(line, "OK")) {
+    r.ok = true;
+    if (line.size() > 3) {
+      r.txn = std::strtoull(line.c_str() + 3, nullptr, 10);
+    }
+  } else if (sim::starts_with(line, "ROWS ")) {
+    r.ok = true;
+    const int n = std::atoi(line.c_str() + 5);
+    if (n > 0) {
+      partial_ = std::move(r);
+      rows_expected_ = n;
+      return;  // wait for the row lines
+    }
+  } else {
+    r.error = line;
+  }
+  auto cb = std::move(pending_.front());
+  pending_.pop_front();
+  cb(std::move(r));
+}
+
+void DbClient::begin(Callback cb) { send_command("BEGIN", std::move(cb)); }
+void DbClient::commit(std::uint64_t txn, Callback cb) {
+  send_command(strf("COMMIT %llu", static_cast<unsigned long long>(txn)),
+               std::move(cb));
+}
+void DbClient::abort_txn(std::uint64_t txn, Callback cb) {
+  send_command(strf("ABORT %llu", static_cast<unsigned long long>(txn)),
+               std::move(cb));
+}
+void DbClient::insert(std::uint64_t txn, const std::string& table,
+                      const std::vector<std::string>& fields, Callback cb) {
+  send_command(strf("INS %llu %s %s", static_cast<unsigned long long>(txn),
+                    table.c_str(), join_fields(fields).c_str()),
+               std::move(cb));
+}
+void DbClient::update(std::uint64_t txn, const std::string& table,
+                      const std::string& pk, std::size_t col,
+                      const std::string& value, Callback cb) {
+  send_command(strf("UPD %llu %s %s %zu %s",
+                    static_cast<unsigned long long>(txn), table.c_str(),
+                    esc(pk).c_str(), col, esc(value).c_str()),
+               std::move(cb));
+}
+void DbClient::erase(std::uint64_t txn, const std::string& table,
+                     const std::string& pk, Callback cb) {
+  send_command(strf("DEL %llu %s %s", static_cast<unsigned long long>(txn),
+                    table.c_str(), esc(pk).c_str()),
+               std::move(cb));
+}
+void DbClient::get(const std::string& table, const std::string& pk,
+                   Callback cb) {
+  send_command(strf("GET %s %s", table.c_str(), esc(pk).c_str()),
+               std::move(cb));
+}
+void DbClient::find_by(const std::string& table, std::size_t col,
+                       const std::string& value, Callback cb) {
+  send_command(
+      strf("FINDBY %s %zu %s", table.c_str(), col, esc(value).c_str()),
+      std::move(cb));
+}
+void DbClient::scan(const std::string& table, Callback cb) {
+  send_command(strf("SCAN %s", table.c_str()), std::move(cb));
+}
+
+}  // namespace mcs::host::db

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "host/db/database.h"
+#include "sim/stats.h"
+#include "transport/tcp.h"
+
+namespace mcs::host::db {
+
+// --- Wire protocol helpers ---------------------------------------------------
+// Line-based protocol; fields are percent-escaped so values may contain
+// spaces, pipes and newlines.
+std::string esc(const std::string& s);
+std::string unesc(const std::string& s);
+std::string join_fields(const std::vector<std::string>& fields);  // '|'
+std::vector<std::string> split_fields(const std::string& s);
+
+// Durability policy for commits (ablation bench: WAL sync cost).
+enum class SyncPolicy {
+  kNone,       // no fsync modelled (fastest, unsafe)
+  kPerCommit,  // one fsync per commit
+  kGroup,      // group commit: one fsync per window, shared by all commits
+};
+
+struct DbServerConfig {
+  sim::Time op_delay = sim::Time::micros(50);      // CPU per operation
+  sim::Time fsync_delay = sim::Time::millis(2);    // one log flush
+  SyncPolicy sync_policy = SyncPolicy::kPerCommit;
+  sim::Time group_window = sim::Time::millis(2);   // group-commit interval
+};
+
+// Network front-end for a Database (§7 "database servers"): a line protocol
+// over TCP.
+//
+//   BEGIN                          -> OK <txn>
+//   COMMIT <txn>                   -> OK | ERR <why>     (after fsync delay)
+//   ABORT <txn>                    -> OK
+//   INS <txn> <table> <row>        -> OK | ERR <why>     (txn 0: autocommit)
+//   UPD <txn> <table> <pk> <col> <value> -> OK | ERR
+//   DEL <txn> <table> <pk>         -> OK | ERR
+//   GET <table> <pk>               -> ROWS <n> + n row lines
+//   FINDBY <table> <col> <value>   -> ROWS <n> + n row lines
+//   SCAN <table>                   -> ROWS <n> + n row lines
+class DbServer {
+ public:
+  DbServer(transport::TcpStack& stack, std::uint16_t port, Database& db,
+           DbServerConfig cfg = {});
+  DbServer(const DbServer&) = delete;
+  DbServer& operator=(const DbServer&) = delete;
+
+  sim::StatsRegistry& stats() { return stats_; }
+  Database& database() { return db_; }
+
+ private:
+  // Responses complete after different simulated delays (fsync vs. plain
+  // op), but the wire protocol matches responses to requests by order; the
+  // outbox holds per-request slots flushed strictly FIFO.
+  struct PendingResponse {
+    std::string msg;
+    bool ready = false;
+  };
+  struct Connection {
+    transport::TcpSocket::Ptr socket;
+    std::string buffer;
+    std::deque<std::shared_ptr<PendingResponse>> outbox;
+    // Transactions opened on this connection (owned server-side).
+    std::unordered_map<std::uint64_t, std::unique_ptr<Transaction>> txns;
+  };
+  using Slot = std::shared_ptr<PendingResponse>;
+
+  void on_accept(transport::TcpSocket::Ptr s);
+  void on_line(const std::shared_ptr<Connection>& conn,
+               const std::string& line);
+  void complete(const std::shared_ptr<Connection>& conn, const Slot& slot,
+                std::string msg);
+  void respond(const std::shared_ptr<Connection>& conn, const Slot& slot,
+               std::string msg);
+  void respond_commit(const std::shared_ptr<Connection>& conn,
+                      const Slot& slot, std::string msg);
+  void respond_rows(const std::shared_ptr<Connection>& conn, const Slot& slot,
+                    const std::vector<Row>& rows);
+
+  transport::TcpStack& stack_;
+  Database& db_;
+  DbServerConfig cfg_;
+  // Group commit: pending (conn, slot, response) entries flushed together.
+  std::vector<std::tuple<std::shared_ptr<Connection>, Slot, std::string>>
+      pending_commits_;
+  bool group_timer_armed_ = false;
+  // The WAL lives on one log device: fsyncs serialize on it.
+  sim::Time log_busy_until_;
+  sim::StatsRegistry stats_;
+};
+
+// Async client for DbServer; commands pipeline on one connection.
+class DbClient {
+ public:
+  // Generic result: ok flag, error text, and decoded rows (for queries).
+  struct Result {
+    bool ok = false;
+    std::string error;
+    std::uint64_t txn = 0;  // for begin()
+    std::vector<std::vector<std::string>> rows;
+  };
+  using Callback = std::function<void(Result)>;
+
+  DbClient(transport::TcpStack& stack, net::Endpoint server);
+  DbClient(const DbClient&) = delete;
+  DbClient& operator=(const DbClient&) = delete;
+
+  void begin(Callback cb);
+  void commit(std::uint64_t txn, Callback cb);
+  void abort_txn(std::uint64_t txn, Callback cb);
+  void insert(std::uint64_t txn, const std::string& table,
+              const std::vector<std::string>& fields, Callback cb);
+  void update(std::uint64_t txn, const std::string& table,
+              const std::string& pk, std::size_t col, const std::string& value,
+              Callback cb);
+  void erase(std::uint64_t txn, const std::string& table,
+             const std::string& pk, Callback cb);
+  void get(const std::string& table, const std::string& pk, Callback cb);
+  void find_by(const std::string& table, std::size_t col,
+               const std::string& value, Callback cb);
+  void scan(const std::string& table, Callback cb);
+
+  sim::StatsRegistry& stats() { return stats_; }
+
+ private:
+  void send_command(std::string line, Callback cb);
+  void on_data(const std::string& bytes);
+  void on_line(const std::string& line);
+  void fail_all(const std::string& why);
+
+  transport::TcpStack& stack_;
+  net::Endpoint server_;
+  transport::TcpSocket::Ptr socket_;
+  std::string buffer_;
+  std::deque<Callback> pending_;
+  // Multi-line response assembly.
+  int rows_expected_ = 0;
+  Result partial_;
+  sim::StatsRegistry stats_;
+};
+
+}  // namespace mcs::host::db

@@ -1,0 +1,151 @@
+#include "host/db/table.h"
+
+#include <cassert>
+
+namespace mcs::host::db {
+
+Table::Table(std::string name, std::vector<Column> columns,
+             std::size_t primary_key_col)
+    : name_{std::move(name)},
+      columns_{std::move(columns)},
+      pk_col_{primary_key_col} {
+  assert(pk_col_ < columns_.size());
+}
+
+std::optional<std::size_t> Table::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool Table::insert(Row row) {
+  if (row.size() != columns_.size()) return false;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (type_of(row[i]) != columns_[i].type) return false;
+  }
+  const Value& pk = row[pk_col_];
+  if (primary_.contains(pk)) return false;  // duplicate key
+
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = Slot{std::move(row), true};
+  } else {
+    slot = slots_.size();
+    slots_.push_back(Slot{std::move(row), true});
+  }
+  primary_[slots_[slot].row[pk_col_]] = slot;
+  index_insert(slot);
+  ++live_rows_;
+  return true;
+}
+
+bool Table::update(const Value& pk, std::size_t col, const Value& v) {
+  if (col >= columns_.size() || type_of(v) != columns_[col].type) return false;
+  auto it = primary_.find(pk);
+  if (it == primary_.end()) return false;
+  if (col == pk_col_) {
+    // Key change: must stay unique.
+    if (!value_eq(v, pk) && primary_.contains(v)) return false;
+    const std::size_t slot = it->second;
+    index_erase(slot);
+    primary_.erase(it);
+    slots_[slot].row[col] = v;
+    primary_[v] = slot;
+    index_insert(slot);
+    return true;
+  }
+  const std::size_t slot = it->second;
+  index_erase(slot);
+  slots_[slot].row[col] = v;
+  index_insert(slot);
+  return true;
+}
+
+bool Table::update_row(const Value& pk, Row row) {
+  if (row.size() != columns_.size()) return false;
+  auto it = primary_.find(pk);
+  if (it == primary_.end()) return false;
+  const Value& new_pk = row[pk_col_];
+  if (!value_eq(new_pk, pk) && primary_.contains(new_pk)) return false;
+  const std::size_t slot = it->second;
+  index_erase(slot);
+  primary_.erase(it);
+  slots_[slot].row = std::move(row);
+  primary_[slots_[slot].row[pk_col_]] = slot;
+  index_insert(slot);
+  return true;
+}
+
+bool Table::erase(const Value& pk) {
+  auto it = primary_.find(pk);
+  if (it == primary_.end()) return false;
+  const std::size_t slot = it->second;
+  index_erase(slot);
+  primary_.erase(it);
+  slots_[slot].live = false;
+  slots_[slot].row.clear();
+  free_slots_.push_back(slot);
+  --live_rows_;
+  return true;
+}
+
+const Row* Table::find(const Value& pk) const {
+  auto it = primary_.find(pk);
+  return it == primary_.end() ? nullptr : &slots_[it->second].row;
+}
+
+std::vector<Row> Table::scan(
+    const std::function<bool(const Row&)>& predicate) const {
+  std::vector<Row> out;
+  for (const auto& s : slots_) {
+    if (s.live && predicate(s.row)) out.push_back(s.row);
+  }
+  return out;
+}
+
+std::vector<Row> Table::find_by(std::size_t col, const Value& v) const {
+  if (col == pk_col_) {
+    const Row* r = find(v);
+    return r == nullptr ? std::vector<Row>{} : std::vector<Row>{*r};
+  }
+  auto idx = indexes_.find(col);
+  if (idx != indexes_.end()) {
+    std::vector<Row> out;
+    auto [lo, hi] = idx->second.equal_range(v);
+    for (auto it = lo; it != hi; ++it) out.push_back(slots_[it->second].row);
+    return out;
+  }
+  return scan([&](const Row& r) { return value_eq(r[col], v); });
+}
+
+void Table::create_index(std::size_t col) {
+  assert(col < columns_.size());
+  Index& idx = indexes_[col];
+  idx.clear();
+  for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].live) idx.emplace(slots_[slot].row[col], slot);
+  }
+}
+
+void Table::index_insert(std::size_t slot) {
+  for (auto& [col, idx] : indexes_) {
+    idx.emplace(slots_[slot].row[col], slot);
+  }
+}
+
+void Table::index_erase(std::size_t slot) {
+  for (auto& [col, idx] : indexes_) {
+    auto [lo, hi] = idx.equal_range(slots_[slot].row[col]);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == slot) {
+        idx.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mcs::host::db

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/db/value.h"
+
+namespace mcs::host::db {
+
+// One relational table: typed columns, a unique primary key, optional
+// secondary indexes, predicate scans. Rows live in a slot vector; indexes
+// map key values to slots.
+class Table {
+ public:
+  Table(std::string name, std::vector<Column> columns,
+        std::size_t primary_key_col = 0);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  std::size_t primary_key_col() const { return pk_col_; }
+  std::optional<std::size_t> column_index(const std::string& name) const;
+
+  // --- Mutations (return false on constraint violation) ---------------------
+  bool insert(Row row);
+  bool update(const Value& pk, std::size_t col, const Value& v);
+  bool update_row(const Value& pk, Row row);
+  bool erase(const Value& pk);
+
+  // --- Queries ---------------------------------------------------------------
+  const Row* find(const Value& pk) const;
+  std::vector<Row> scan(
+      const std::function<bool(const Row&)>& predicate) const;
+  std::vector<Row> all() const { return scan([](const Row&) { return true; }); }
+  // Equality lookup; uses a secondary index when one exists on `col`.
+  std::vector<Row> find_by(std::size_t col, const Value& v) const;
+
+  void create_index(std::size_t col);
+  bool has_index(std::size_t col) const { return indexes_.contains(col); }
+
+  std::size_t size() const { return live_rows_; }
+
+ private:
+  struct Slot {
+    Row row;
+    bool live = false;
+  };
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return value_less(a, b);
+    }
+  };
+  using Index = std::multimap<Value, std::size_t, ValueLess>;
+
+  void index_insert(std::size_t slot);
+  void index_erase(std::size_t slot);
+
+  std::string name_;
+  std::vector<Column> columns_;
+  std::size_t pk_col_;
+  std::vector<Slot> slots_;
+  std::vector<std::size_t> free_slots_;
+  std::map<Value, std::size_t, ValueLess> primary_;
+  std::map<std::size_t, Index> indexes_;  // col -> index
+  std::size_t live_rows_ = 0;
+};
+
+}  // namespace mcs::host::db

@@ -1,0 +1,46 @@
+#include "host/db/value.h"
+
+#include <cstdlib>
+
+#include "sim/util.h"
+
+namespace mcs::host::db {
+
+ValueType type_of(const Value& v) {
+  switch (v.index()) {
+    case 0: return ValueType::kInt;
+    case 1: return ValueType::kReal;
+    default: return ValueType::kText;
+  }
+}
+
+std::string to_string(const Value& v) {
+  switch (v.index()) {
+    case 0:
+      return sim::strf("%lld",
+                       static_cast<long long>(std::get<std::int64_t>(v)));
+    case 1: return sim::strf("%.6g", std::get<double>(v));
+    default: return std::get<std::string>(v);
+  }
+}
+
+Value parse_value(const std::string& s, ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return static_cast<std::int64_t>(std::strtoll(s.c_str(), nullptr, 10));
+    case ValueType::kReal: return std::strtod(s.c_str(), nullptr);
+    case ValueType::kText: return s;
+  }
+  return s;
+}
+
+bool value_less(const Value& a, const Value& b) {
+  if (a.index() != b.index()) return a.index() < b.index();
+  return a < b;
+}
+
+bool value_eq(const Value& a, const Value& b) {
+  return a.index() == b.index() && a == b;
+}
+
+}  // namespace mcs::host::db

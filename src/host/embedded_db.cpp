@@ -1,0 +1,157 @@
+#include "host/embedded_db.h"
+
+#include "sim/util.h"
+
+namespace mcs::host {
+
+std::string ChangeRecord::encode() const {
+  // Keys/values are escaped with the same scheme as the DB wire protocol.
+  auto esc = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == ' ' || c == '%' || c == '\n') {
+        out += sim::strf("%%%02X", static_cast<unsigned char>(c));
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  return sim::strf("CHG %s %s %llu %lld %d", esc(key).c_str(),
+                   esc(value).c_str(),
+                   static_cast<unsigned long long>(version),
+                   static_cast<long long>(modified_at.ns()),
+                   tombstone ? 1 : 0);
+}
+
+std::optional<ChangeRecord> ChangeRecord::decode(const std::string& line) {
+  const auto parts = sim::split(line, ' ');
+  if (parts.size() != 6 || parts[0] != "CHG") return std::nullopt;
+  auto unesc = [](const std::string& s) {
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '%' && i + 2 < s.size()) {
+        out += static_cast<char>(
+            std::strtol(s.substr(i + 1, 2).c_str(), nullptr, 16));
+        i += 2;
+      } else {
+        out += s[i];
+      }
+    }
+    return out;
+  };
+  ChangeRecord c;
+  c.key = unesc(parts[1]);
+  c.value = unesc(parts[2]);
+  c.version = std::strtoull(parts[3].c_str(), nullptr, 10);
+  c.modified_at = sim::Time::nanos(std::strtoll(parts[4].c_str(), nullptr, 10));
+  c.tombstone = parts[5] == "1";
+  return c;
+}
+
+EmbeddedDb::EmbeddedDb(sim::Simulator& sim, std::size_t max_bytes)
+    : sim_{sim}, max_bytes_{max_bytes} {}
+
+void EmbeddedDb::stamp(const std::string& key, Entry& e) {
+  (void)key;
+  e.version = ++version_;
+  e.modified_at = sim_.now();
+}
+
+bool EmbeddedDb::put(const std::string& key, const std::string& value) {
+  auto it = entries_.find(key);
+  const std::size_t old_bytes =
+      it == entries_.end() ? 0 : entry_bytes(key, it->second);
+  Entry e;
+  e.value = value;
+  const std::size_t new_bytes = entry_bytes(key, e);
+  if (bytes_used_ - old_bytes + new_bytes > max_bytes_) return false;
+  stamp(key, e);
+  bytes_used_ = bytes_used_ - old_bytes + new_bytes;
+  entries_[key] = std::move(e);
+  return true;
+}
+
+std::optional<std::string> EmbeddedDb::get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.tombstone) return std::nullopt;
+  return it->second.value;
+}
+
+bool EmbeddedDb::contains(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it != entries_.end() && !it->second.tombstone;
+}
+
+bool EmbeddedDb::erase(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.tombstone) return false;
+  bytes_used_ -= it->second.value.size();
+  it->second.value.clear();
+  it->second.tombstone = true;
+  stamp(key, it->second);
+  return true;
+}
+
+std::size_t EmbeddedDb::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& [k, e] : entries_) {
+    if (!e.tombstone) ++n;
+  }
+  return n;
+}
+
+std::vector<ChangeRecord> EmbeddedDb::changes_since(std::uint64_t since) const {
+  std::vector<ChangeRecord> out;
+  for (const auto& [key, e] : entries_) {
+    if (e.version > since) {
+      out.push_back(
+          ChangeRecord{key, e.value, e.version, e.modified_at, e.tombstone});
+    }
+  }
+  return out;
+}
+
+bool EmbeddedDb::apply_remote(const ChangeRecord& change) {
+  auto it = entries_.find(change.key);
+  if (it != entries_.end()) {
+    Entry& local = it->second;
+    const bool differs =
+        local.tombstone != change.tombstone || local.value != change.value;
+    if (differs) {
+      // Last-writer-wins; remote wins ties so the server is authoritative.
+      if (local.modified_at > change.modified_at) {
+        ++conflicts_;
+        return false;  // keep local
+      }
+      if (local.modified_at == change.modified_at) ++conflicts_;
+    } else {
+      return false;  // identical; nothing to do
+    }
+    bytes_used_ -= entry_bytes(change.key, local);
+  }
+  Entry e;
+  e.value = change.value;
+  e.tombstone = change.tombstone;
+  e.modified_at = change.modified_at;
+  e.version = ++version_;  // local sequence advances on applied changes
+  const std::size_t nb = entry_bytes(change.key, e);
+  if (bytes_used_ + nb > max_bytes_) return false;  // footprint exceeded
+  bytes_used_ += nb;
+  entries_[change.key] = std::move(e);
+  return true;
+}
+
+void EmbeddedDb::purge_tombstones(sim::Time min_age) {
+  const sim::Time now = sim_.now();
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.tombstone && now - it->second.modified_at >= min_age) {
+      bytes_used_ -= entry_bytes(it->first, it->second);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mcs::host

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace mcs::host {
+
+// One replicated change; the unit of the sync protocol.
+struct ChangeRecord {
+  std::string key;
+  std::string value;
+  std::uint64_t version = 0;   // per-store monotonic sequence
+  sim::Time modified_at;       // for last-writer-wins conflict resolution
+  bool tombstone = false;      // deletion marker
+
+  std::string encode() const;
+  static std::optional<ChangeRecord> decode(const std::string& line);
+};
+
+// Embedded database for handheld devices (§7): a small-footprint key-value
+// store with versioned entries and tombstones so a device can sync
+// bidirectionally with a server over a low-bandwidth link. The byte budget
+// models the paper's "very small footprints" constraint.
+class EmbeddedDb {
+ public:
+  explicit EmbeddedDb(sim::Simulator& sim,
+                      std::size_t max_bytes = 64 * 1024);
+
+  // Returns false if the write would exceed the footprint budget.
+  bool put(const std::string& key, const std::string& value);
+  std::optional<std::string> get(const std::string& key) const;
+  bool erase(const std::string& key);
+  bool contains(const std::string& key) const;
+
+  std::size_t entry_count() const;  // live (non-tombstone) entries
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t max_bytes() const { return max_bytes_; }
+  std::uint64_t current_version() const { return version_; }
+
+  // All changes with version > since (including tombstones).
+  std::vector<ChangeRecord> changes_since(std::uint64_t since) const;
+
+  // Merge a remote change using last-writer-wins on modified_at (ties favor
+  // the remote). Returns true if the local state changed.
+  bool apply_remote(const ChangeRecord& change);
+
+  std::uint64_t conflicts_resolved() const { return conflicts_; }
+  // Drop tombstones older than `min_age` to reclaim footprint.
+  void purge_tombstones(sim::Time min_age);
+
+ private:
+  struct Entry {
+    std::string value;
+    std::uint64_t version = 0;
+    sim::Time modified_at;
+    bool tombstone = false;
+  };
+
+  std::size_t entry_bytes(const std::string& key, const Entry& e) const {
+    return key.size() + e.value.size() + 24;  // metadata overhead
+  }
+  void stamp(const std::string& key, Entry& e);
+
+  sim::Simulator& sim_;
+  std::size_t max_bytes_;
+  std::size_t bytes_used_ = 0;
+  std::uint64_t version_ = 0;
+  std::uint64_t conflicts_ = 0;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace mcs::host

@@ -1,0 +1,239 @@
+#include "host/http.h"
+
+#include <cstdlib>
+
+#include "sim/util.h"
+
+namespace mcs::host {
+
+using sim::strf;
+
+namespace {
+
+std::string find_header(const HeaderMap& headers, const std::string& name) {
+  const std::string key = sim::to_lower(name);
+  for (const auto& [k, v] : headers) {
+    if (sim::to_lower(k) == key) return v;
+  }
+  return "";
+}
+
+void serialize_headers(std::string& out, const HeaderMap& headers,
+                       std::size_t body_size) {
+  bool have_length = false;
+  for (const auto& [k, v] : headers) {
+    out += k + ": " + v + "\r\n";
+    if (sim::to_lower(k) == "content-length") have_length = true;
+  }
+  if (!have_length && body_size > 0) {
+    out += strf("Content-Length: %zu\r\n", body_size);
+  }
+  out += "\r\n";
+}
+
+// Shared start-line + header block parsing. Returns bytes consumed through
+// the blank line, or 0 if the block is incomplete.
+std::size_t parse_head(const std::string& buf, std::string lines[],
+                       HeaderMap& headers) {
+  const std::size_t end = buf.find("\r\n\r\n");
+  if (end == std::string::npos) return 0;
+  const std::string head = buf.substr(0, end);
+  const auto rows = sim::split(head, '\n');
+  if (rows.empty()) return 0;
+  lines[0] = sim::trim(rows[0]);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const std::string row = sim::trim(rows[i]);
+    const std::size_t colon = row.find(':');
+    if (colon == std::string::npos) continue;
+    headers[sim::trim(row.substr(0, colon))] =
+        sim::trim(row.substr(colon + 1));
+  }
+  return end + 4;
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+void HttpRequest::set_header(const std::string& name,
+                             const std::string& value) {
+  headers[name] = value;
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + path + " " + version + "\r\n";
+  serialize_headers(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+std::string HttpResponse::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+void HttpResponse::set_header(const std::string& name,
+                              const std::string& value) {
+  headers[name] = value;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = strf("%s %d %s\r\n", version.c_str(), status,
+                         reason.c_str());
+  serialize_headers(out, headers, body.size());
+  out += body;
+  return out;
+}
+
+const char* reason_for_status(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 302: return "Found";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+HttpResponse HttpResponse::make(int status, std::string content_type,
+                                std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.reason = reason_for_status(status);
+  if (!content_type.empty()) r.set_header("Content-Type", content_type);
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::not_found(const std::string& what) {
+  return make(404, "text/plain", "not found: " + what);
+}
+HttpResponse HttpResponse::bad_request(const std::string& why) {
+  return make(400, "text/plain", "bad request: " + why);
+}
+HttpResponse HttpResponse::server_error(const std::string& why) {
+  return make(500, "text/plain", "server error: " + why);
+}
+
+void HttpParser::fail(const std::string& why) {
+  failed_ = true;
+  if (on_error) on_error(why);
+}
+
+void HttpParser::feed(const std::string& bytes) {
+  if (failed_) return;
+  buffer_ += bytes;
+  while (try_parse_one()) {
+  }
+}
+
+bool HttpParser::try_parse_one() {
+  if (failed_ || buffer_.empty()) return false;
+  HeaderMap headers;
+  std::string start_line[1];
+  const std::size_t head_len = parse_head(buffer_, start_line, headers);
+  if (head_len == 0) return false;
+
+  std::size_t body_len = 0;
+  const std::string cl = find_header(headers, "Content-Length");
+  if (!cl.empty()) body_len = std::strtoull(cl.c_str(), nullptr, 10);
+  if (buffer_.size() < head_len + body_len) return false;  // body incomplete
+
+  const std::string body = buffer_.substr(head_len, body_len);
+  buffer_.erase(0, head_len + body_len);
+
+  const auto parts = sim::split(start_line[0], ' ');
+  if (mode_ == Mode::kRequest) {
+    if (parts.size() < 3) {
+      fail("malformed request line: " + start_line[0]);
+      return false;
+    }
+    HttpRequest req;
+    req.method = parts[0];
+    req.path = parts[1];
+    req.version = parts[2];
+    req.headers = std::move(headers);
+    req.body = body;
+    if (on_request) on_request(std::move(req));
+  } else {
+    if (parts.size() < 2) {
+      fail("malformed status line: " + start_line[0]);
+      return false;
+    }
+    HttpResponse resp;
+    resp.version = parts[0];
+    resp.status = std::atoi(parts[1].c_str());
+    resp.reason = parts.size() > 2 ? parts[2] : "";
+    resp.headers = std::move(headers);
+    resp.body = body;
+    if (on_response) on_response(std::move(resp));
+  }
+  return true;
+}
+
+void CookieJar::update_from(const std::string& origin,
+                            const HttpResponse& resp) {
+  // Multiple Set-Cookie values are folded into one header by our HeaderMap;
+  // accept both "a=b" and "a=b, c=d" forms.
+  const std::string header = resp.header("Set-Cookie");
+  if (header.empty()) return;
+  for (const auto& part : sim::split(header, ',')) {
+    // Ignore attributes after ';' (Path, Expires, ...): session semantics.
+    const std::string pair = sim::trim(sim::split(part, ';')[0]);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    jars_[origin][pair.substr(0, eq)] = pair.substr(eq + 1);
+  }
+}
+
+void CookieJar::set(const std::string& origin, const std::string& name,
+                    const std::string& value) {
+  jars_[origin][name] = value;
+}
+
+std::string CookieJar::cookie_header(const std::string& origin) const {
+  auto it = jars_.find(origin);
+  if (it == jars_.end()) return "";
+  std::string out;
+  for (const auto& [name, value] : it->second) {
+    if (!out.empty()) out += "; ";
+    out += name + "=" + value;
+  }
+  return out;
+}
+
+std::size_t CookieJar::size() const {
+  std::size_t n = 0;
+  for (const auto& [origin, cookies] : jars_) n += cookies.size();
+  return n;
+}
+
+std::optional<ParsedUrl> parse_url(const std::string& url) {
+  std::string rest = url;
+  if (sim::starts_with(rest, "http://")) rest = rest.substr(7);
+  if (rest.empty()) return std::nullopt;
+  ParsedUrl out;
+  const std::size_t slash = rest.find('/');
+  std::string hostport = slash == std::string::npos ? rest
+                                                    : rest.substr(0, slash);
+  out.path = slash == std::string::npos ? "/" : rest.substr(slash);
+  const std::size_t colon = hostport.find(':');
+  if (colon != std::string::npos) {
+    out.host = hostport.substr(0, colon);
+    const int port = std::atoi(hostport.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) return std::nullopt;
+    out.port = static_cast<std::uint16_t>(port);
+  } else {
+    out.host = hostport;
+  }
+  if (out.host.empty()) return std::nullopt;
+  return out;
+}
+
+}  // namespace mcs::host

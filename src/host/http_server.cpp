@@ -1,0 +1,197 @@
+#include "host/http_server.h"
+
+#include "sim/logging.h"
+#include "sim/util.h"
+
+namespace mcs::host {
+
+HttpServer::HttpServer(transport::TcpStack& stack, std::uint16_t port,
+                       std::string server_name)
+    : stack_{stack}, server_name_{std::move(server_name)} {
+  stack_.listen(port,
+                [this](transport::TcpSocket::Ptr s) { on_accept(std::move(s)); });
+}
+
+void HttpServer::add_content(const std::string& path,
+                             const std::string& content_type,
+                             std::string body) {
+  content_[path] = Content{content_type, std::move(body)};
+}
+
+void HttpServer::route(const std::string& method,
+                       const std::string& path_prefix, Handler h) {
+  route_async(method, path_prefix,
+              [h = std::move(h)](const HttpRequest& req,
+                                 std::function<void(HttpResponse)> respond) {
+                respond(h(req));
+              });
+}
+
+void HttpServer::route_async(const std::string& method,
+                             const std::string& path_prefix, AsyncHandler h) {
+  routes_.push_back(Route{method, path_prefix, std::move(h)});
+}
+
+const HttpServer::Route* HttpServer::match(const HttpRequest& req) const {
+  const Route* best = nullptr;
+  for (const auto& r : routes_) {
+    if (r.method != req.method) continue;
+    if (!sim::starts_with(req.path, r.prefix)) continue;
+    if (best == nullptr || r.prefix.size() > best->prefix.size()) best = &r;
+  }
+  return best;
+}
+
+void HttpServer::on_accept(transport::TcpSocket::Ptr s) {
+  stats_.counter("connections").add();
+  auto conn = std::make_shared<Connection>();
+  conn->socket = std::move(s);
+  conn->parser.on_request = [this, conn](HttpRequest&& req) {
+    // Synthetic header: lets CGI programs and gateways identify the client
+    // connection (sessions, per-phone cookie jars).
+    req.set_header("X-Peer", conn->socket->remote().to_string());
+    dispatch(conn, std::move(req));
+  };
+  conn->parser.on_error = [this, conn](const std::string&) {
+    stats_.counter("parse_errors").add();
+    conn->socket->send(HttpResponse::bad_request("malformed").serialize());
+    conn->socket->close();
+  };
+  conn->socket->on_data = [conn](const std::string& bytes) {
+    conn->parser.feed(bytes);
+  };
+  conn->socket->on_remote_close = [conn] { conn->socket->close(); };
+}
+
+void HttpServer::flush_outbox(const std::shared_ptr<Connection>& conn) {
+  while (!conn->outbox.empty() && conn->outbox.front()->ready) {
+    auto slot = conn->outbox.front();
+    conn->outbox.pop_front();
+    conn->socket->send(slot->wire);
+    if (slot->close_after) {
+      conn->socket->close();
+      return;
+    }
+  }
+}
+
+void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
+                          HttpRequest&& req) {
+  stats_.counter("requests").add();
+  stats_.counter("request_bytes").add(req.serialize().size());
+  const bool close_after =
+      sim::to_lower(req.header("Connection")) == "close" ||
+      req.version == "HTTP/1.0";
+
+  auto slot = std::make_shared<PendingResponse>();
+  slot->close_after = close_after;
+  conn->outbox.push_back(slot);
+  auto respond = [this, conn, slot](HttpResponse resp) {
+    resp.set_header("Server", server_name_);
+    if (slot->close_after) resp.set_header("Connection", "close");
+    slot->wire = resp.serialize();
+    slot->ready = true;
+    stats_.counter("response_bytes").add(slot->wire.size());
+    stats_.counter(sim::strf("status_%d", resp.status)).add();
+    flush_outbox(conn);
+  };
+
+  // Static content first (exact match), then dynamic routes.
+  if (req.method == "GET") {
+    auto it = content_.find(req.path);
+    if (it != content_.end()) {
+      respond(HttpResponse::make(200, it->second.type, it->second.body));
+      return;
+    }
+  }
+  const Route* r = match(req);
+  if (r == nullptr) {
+    respond(HttpResponse::not_found(req.path));
+    return;
+  }
+  if (processing_delay_.is_zero()) {
+    r->handler(req, respond);
+    return;
+  }
+  // Simulate CGI / application-program processing time.
+  auto& sim = stack_.sim();
+  sim.after(processing_delay_,
+            [r, req = std::move(req), respond = std::move(respond)]() mutable {
+              r->handler(req, respond);
+            });
+}
+
+// ---------------------------------------------------------------------------
+// HttpClient
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<HttpClient::PooledConn> HttpClient::conn_for(
+    net::Endpoint server) {
+  auto it = pool_.find(server);
+  if (it != pool_.end() && !it->second->broken) return it->second;
+
+  auto conn = std::make_shared<PooledConn>();
+  conn->parser = std::make_shared<HttpParser>(HttpParser::Mode::kResponse);
+  conn->socket = stack_.connect(server);
+  stats_.counter("connections_opened").add();
+
+  std::weak_ptr<PooledConn> weak = conn;
+  conn->parser->on_response = [this, weak](HttpResponse&& resp) {
+    auto c = weak.lock();
+    if (!c || c->waiters.empty()) return;
+    stats_.counter("responses").add();
+    auto cb = std::move(c->waiters.front());
+    c->waiters.pop_front();
+    cb(std::move(resp));
+  };
+  conn->socket->on_data = [c = conn](const std::string& bytes) {
+    c->parser->feed(bytes);
+  };
+  auto fail_all = [this, weak, server] {
+    auto c = weak.lock();
+    if (!c) return;
+    c->broken = true;
+    auto waiters = std::move(c->waiters);
+    c->waiters.clear();
+    // Only evict ourselves: a replacement may already occupy the slot.
+    if (auto pit = pool_.find(server); pit != pool_.end() && pit->second == c) {
+      pool_.erase(pit);
+    }
+    for (auto& cb : waiters) {
+      stats_.counter("failed_requests").add();
+      cb(std::nullopt);
+    }
+  };
+  conn->socket->on_remote_close = fail_all;
+  conn->socket->on_closed = fail_all;
+
+  pool_[server] = conn;
+  return conn;
+}
+
+void HttpClient::request(net::Endpoint server, HttpRequest req,
+                         ResponseCallback cb) {
+  auto conn = conn_for(server);
+  conn->waiters.push_back(std::move(cb));
+  stats_.counter("requests").add();
+  conn->socket->send(req.serialize());
+}
+
+void HttpClient::get(net::Endpoint server, const std::string& path,
+                     ResponseCallback cb) {
+  HttpRequest req;
+  req.method = "GET";
+  req.path = path;
+  req.set_header("Host", server.to_string());
+  request(server, std::move(req), std::move(cb));
+}
+
+void HttpClient::reset_pool() {
+  for (auto& [ep, conn] : pool_) {
+    conn->broken = true;
+    conn->socket->close();
+  }
+  pool_.clear();
+}
+
+}  // namespace mcs::host

@@ -1,0 +1,71 @@
+#include "middleware/adaptation.h"
+
+namespace mcs::middleware {
+
+namespace {
+
+void adapt_node(const MarkupNode& n, MarkupNode& out,
+                const AdaptationConfig& cfg, AdaptationResult& result) {
+  if (n.is_text()) {
+    MarkupNode t = n;
+    if (t.text.size() > cfg.max_text_run) {
+      t.text.resize(cfg.max_text_run);
+      t.text += "...";
+      ++result.text_truncations;
+    }
+    out.children.push_back(std::move(t));
+    return;
+  }
+  if (n.tag == "img" && !cfg.keep_images) {
+    ++result.images_dropped;
+    if (const std::string* alt = n.attr("alt");
+        alt != nullptr && !alt->empty()) {
+      out.children.push_back(MarkupNode::text_node("[" + *alt + "]"));
+    }
+    return;
+  }
+  MarkupNode copy;
+  copy.tag = n.tag;
+  copy.attrs = n.attrs;
+  for (const auto& c : n.children) adapt_node(c, copy, cfg, result);
+  out.children.push_back(std::move(copy));
+}
+
+// Remove the deepest trailing leaf; repeated calls trim the document from
+// the end until it fits the size budget.
+bool drop_last_leaf(MarkupNode& node) {
+  if (node.children.empty()) return false;
+  if (drop_last_leaf(node.children.back())) return true;
+  node.children.pop_back();
+  return true;
+}
+
+}  // namespace
+
+AdaptationResult adapt_document(const MarkupDocument& doc,
+                                const AdaptationConfig& cfg) {
+  AdaptationResult result;
+  result.document.kind = doc.kind;
+  for (const auto& c : doc.root.children) {
+    adapt_node(c, result.document.root, cfg, result);
+  }
+  // Enforce the serialized-size budget by trimming from the end.
+  while (result.document.serialize().size() > cfg.max_serialized_bytes) {
+    if (!drop_last_leaf(result.document.root)) break;
+    ++result.nodes_dropped;
+  }
+  if (result.nodes_dropped > 0) {
+    // Let the user see the page was cut.
+    MarkupNode* target = &result.document.root;
+    while (!target->children.empty() && !target->children.back().is_text() &&
+           target->children.back().tag != "p") {
+      target = &target->children.back();
+    }
+    MarkupNode p = MarkupNode::element("p");
+    p.children.push_back(MarkupNode::text_node("[more...]"));
+    target->children.push_back(std::move(p));
+  }
+  return result;
+}
+
+}  // namespace mcs::middleware

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+
+#include "middleware/markup.h"
+
+namespace mcs::middleware {
+
+// Content adaptation (§5: middleware "adapts content from the host to the
+// mobile station"): shrink a translated document to what a small-screen,
+// small-memory device can hold.
+struct AdaptationConfig {
+  bool keep_images = false;          // strip <img> unless the device can render
+  std::size_t max_text_run = 512;    // truncate long text nodes (chars)
+  // Hard cap on the serialized document; trailing content is dropped and an
+  // ellipsis marker appended. WAP decks historically fit in ~1.4 KB.
+  std::size_t max_serialized_bytes = 8 * 1024;
+};
+
+struct AdaptationResult {
+  MarkupDocument document;
+  std::size_t text_truncations = 0;
+  std::size_t images_dropped = 0;
+  std::size_t nodes_dropped = 0;  // due to the size cap
+};
+
+AdaptationResult adapt_document(const MarkupDocument& doc,
+                                const AdaptationConfig& cfg);
+
+}  // namespace mcs::middleware

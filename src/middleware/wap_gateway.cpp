@@ -1,0 +1,272 @@
+#include "middleware/wap_gateway.h"
+
+#include <cstdlib>
+
+#include "middleware/wbxml.h"
+#include "sim/util.h"
+
+namespace mcs::middleware {
+
+using sim::strf;
+
+HostResolver dotted_quad_resolver() {
+  return [](const std::string& host,
+            std::uint16_t port) -> std::optional<net::Endpoint> {
+    const auto parts = sim::split(host, '.');
+    if (parts.size() != 4) return std::nullopt;
+    std::uint32_t v = 0;
+    for (const auto& p : parts) {
+      if (p.empty()) return std::nullopt;
+      const long octet = std::strtol(p.c_str(), nullptr, 10);
+      if (octet < 0 || octet > 255) return std::nullopt;
+      v = (v << 8) | static_cast<std::uint32_t>(octet);
+    }
+    return net::Endpoint{net::IpAddress{v}, port};
+  };
+}
+
+std::string wsp_encode_request(const std::string& url) { return "GET " + url; }
+
+std::optional<std::string> wsp_decode_request(const std::string& payload) {
+  if (!sim::starts_with(payload, "GET ")) return std::nullopt;
+  return payload.substr(4);
+}
+
+std::string wsp_encode_response(int status, const std::string& content_type,
+                                const std::string& body) {
+  return strf("%d %s\n", status, content_type.c_str()) + body;
+}
+
+std::optional<WspResponse> wsp_decode_response(const std::string& payload) {
+  const std::size_t nl = payload.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  const auto head = sim::split(payload.substr(0, nl), ' ');
+  if (head.empty()) return std::nullopt;
+  WspResponse r;
+  r.status = std::atoi(head[0].c_str());
+  if (r.status == 0) return std::nullopt;
+  if (head.size() > 1) r.content_type = head[1];
+  r.body = payload.substr(nl + 1);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// WapGateway
+// ---------------------------------------------------------------------------
+
+WapGateway::WapGateway(net::Node& node, transport::UdpStack& udp,
+                       transport::TcpStack& tcp, HostResolver resolver,
+                       WapGatewayConfig cfg)
+    : node_{node},
+      cfg_{cfg},
+      resolver_{std::move(resolver)},
+      wtp_{udp, cfg.wtp_port, cfg.wtp},
+      http_{tcp} {
+  // WTLS identity: an ephemeral static key certified by the configured CA.
+  sim::Rng rng{0xCE27ull ^ node.addr().v};
+  wtls_key_ = security::dh_generate(rng);
+  wtls_cert_ = security::issue_certificate("wap-gateway",
+                                           wtls_key_.public_key,
+                                           cfg_.wtls_ca_key);
+  wtp_.on_invoke = [this](const std::string& payload, net::Endpoint from,
+                          std::function<void(std::string)> respond) {
+    on_wtp_invoke(payload, from, std::move(respond));
+  };
+}
+
+void WapGateway::on_wtp_invoke(const std::string& payload, net::Endpoint from,
+                               std::function<void(std::string)> respond) {
+  if (sim::starts_with(payload, "WTLS-HELLO ") && cfg_.enable_wtls) {
+    // Server side of the handshake; a fresh hello replaces any old session.
+    security::WtlsHandshake server{security::WtlsHandshake::Role::kServer,
+                                   sim::Rng{from.addr.v ^ from.port},
+                                   cfg_.wtls_ca_key, wtls_cert_,
+                                   wtls_key_.private_key};
+    const auto shello = server.on_client_hello(payload.substr(11));
+    if (!shello.has_value()) {
+      respond("WTLS-ERR bad-hello");
+      return;
+    }
+    wtls_channels_.erase(from);
+    wtls_channels_.emplace(from, server.channel());
+    ++wtls_sessions_;
+    respond("WTLS-SHELLO " + *shello);
+    return;
+  }
+  if (sim::starts_with(payload, "WTLS-DATA ")) {
+    auto it = wtls_channels_.find(from);
+    if (it == wtls_channels_.end()) {
+      respond("WTLS-ERR no-session");
+      return;
+    }
+    const auto opened = it->second.open(payload.substr(10));
+    if (!opened.has_value()) {
+      respond("WTLS-ERR bad-record");
+      return;
+    }
+    // The WAP gap: from here on the request is plaintext inside the gateway.
+    handle_request(*opened, from,
+                   [this, from, respond = std::move(respond)](
+                       std::string response) mutable {
+                     auto ch = wtls_channels_.find(from);
+                     if (ch == wtls_channels_.end()) {
+                       respond("WTLS-ERR session-lost");
+                       return;
+                     }
+                     respond("WTLS-DATA " + ch->second.seal(response));
+                   });
+    return;
+  }
+  handle_request(payload, from, std::move(respond));
+}
+
+const host::CookieJar* WapGateway::jar_for(net::Endpoint phone) const {
+  auto it = phone_jars_.find(phone);
+  return it == phone_jars_.end() ? nullptr : &it->second;
+}
+
+void WapGateway::handle_request(const std::string& payload,
+                                net::Endpoint from,
+                                std::function<void(std::string)> respond) {
+  ++stats_.requests;
+  const auto url = wsp_decode_request(payload);
+  if (!url.has_value()) {
+    respond(wsp_encode_response(400, "text/plain", "bad WSP request"));
+    return;
+  }
+  const auto parsed = host::parse_url(*url);
+  if (!parsed.has_value()) {
+    respond(wsp_encode_response(400, "text/plain", "bad url"));
+    return;
+  }
+  const auto upstream = resolver_(parsed->host, parsed->port);
+  if (!upstream.has_value()) {
+    respond(wsp_encode_response(502, "text/plain", "cannot resolve host"));
+    return;
+  }
+  // Play the phone's cookies toward the origin server.
+  const std::string origin = upstream->to_string();
+  host::HttpRequest up_req;
+  up_req.method = "GET";
+  up_req.path = parsed->path;
+  up_req.set_header("Host", origin);
+  up_req.set_header("User-Agent", "mcs-wap-gateway/1.0");
+  if (const std::string cookies = phone_jars_[from].cookie_header(origin);
+      !cookies.empty()) {
+    up_req.set_header("Cookie", cookies);
+  }
+  http_.request(*upstream, up_req,
+            [this, from, origin, respond = std::move(respond)](
+                std::optional<host::HttpResponse> resp) mutable {
+    if (!resp.has_value()) {
+      ++stats_.upstream_failures;
+      respond(wsp_encode_response(502, "text/plain", "origin unreachable"));
+      return;
+    }
+    stats_.html_bytes_in += resp->body.size();
+    phone_jars_[from].update_from(origin, *resp);
+    if (resp->status != 200) {
+      respond(wsp_encode_response(resp->status, "text/plain", resp->body));
+      return;
+    }
+    // Translate HTML -> WML, adapt, optionally compile to WBXML — after the
+    // simulated translation CPU time.
+    node_.sim().after(cfg_.translation_delay,
+                      [this, body = std::move(resp->body),
+                       respond = std::move(respond)]() mutable {
+      ++stats_.translations;
+      const MarkupDocument html = parse_markup(body, MarkupKind::kHtml);
+      const MarkupDocument wml = html_to_wml(html);
+      const AdaptationResult adapted = adapt_document(wml, cfg_.adaptation);
+      const std::string wml_text = adapted.document.serialize();
+      stats_.wml_bytes_out += wml_text.size();
+      std::string out;
+      if (cfg_.encode_wbxml) {
+        out = wsp_encode_response(200, "application/vnd.wap.wmlc",
+                                  wbxml_encode(adapted.document));
+      } else {
+        out = wsp_encode_response(200, "text/vnd.wap.wml", wml_text);
+      }
+      stats_.air_bytes_out += out.size();
+      respond(std::move(out));
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// IModeGateway
+// ---------------------------------------------------------------------------
+
+IModeGateway::IModeGateway(transport::TcpStack& tcp, HostResolver resolver,
+                           IModeGatewayConfig cfg)
+    : tcp_{tcp},
+      cfg_{cfg},
+      resolver_{std::move(resolver)},
+      server_{tcp, cfg.port, "imode-gw/1.0"},
+      http_{tcp} {
+  server_.route_async(
+      "GET", "/",
+      [this](const host::HttpRequest& req,
+             std::function<void(host::HttpResponse)> respond) {
+        handle(req, std::move(respond));
+      });
+}
+
+void IModeGateway::handle(const host::HttpRequest& req,
+                          std::function<void(host::HttpResponse)> respond) {
+  ++stats_.requests;
+  // The phone requests "/<host>:<port>/<path...>" through the gateway
+  // (or passes an absolute URL in the path).
+  std::string target = req.path;
+  if (!target.empty() && target.front() == '/') target.erase(0, 1);
+  const auto parsed = host::parse_url(target);
+  if (!parsed.has_value()) {
+    respond(host::HttpResponse::bad_request("bad target url"));
+    return;
+  }
+  const auto upstream = resolver_(parsed->host, parsed->port);
+  if (!upstream.has_value()) {
+    respond(host::HttpResponse::make(502, "text/plain", "cannot resolve"));
+    return;
+  }
+  // Cookies on behalf of the phone, keyed by its TCP endpoint.
+  const std::string phone = req.header("X-Peer");
+  const std::string origin = upstream->to_string();
+  host::HttpRequest up_req;
+  up_req.method = "GET";
+  up_req.path = parsed->path;
+  up_req.set_header("Host", origin);
+  up_req.set_header("User-Agent", "mcs-imode-gateway/1.0");
+  if (const std::string cookies = phone_jars_[phone].cookie_header(origin);
+      !cookies.empty()) {
+    up_req.set_header("Cookie", cookies);
+  }
+  http_.request(*upstream, up_req,
+            [this, phone, origin, respond = std::move(respond)](
+                std::optional<host::HttpResponse> resp) mutable {
+    if (!resp.has_value()) {
+      ++stats_.upstream_failures;
+      respond(host::HttpResponse::make(502, "text/plain", "origin down"));
+      return;
+    }
+    stats_.html_bytes_in += resp->body.size();
+    phone_jars_[phone].update_from(origin, *resp);
+    if (resp->status != 200) {
+      respond(std::move(*resp));
+      return;
+    }
+    tcp_.sim().after(cfg_.translation_delay,
+                     [this, body = std::move(resp->body),
+                      respond = std::move(respond)]() mutable {
+      const MarkupDocument html = parse_markup(body, MarkupKind::kHtml);
+      const MarkupDocument chtml = html_to_chtml(html);
+      const AdaptationResult adapted = adapt_document(chtml, cfg_.adaptation);
+      std::string out = adapted.document.serialize();
+      stats_.chtml_bytes_out += out.size();
+      respond(host::HttpResponse::make(200, "text/html; charset=cp932",
+                                       std::move(out)));
+    });
+  });
+}
+
+}  // namespace mcs::middleware

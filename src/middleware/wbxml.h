@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "middleware/markup.h"
+
+namespace mcs::middleware {
+
+// WBXML: the WAP Forum's binary XML encoding. The WAP gateway compiles WML
+// decks to WBXML so the over-the-air representation is compact; this is the
+// source of WAP's bandwidth savings measured in the Table 3 bench.
+//
+// Implements the WBXML 1.3 framing (version, public id, charset, string
+// table, tag/attr token space with content and attribute flags, STR_I inline
+// strings, LITERAL tokens backed by the string table) with the WML 1.1 tag
+// and attribute code pages. Encoder and decoder are exact inverses; byte
+// values for tokens outside the WML 1.1 set use the LITERAL mechanism.
+
+// Encode a WML document to WBXML bytes.
+std::string wbxml_encode(const MarkupDocument& wml);
+
+// Decode WBXML bytes back to a WML document; nullopt on malformed input.
+std::optional<MarkupDocument> wbxml_decode(const std::string& bytes);
+
+}  // namespace mcs::middleware

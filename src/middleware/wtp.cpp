@@ -1,0 +1,161 @@
+#include "middleware/wtp.h"
+
+#include <cstdlib>
+
+#include "sim/logging.h"
+#include "sim/util.h"
+
+namespace mcs::middleware {
+
+using sim::strf;
+
+std::string WtpEndpoint::Reassembly::assemble() const {
+  std::string out;
+  for (const auto& [seg, data] : segments) out += data;
+  return out;
+}
+
+WtpEndpoint::WtpEndpoint(transport::UdpStack& udp, std::uint16_t port,
+                         WtpConfig cfg)
+    : udp_{udp}, port_{port}, cfg_{cfg} {
+  // Seed the tid space from the node address so tids are globally distinct
+  // (useful in traces; correctness relies on the per-endpoint keying).
+  next_tid_ = (static_cast<std::uint64_t>(udp_.node().addr().v) << 20) + 1;
+  udp_.bind(port_, [this](const std::string& data, net::Endpoint from,
+                          std::uint16_t) { on_datagram(data, from); });
+}
+
+void WtpEndpoint::send_segments(net::Endpoint to, const char* kind,
+                                std::uint64_t tid, const std::string& payload) {
+  const std::size_t nsegs =
+      payload.empty() ? 1 : (payload.size() + cfg_.mtu - 1) / cfg_.mtu;
+  for (std::size_t seg = 0; seg < nsegs; ++seg) {
+    std::string frame =
+        strf("%s %llu %zu %zu\n", kind, static_cast<unsigned long long>(tid),
+             seg, nsegs);
+    frame += payload.substr(seg * cfg_.mtu,
+                            std::min(cfg_.mtu, payload.size() - seg * cfg_.mtu));
+    stats_.counter("datagrams_sent").add();
+    stats_.counter("bytes_sent").add(frame.size());
+    udp_.send(to, port_, std::move(frame));
+  }
+}
+
+void WtpEndpoint::invoke(net::Endpoint responder, std::string payload,
+                         ResultCallback cb) {
+  const std::uint64_t tid = next_tid_++;
+  OutgoingTxn& txn = outgoing_[tid];
+  txn.responder = responder;
+  txn.payload = std::move(payload);
+  txn.cb = std::move(cb);
+  stats_.counter("invokes").add();
+  send_segments(responder, "INV", tid, txn.payload);
+  arm_retry(tid);
+}
+
+void WtpEndpoint::arm_retry(std::uint64_t tid) {
+  auto it = outgoing_.find(tid);
+  if (it == outgoing_.end()) return;
+  it->second.timer = udp_.node().sim().after(cfg_.retry_interval, [this, tid] {
+    auto tit = outgoing_.find(tid);
+    if (tit == outgoing_.end() || tit->second.done) return;
+    OutgoingTxn& txn = tit->second;
+    txn.timer = sim::kInvalidEventId;
+    if (++txn.retries > cfg_.max_retries) {
+      stats_.counter("transactions_failed").add();
+      finish(tid, std::nullopt);
+      return;
+    }
+    stats_.counter("retransmissions").add();
+    send_segments(txn.responder, "INV", tid, txn.payload);
+    arm_retry(tid);
+  });
+}
+
+void WtpEndpoint::finish(std::uint64_t tid, std::optional<std::string> result) {
+  auto it = outgoing_.find(tid);
+  if (it == outgoing_.end() || it->second.done) return;
+  it->second.done = true;
+  if (it->second.timer != sim::kInvalidEventId) {
+    udp_.node().sim().cancel(it->second.timer);
+  }
+  ResultCallback cb = std::move(it->second.cb);
+  outgoing_.erase(it);
+  if (cb) cb(std::move(result));
+}
+
+void WtpEndpoint::on_datagram(const std::string& data, net::Endpoint from) {
+  stats_.counter("datagrams_received").add();
+  const std::size_t nl = data.find('\n');
+  if (nl == std::string::npos) return;
+  const auto head = sim::split(data.substr(0, nl), ' ');
+  const std::string body = data.substr(nl + 1);
+
+  if (head[0] == "INV" && head.size() == 4) {
+    const std::uint64_t tid = std::strtoull(head[1].c_str(), nullptr, 10);
+    const auto seg = static_cast<std::uint32_t>(std::atoi(head[2].c_str()));
+    const auto total = static_cast<std::uint32_t>(std::atoi(head[3].c_str()));
+    const RespKey key{from, tid};
+    ResponderTxn& txn = responding_[key];
+    if (txn.responded) {
+      // Duplicate invoke after we answered: retransmit the cached result.
+      stats_.counter("result_retransmissions").add();
+      send_segments(from, "RES", tid, txn.cached_result);
+      return;
+    }
+    txn.invoke.total = total;
+    txn.invoke.segments.emplace(seg, body);
+    if (!txn.invoke.complete() || txn.handled) return;
+    txn.handled = true;
+    if (!on_invoke) return;
+    const std::string payload = txn.invoke.assemble();
+    stats_.counter("invokes_handled").add();
+    on_invoke(payload, from, [this, key, from](std::string result) {
+      auto rit = responding_.find(key);
+      if (rit == responding_.end() || rit->second.responded) return;
+      rit->second.responded = true;
+      rit->second.cached_result = std::move(result);
+      send_segments(from, "RES", key.tid, rit->second.cached_result);
+      // Drop cached state after the TTL even if the ACK is lost.
+      rit->second.expiry =
+          udp_.node().sim().after(cfg_.responder_cache_ttl,
+                                  [this, key] { responding_.erase(key); });
+    });
+    return;
+  }
+  if (head[0] == "RES" && head.size() == 4) {
+    const std::uint64_t tid = std::strtoull(head[1].c_str(), nullptr, 10);
+    auto it = outgoing_.find(tid);
+    if (it == outgoing_.end()) {
+      // Late duplicate: ack so the responder stops retransmitting.
+      udp_.send(from, port_,
+                strf("ACK %llu\n", static_cast<unsigned long long>(tid)));
+      return;
+    }
+    OutgoingTxn& txn = it->second;
+    const auto seg = static_cast<std::uint32_t>(std::atoi(head[2].c_str()));
+    const auto total = static_cast<std::uint32_t>(std::atoi(head[3].c_str()));
+    txn.result.total = total;
+    txn.result.segments.emplace(seg, body);
+    if (!txn.result.complete()) return;
+    udp_.send(from, port_,
+              strf("ACK %llu\n", static_cast<unsigned long long>(tid)));
+    stats_.counter("transactions_completed").add();
+    finish(tid, txn.result.assemble());
+    return;
+  }
+  if (head[0] == "ACK" && head.size() == 2) {
+    const std::uint64_t tid = std::strtoull(head[1].c_str(), nullptr, 10);
+    const RespKey key{from, tid};
+    auto rit = responding_.find(key);
+    if (rit != responding_.end()) {
+      if (rit->second.expiry != sim::kInvalidEventId) {
+        udp_.node().sim().cancel(rit->second.expiry);
+      }
+      responding_.erase(rit);
+    }
+    return;
+  }
+}
+
+}  // namespace mcs::middleware

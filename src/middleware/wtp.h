@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/stats.h"
+#include "transport/udp.h"
+
+namespace mcs::middleware {
+
+// WAP Transaction Protocol (WTP class 2: reliable invoke/result) over WDP
+// (== UDP here). One request/response exchange per transaction, with
+// segmentation-and-reassembly, retransmission, and a result ack — the
+// connectionless transaction style WAP uses instead of TCP.
+//
+// Frames are one datagram each: a text header line, then raw payload bytes:
+//   "INV <tid> <seg> <nsegs>\n" <bytes>     initiator -> responder
+//   "RES <tid> <seg> <nsegs>\n" <bytes>     responder -> initiator
+//   "ACK <tid>\n"                           initiator -> responder
+struct WtpConfig {
+  sim::Time retry_interval = sim::Time::millis(800);
+  int max_retries = 6;
+  std::size_t mtu = 1200;  // payload bytes per datagram
+  sim::Time responder_cache_ttl = sim::Time::seconds(10.0);
+};
+
+class WtpEndpoint {
+ public:
+  // Responder role: handle a complete invoke, answer via `respond` (once).
+  using InvokeHandler = std::function<void(
+      const std::string& payload, net::Endpoint from,
+      std::function<void(std::string)> respond)>;
+  // Initiator role: completion callback (nullopt = transaction failed).
+  using ResultCallback = std::function<void(std::optional<std::string>)>;
+
+  WtpEndpoint(transport::UdpStack& udp, std::uint16_t port,
+              WtpConfig cfg = {});
+  WtpEndpoint(const WtpEndpoint&) = delete;
+  WtpEndpoint& operator=(const WtpEndpoint&) = delete;
+
+  InvokeHandler on_invoke;
+
+  // Run one transaction against a remote responder.
+  void invoke(net::Endpoint responder, std::string payload, ResultCallback cb);
+
+  sim::StatsRegistry& stats() { return stats_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  struct Reassembly {
+    std::map<std::uint32_t, std::string> segments;
+    std::uint32_t total = 0;
+    bool complete() const { return total > 0 && segments.size() == total; }
+    std::string assemble() const;
+  };
+  struct OutgoingTxn {  // initiator side
+    net::Endpoint responder;
+    std::string payload;
+    ResultCallback cb;
+    Reassembly result;
+    int retries = 0;
+    sim::EventId timer = sim::kInvalidEventId;
+    bool done = false;
+  };
+  struct ResponderTxn {  // responder side
+    Reassembly invoke;
+    std::string cached_result;  // retransmitted until ACK or TTL
+    bool responded = false;
+    bool handled = false;
+    sim::EventId expiry = sim::kInvalidEventId;
+  };
+
+  void on_datagram(const std::string& data, net::Endpoint from);
+  void send_segments(net::Endpoint to, const char* kind, std::uint64_t tid,
+                     const std::string& payload);
+  void arm_retry(std::uint64_t tid);
+  void finish(std::uint64_t tid, std::optional<std::string> result);
+
+  transport::UdpStack& udp_;
+  std::uint16_t port_;
+  WtpConfig cfg_;
+  std::uint64_t next_tid_;
+  std::unordered_map<std::uint64_t, OutgoingTxn> outgoing_;
+  // Keyed by (initiator endpoint, tid) so tids from different phones never
+  // collide at a shared gateway.
+  struct RespKey {
+    net::Endpoint from;
+    std::uint64_t tid;
+    bool operator==(const RespKey&) const = default;
+  };
+  struct RespKeyHash {
+    std::size_t operator()(const RespKey& k) const noexcept {
+      return std::hash<net::Endpoint>{}(k.from) ^
+             std::hash<std::uint64_t>{}(k.tid);
+    }
+  };
+  std::unordered_map<RespKey, ResponderTxn, RespKeyHash> responding_;
+  sim::StatsRegistry stats_;
+};
+
+}  // namespace mcs::middleware

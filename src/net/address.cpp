@@ -1,0 +1,16 @@
+#include "net/address.h"
+
+#include "sim/util.h"
+
+namespace mcs::net {
+
+std::string IpAddress::to_string() const {
+  return sim::strf("%u.%u.%u.%u", (v >> 24) & 0xff, (v >> 16) & 0xff,
+                   (v >> 8) & 0xff, v & 0xff);
+}
+
+std::string Endpoint::to_string() const {
+  return sim::strf("%s:%u", addr.to_string().c_str(), port);
+}
+
+}  // namespace mcs::net

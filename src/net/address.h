@@ -1,0 +1,56 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mcs::net {
+
+using NodeId = std::uint32_t;
+
+// IPv4-style address; value type, hashable, printable.
+struct IpAddress {
+  std::uint32_t v = 0;
+
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t raw) : v{raw} {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d)
+      : v{(static_cast<std::uint32_t>(a) << 24) |
+          (static_cast<std::uint32_t>(b) << 16) |
+          (static_cast<std::uint32_t>(c) << 8) | d} {}
+
+  constexpr bool is_unspecified() const { return v == 0; }
+  friend constexpr auto operator<=>(IpAddress a, IpAddress b) = default;
+
+  std::string to_string() const;
+};
+
+inline constexpr IpAddress kUnspecified{};
+
+// Address + port; identifies one transport endpoint.
+struct Endpoint {
+  IpAddress addr;
+  std::uint16_t port = 0;
+
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) = default;
+  std::string to_string() const;
+};
+
+}  // namespace mcs::net
+
+template <>
+struct std::hash<mcs::net::IpAddress> {
+  std::size_t operator()(mcs::net::IpAddress a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.v);
+  }
+};
+
+template <>
+struct std::hash<mcs::net::Endpoint> {
+  std::size_t operator()(const mcs::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(e.addr.v) << 16) | e.port);
+  }
+};

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "net/packet.h"
+
+namespace mcs::net {
+
+class Interface;
+
+// A transmission medium interfaces attach to: a point-to-point link or a
+// shared wireless medium. Channels own queueing, serialization delay,
+// propagation delay and loss; they deliver packets to the peer node's
+// receive path.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  // Transmit `p` out of `from` toward `next_hop` (the L2 destination; for a
+  // point-to-point link it is ignored, for a shared medium it selects the
+  // attached interface to deliver to).
+  virtual void transmit(Interface* from, IpAddress next_hop, PacketPtr p) = 0;
+
+  // Nominal data rate seen by `from`; used for routing costs and reports.
+  virtual double rate_bps(const Interface* from) const = 0;
+
+  // Current adjacencies contributed to the routing graph.
+  struct Edge {
+    Interface* a;
+    Interface* b;
+    double cost;
+  };
+  virtual std::vector<Edge> edges() const = 0;
+};
+
+}  // namespace mcs::net

@@ -1,0 +1,68 @@
+#include "net/link.h"
+
+#include "sim/logging.h"
+
+namespace mcs::net {
+
+Link::Link(sim::Simulator& sim, Interface* a, Interface* b, LinkConfig cfg,
+           sim::Rng rng)
+    : sim_{sim}, a_{a}, b_{b}, cfg_{cfg}, rng_{rng} {
+  a_->attach(this);
+  b_->attach(this);
+}
+
+void Link::transmit(Interface* from, IpAddress /*next_hop*/, PacketPtr p) {
+  Direction& dir = direction_for(from);
+  const std::size_t size = p->size_bytes();
+  if (dir.queued_bytes + size > cfg_.queue_limit_bytes) {
+    stats_.counter("drop_queue_overflow").add();
+    return;
+  }
+  dir.queue.push_back(std::move(p));
+  dir.queued_bytes += size;
+  if (!dir.busy) start_service(from);
+}
+
+void Link::start_service(Interface* from) {
+  Direction& dir = direction_for(from);
+  if (dir.queue.empty()) {
+    dir.busy = false;
+    return;
+  }
+  dir.busy = true;
+  PacketPtr p = dir.queue.front();
+  dir.queue.pop_front();
+  dir.queued_bytes -= p->size_bytes();
+
+  const sim::Time serialization =
+      sim::transmission_time(p->size_bytes(), cfg_.bandwidth_bps);
+  sim_.after(serialization, [this, from, p] {
+    Interface* to = peer_of(from);
+    const bool lost = rng_.bernoulli(cfg_.loss_rate);
+    if (lost) {
+      stats_.counter("drop_loss").add();
+    } else if (!to->up() || !from->up()) {
+      stats_.counter("drop_iface_down").add();
+    } else {
+      stats_.counter("delivered_packets").add();
+      stats_.counter("delivered_bytes").add(p->size_bytes());
+      sim_.after(cfg_.propagation,
+                 [to, p] { to->node()->receive(p, to); });
+    }
+    start_service(from);
+  });
+}
+
+double Link::rate_bps(const Interface* /*from*/) const {
+  return cfg_.bandwidth_bps;
+}
+
+std::vector<Channel::Edge> Link::edges() const {
+  // Symmetric cost: propagation plus the time to serialize a nominal 1 KB
+  // packet, so routing prefers fast links when delays tie.
+  const double cost =
+      cfg_.propagation.to_seconds() + 8.0 * 1024.0 / cfg_.bandwidth_bps;
+  return {Edge{a_, b_, cost}};
+}
+
+}  // namespace mcs::net

@@ -1,0 +1,99 @@
+#include "net/network.h"
+
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+namespace mcs::net {
+
+Network::Network(sim::Simulator& sim, std::uint64_t seed)
+    : sim_{sim}, rng_{seed} {}
+
+Node* Network::add_node(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(sim_, id, name));
+  return nodes_.back().get();
+}
+
+IpAddress Network::allocate_address() {
+  const std::uint32_t host = next_host_++;
+  return IpAddress{(10u << 24) | host};
+}
+
+Link* Network::connect(Node* a, Node* b, LinkConfig cfg) {
+  return connect(a, allocate_address(), b, allocate_address(), cfg);
+}
+
+Link* Network::connect(Node* a, IpAddress addr_a, Node* b, IpAddress addr_b,
+                       LinkConfig cfg) {
+  Interface* ia = a->add_interface(addr_a);
+  Interface* ib = b->add_interface(addr_b);
+  links_.push_back(std::make_unique<Link>(sim_, ia, ib, cfg, rng_.fork()));
+  return links_.back().get();
+}
+
+void Network::compute_routes() {
+  // Collect current edges from wired links and registered channels.
+  std::vector<Channel::Edge> edges;
+  for (const auto& l : links_) {
+    for (const auto& e : l->edges()) edges.push_back(e);
+  }
+  for (Channel* ch : external_channels_) {
+    for (const auto& e : ch->edges()) edges.push_back(e);
+  }
+
+  // Node-level adjacency: (neighbor node, my out iface, neighbor's iface).
+  struct Adj {
+    NodeId peer;
+    Interface* out;
+    Interface* peer_iface;
+    double cost;
+  };
+  std::vector<std::vector<Adj>> adj(nodes_.size());
+  for (const auto& e : edges) {
+    if (!e.a->up() || !e.b->up()) continue;
+    adj[e.a->node()->id()].push_back(
+        Adj{e.b->node()->id(), e.a, e.b, e.cost});
+    adj[e.b->node()->id()].push_back(
+        Adj{e.a->node()->id(), e.b, e.a, e.cost});
+  }
+
+  // Dijkstra from every node; install host routes for every address of
+  // every reachable node. Topologies here are small (tens of nodes), so
+  // O(N * E log N) is fine.
+  for (const auto& src : nodes_) {
+    src->clear_routes();
+    const NodeId s = src->id();
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(nodes_.size(), kInf);
+    // First hop on the best path: out iface + next-hop address.
+    std::vector<Node::Route> first_hop(nodes_.size());
+    using Item = std::pair<double, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[s] = 0.0;
+    pq.push({0.0, s});
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      for (const auto& a : adj[u]) {
+        const double nd = d + a.cost;
+        if (nd < dist[a.peer]) {
+          dist[a.peer] = nd;
+          first_hop[a.peer] =
+              u == s ? Node::Route{a.out, a.peer_iface->addr()}
+                     : first_hop[u];
+          pq.push({nd, a.peer});
+        }
+      }
+    }
+    for (const auto& dst : nodes_) {
+      if (dst->id() == s || dist[dst->id()] == kInf) continue;
+      for (const auto& iface : dst->interfaces()) {
+        src->set_route(iface->addr(), first_hop[dst->id()]);
+      }
+    }
+  }
+}
+
+}  // namespace mcs::net

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace mcs::net {
+
+// Owns nodes and channels, allocates addresses, and computes shortest-path
+// host routes over every channel's advertised edges (wired links plus
+// wireless associations). The wired-network component of the paper's model.
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim, std::uint64_t seed = 1);
+
+  sim::Simulator& sim() { return sim_; }
+  sim::Rng& rng() { return rng_; }
+
+  Node* add_node(const std::string& name);
+  Node* node(NodeId id) const { return nodes_[id].get(); }
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+  // Allocate the next unused address (10.0.x.y space).
+  IpAddress allocate_address();
+
+  // Connect two nodes with a wired link; creates one interface on each node
+  // (auto-addressed unless explicit addresses are passed).
+  Link* connect(Node* a, Node* b, LinkConfig cfg = {});
+  Link* connect(Node* a, IpAddress addr_a, Node* b, IpAddress addr_b,
+                LinkConfig cfg = {});
+
+  // Register an externally owned channel (e.g. a wireless medium) so its
+  // association edges participate in route computation.
+  void register_channel(Channel* ch) { external_channels_.push_back(ch); }
+
+  // Recompute all routing tables with Dijkstra over current edges. Call
+  // after topology or association changes.
+  void compute_routes();
+
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Channel*> external_channels_;
+  std::uint32_t next_host_ = 1;
+};
+
+}  // namespace mcs::net

@@ -1,0 +1,110 @@
+#include "net/node.h"
+
+#include "sim/logging.h"
+
+namespace mcs::net {
+
+Node::Node(sim::Simulator& sim, NodeId id, std::string name)
+    : sim_{sim}, id_{id}, name_{std::move(name)} {}
+
+Interface* Node::add_interface(IpAddress addr) {
+  interfaces_.push_back(std::make_unique<Interface>(
+      this, addr, static_cast<int>(interfaces_.size())));
+  return interfaces_.back().get();
+}
+
+IpAddress Node::addr() const {
+  return interfaces_.empty() ? kUnspecified : interfaces_.front()->addr();
+}
+
+bool Node::owns_address(IpAddress a) const {
+  for (const auto& i : interfaces_) {
+    if (i->addr() == a) return true;
+  }
+  return false;
+}
+
+void Node::clear_routes() {
+  routes_.clear();
+  has_default_route_ = false;
+}
+
+void Node::set_default_route(Route r) {
+  default_route_ = r;
+  has_default_route_ = true;
+}
+
+const Node::Route* Node::lookup_route(IpAddress dst) const {
+  auto it = routes_.find(dst.v);
+  if (it != routes_.end()) return &it->second;
+  if (has_default_route_) return &default_route_;
+  return nullptr;
+}
+
+void Node::receive(const PacketPtr& p, Interface* in) {
+  stats_.counter("rx_packets").add();
+  stats_.counter("rx_bytes").add(p->size_bytes());
+  for (auto& f : filters_) {
+    if (f(p, in) == FilterVerdict::kConsumed) return;
+  }
+  if (owns_address(p->dst)) {
+    deliver_local(p, in);
+    return;
+  }
+  if (--p->ttl <= 0) {
+    stats_.counter("drop_ttl").add();
+    return;
+  }
+  forward(p);
+}
+
+void Node::send(const PacketPtr& p) {
+  p->created_at = sim_.now();
+  stats_.counter("tx_packets").add();
+  stats_.counter("tx_bytes").add(p->size_bytes());
+  // Locally originated packets pass the filters too (in == nullptr): a home
+  // agent colocated with a server must intercept its own node's output the
+  // way a kernel routing hook would.
+  for (auto& f : filters_) {
+    if (f(p, nullptr) == FilterVerdict::kConsumed) return;
+  }
+  if (owns_address(p->dst)) {
+    // Loopback: deliver on the next event tick to preserve async semantics.
+    PacketPtr copy = p;
+    sim_.after(sim::Time::zero(),
+               [this, copy] { deliver_local(copy, nullptr); });
+    return;
+  }
+  forward(p);
+}
+
+void Node::deliver_local(const PacketPtr& p, Interface* in) {
+  auto it = handlers_.find(static_cast<int>(p->proto));
+  if (it == handlers_.end()) {
+    stats_.counter("drop_no_handler").add();
+    sim::logf(sim::LogLevel::kDebug, sim_.now(), "%s: no handler for %s",
+              name_.c_str(), p->describe().c_str());
+    return;
+  }
+  it->second(p, in);
+}
+
+void Node::forward(const PacketPtr& p) {
+  const Route* r = lookup_route(p->dst);
+  if (r == nullptr || r->out == nullptr || r->out->channel() == nullptr ||
+      !r->out->up()) {
+    stats_.counter("drop_no_route").add();
+    sim::logf(sim::LogLevel::kDebug, sim_.now(), "%s: no route for %s",
+              name_.c_str(), p->describe().c_str());
+    return;
+  }
+  const IpAddress next_hop =
+      r->next_hop.is_unspecified() ? p->dst : r->next_hop;
+  r->out->channel()->transmit(r->out, next_hop, p);
+}
+
+void Node::register_protocol_handler(Protocol proto, ProtocolHandler h) {
+  handlers_[static_cast<int>(proto)] = std::move(h);
+}
+
+}  // namespace mcs::net

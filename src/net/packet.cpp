@@ -1,0 +1,73 @@
+#include "net/packet.h"
+
+#include <atomic>
+
+#include "sim/util.h"
+
+namespace mcs::net {
+namespace {
+std::uint64_t g_next_uid = 1;
+}
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kUdp: return "udp";
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kIpInIp: return "ipip";
+    case Protocol::kControl: return "ctl";
+  }
+  return "?";
+}
+
+std::uint32_t Packet::header_bytes() const {
+  constexpr std::uint32_t kIpHeader = 20;
+  switch (proto) {
+    case Protocol::kTcp: return kIpHeader + 20;
+    case Protocol::kUdp: return kIpHeader + 8;
+    case Protocol::kControl: return kIpHeader + 8;
+    case Protocol::kIpInIp:
+      return kIpHeader + (inner ? inner->header_bytes() : 0);
+  }
+  return kIpHeader;
+}
+
+std::uint32_t Packet::payload_bytes() const {
+  if (proto == Protocol::kIpInIp) {
+    return inner ? inner->payload_bytes() : 0;
+  }
+  return static_cast<std::uint32_t>(payload.size());
+}
+
+PacketPtr Packet::clone() const {
+  auto p = std::make_shared<Packet>(*this);
+  p->uid = g_next_uid++;
+  if (inner) p->inner = inner->clone();
+  return p;
+}
+
+std::string Packet::describe() const {
+  if (proto == Protocol::kTcp) {
+    std::string f;
+    if (tcp.has(kTcpSyn)) f += "S";
+    if (tcp.has(kTcpAck)) f += "A";
+    if (tcp.has(kTcpFin)) f += "F";
+    if (tcp.has(kTcpRst)) f += "R";
+    return sim::strf("tcp %s:%u->%s:%u seq=%llu ack=%llu [%s] len=%zu",
+                     src.to_string().c_str(), tcp.src_port,
+                     dst.to_string().c_str(), tcp.dst_port,
+                     static_cast<unsigned long long>(tcp.seq),
+                     static_cast<unsigned long long>(tcp.ack), f.c_str(),
+                     payload.size());
+  }
+  return sim::strf("%s %s->%s len=%zu", protocol_name(proto),
+                   src.to_string().c_str(), dst.to_string().c_str(),
+                   payload.size());
+}
+
+PacketPtr make_packet() {
+  auto p = std::make_shared<Packet>();
+  p->uid = g_next_uid++;
+  return p;
+}
+
+}  // namespace mcs::net

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/address.h"
+#include "sim/time.h"
+
+namespace mcs::net {
+
+enum class Protocol : std::uint8_t {
+  kUdp,
+  kTcp,
+  kIpInIp,   // Mobile IP tunnel: `inner` carries the original packet
+  kControl,  // link/medium control frames (registrations, beacons)
+};
+
+const char* protocol_name(Protocol p);
+
+// TCP flag bits.
+inline constexpr std::uint8_t kTcpSyn = 0x01;
+inline constexpr std::uint8_t kTcpAck = 0x02;
+inline constexpr std::uint8_t kTcpFin = 0x04;
+inline constexpr std::uint8_t kTcpRst = 0x08;
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  // 64-bit stream offsets: the simulation dispenses with 32-bit sequence
+  // wraparound; the wire size is still modelled as a 20-byte header.
+  std::uint64_t seq = 0;  // first payload byte's stream offset
+  std::uint64_t ack = 0;  // next expected stream offset (valid when ACK set)
+  std::uint8_t flags = 0;
+  std::uint32_t window = 65535;
+
+  bool has(std::uint8_t f) const { return (flags & f) != 0; }
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+// A network packet carrying real payload bytes. Passed by shared_ptr along
+// the forwarding path; a hop that needs a private copy (e.g. a snoop cache)
+// must clone().
+struct Packet {
+  std::uint64_t uid = 0;
+  IpAddress src;
+  IpAddress dst;
+  Protocol proto = Protocol::kUdp;
+  int ttl = 64;
+  TcpHeader tcp;  // valid iff proto == kTcp
+  UdpHeader udp;  // valid iff proto == kUdp or kControl
+  std::string payload;
+  std::shared_ptr<Packet> inner;  // valid iff proto == kIpInIp
+
+  sim::Time created_at;  // stamped by the sender; for latency tracing
+
+  // Simulated wire sizes: 20B IP header plus the L4 header; tunnelled
+  // packets pay a second IP header (Mobile IP encapsulation overhead).
+  std::uint32_t header_bytes() const;
+  std::uint32_t payload_bytes() const;
+  std::uint32_t size_bytes() const { return header_bytes() + payload_bytes(); }
+
+  std::shared_ptr<Packet> clone() const;
+  std::string describe() const;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+// Allocates a packet with a process-unique uid.
+PacketPtr make_packet();
+
+}  // namespace mcs::net

@@ -1,0 +1,220 @@
+#include "security/wtls.h"
+
+#include <cstdlib>
+
+#include "sim/util.h"
+
+namespace mcs::security {
+
+using sim::strf;
+
+std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
+                      std::uint64_t mod) {
+  // 61-bit modulus: products fit in unsigned __int128.
+  unsigned __int128 result = 1;
+  unsigned __int128 b = base % mod;
+  while (exp > 0) {
+    if (exp & 1) result = (result * b) % mod;
+    b = (b * b) % mod;
+    exp >>= 1;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+DhKeyPair dh_generate(sim::Rng& rng) {
+  DhKeyPair kp;
+  kp.private_key = (rng.next_u64() % (kDhPrime - 2)) + 1;
+  kp.public_key = mod_pow(kDhGenerator, kp.private_key, kDhPrime);
+  return kp;
+}
+
+std::uint64_t dh_shared_secret(std::uint64_t my_private,
+                               std::uint64_t their_public) {
+  return mod_pow(their_public, my_private, kDhPrime);
+}
+
+namespace {
+
+std::uint64_t keyed_mac(std::uint64_t key, const std::string& data) {
+  // MAC(k, m) = FNV(k || m || k); keyed on both ends to resist extension.
+  std::uint64_t h = sim::fnv1a(&key, sizeof(key));
+  h = sim::fnv1a(data.data(), data.size(), h);
+  return sim::fnv1a(&key, sizeof(key), h);
+}
+
+}  // namespace
+
+std::string Certificate::encode() const {
+  return strf("CERT %s %llu %llu", subject.c_str(),
+              static_cast<unsigned long long>(public_key),
+              static_cast<unsigned long long>(signature));
+}
+
+std::optional<Certificate> Certificate::decode(const std::string& s) {
+  const auto f = sim::split(s, ' ');
+  if (f.size() != 4 || f[0] != "CERT") return std::nullopt;
+  Certificate c;
+  c.subject = f[1];
+  c.public_key = std::strtoull(f[2].c_str(), nullptr, 10);
+  c.signature = std::strtoull(f[3].c_str(), nullptr, 10);
+  return c;
+}
+
+Certificate issue_certificate(const std::string& subject,
+                              std::uint64_t public_key, std::uint64_t ca_key) {
+  Certificate c;
+  c.subject = subject;
+  c.public_key = public_key;
+  c.signature = keyed_mac(ca_key, strf("%s|%llu", subject.c_str(),
+                                       static_cast<unsigned long long>(
+                                           public_key)));
+  return c;
+}
+
+bool verify_certificate(const Certificate& cert, std::uint64_t ca_key) {
+  return cert.signature ==
+         keyed_mac(ca_key, strf("%s|%llu", cert.subject.c_str(),
+                                static_cast<unsigned long long>(
+                                    cert.public_key)));
+}
+
+// ---------------------------------------------------------------------------
+// SecureChannel
+// ---------------------------------------------------------------------------
+
+SecureChannel::SecureChannel(std::uint64_t shared_secret, int sender_role)
+    : secret_{shared_secret}, role_{sender_role} {}
+
+std::string SecureChannel::keystream(std::uint64_t nonce, std::size_t len,
+                                     int sender_role) const {
+  // Keyed xorshift stream: state seeded from (secret, sender role, nonce).
+  std::uint64_t state =
+      secret_ ^ (nonce * 0x9E3779B97F4A7C15ull) ^
+      (static_cast<std::uint64_t>(sender_role) << 62) ^
+      0xD1B54A32D192ED03ull;
+  std::string out;
+  out.reserve(len);
+  while (out.size() < len) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    for (int i = 0; i < 8 && out.size() < len; ++i) {
+      out.push_back(static_cast<char>((state >> (8 * i)) & 0xFF));
+    }
+  }
+  return out;
+}
+
+std::string SecureChannel::seal(const std::string& plaintext) {
+  const std::uint32_t seq = send_seq_++;
+  const std::string ks = keystream(seq, plaintext.size(), role_);
+  std::string body(plaintext.size(), '\0');
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    body[i] = static_cast<char>(plaintext[i] ^ ks[i]);
+  }
+  std::string out;
+  out.push_back(static_cast<char>(seq >> 24));
+  out.push_back(static_cast<char>(seq >> 16));
+  out.push_back(static_cast<char>(seq >> 8));
+  out.push_back(static_cast<char>(seq));
+  out += body;
+  const std::uint64_t mac = keyed_mac(secret_ ^ static_cast<std::uint64_t>(role_ + 1),
+                                      out);
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<char>((mac >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+std::optional<std::string> SecureChannel::open(const std::string& sealed) {
+  if (sealed.size() < kOverheadBytes) {
+    ++bad_macs_;
+    return std::nullopt;
+  }
+  const std::string macd = sealed.substr(0, sealed.size() - 8);
+  std::uint64_t mac = 0;
+  for (std::size_t i = sealed.size() - 8; i < sealed.size(); ++i) {
+    mac = (mac << 8) | static_cast<std::uint8_t>(sealed[i]);
+  }
+  // The peer sealed with the opposite role.
+  const int peer_role = 1 - role_;
+  if (mac != keyed_mac(secret_ ^ static_cast<std::uint64_t>(peer_role + 1),
+                       macd)) {
+    ++bad_macs_;
+    return std::nullopt;
+  }
+  std::uint32_t seq = 0;
+  for (int i = 0; i < 4; ++i) {
+    seq = (seq << 8) | static_cast<std::uint8_t>(macd[static_cast<std::size_t>(i)]);
+  }
+  if (seq < recv_next_) {
+    ++replays_;
+    return std::nullopt;
+  }
+  recv_next_ = seq + 1;
+  const std::string body = macd.substr(4);
+  // Decrypt with the PEER's sending keystream.
+  const std::string ks = keystream(seq, body.size(), peer_role);
+  std::string plain(body.size(), '\0');
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    plain[i] = static_cast<char>(body[i] ^ ks[i]);
+  }
+  return plain;
+}
+
+// ---------------------------------------------------------------------------
+// WtlsHandshake
+// ---------------------------------------------------------------------------
+
+WtlsHandshake::WtlsHandshake(Role role, sim::Rng rng, std::uint64_t ca_key,
+                             std::optional<Certificate> my_cert,
+                             std::uint64_t my_private)
+    : role_{role},
+      rng_{rng},
+      ca_key_{ca_key},
+      cert_{std::move(my_cert)},
+      my_private_{my_private} {}
+
+std::string WtlsHandshake::client_hello() {
+  ephemeral_ = dh_generate(rng_);
+  return strf("HELLO %llu",
+              static_cast<unsigned long long>(ephemeral_.public_key));
+}
+
+std::optional<std::string> WtlsHandshake::on_client_hello(
+    const std::string& msg) {
+  if (role_ != Role::kServer || !cert_.has_value()) return std::nullopt;
+  const auto f = sim::split(msg, ' ');
+  if (f.size() != 2 || f[0] != "HELLO") return std::nullopt;
+  const std::uint64_t client_pub = std::strtoull(f[1].c_str(), nullptr, 10);
+  const std::uint64_t secret = dh_shared_secret(my_private_, client_pub);
+  channel_.emplace(secret, /*sender_role=*/1);
+  established_ = true;
+  return "SHELLO " + cert_->encode();
+}
+
+std::optional<std::string> WtlsHandshake::on_server_hello(
+    const std::string& msg) {
+  if (role_ != Role::kClient) return std::nullopt;
+  if (!sim::starts_with(msg, "SHELLO ")) return std::nullopt;
+  const auto cert = Certificate::decode(msg.substr(7));
+  if (!cert.has_value() || !verify_certificate(*cert, ca_key_)) {
+    return std::nullopt;  // authentication failure
+  }
+  const std::uint64_t secret =
+      dh_shared_secret(ephemeral_.private_key, cert->public_key);
+  channel_.emplace(secret, /*sender_role=*/0);
+  established_ = true;
+  return strf("KEYX %llu",
+              static_cast<unsigned long long>(ephemeral_.public_key));
+}
+
+bool WtlsHandshake::on_client_key_exchange(const std::string& msg) {
+  // With a static server key the secret is already derived at SHELLO time;
+  // the KEYX message exists for protocol-shape fidelity (and lets a server
+  // double-check the client's public key).
+  return role_ == Role::kServer && sim::starts_with(msg, "KEYX ") &&
+         established_;
+}
+
+}  // namespace mcs::security

@@ -1,0 +1,47 @@
+#include "sim/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/util.h"
+
+namespace mcs::sim {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, Time now, const std::string& component,
+         const std::string& message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%12s] %s %s: %s\n", now.to_string().c_str(),
+               level_name(level), component.c_str(), message.c_str());
+}
+
+void logf(LogLevel level, Time now, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::va_list ap;
+  va_start(ap, fmt);
+  const std::string msg = vstrf(fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "[%12s] %s %s\n", now.to_string().c_str(),
+               level_name(level), msg.c_str());
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "sim/time.h"
+
+namespace mcs::sim {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+// Global log threshold; messages below it are dropped. Defaults to kWarn so
+// tests and benchmarks run quietly.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emit one log line: "[12.5ms] INFO  tcp: message". `now` is the simulation
+// clock of the caller (pass Time::zero() outside a simulation).
+void log(LogLevel level, Time now, const std::string& component,
+         const std::string& message);
+
+[[gnu::format(printf, 3, 4)]] void logf(LogLevel level, Time now,
+                                        const char* fmt, ...);
+
+}  // namespace mcs::sim

@@ -1,0 +1,64 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mcs::sim {
+
+EventId Simulator::at(Time t, Callback fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Simulator::after(Time delay, Callback fn) {
+  assert(!delay.is_negative());
+  return at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) { callbacks_.erase(id); }
+
+bool Simulator::pop_and_run_next() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.t;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && pop_and_run_next()) {
+  }
+}
+
+void Simulator::purge_cancelled_head() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+void Simulator::run_until(Time t) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Cancelled entries must not gate the boundary check: a stale head with
+    // a small timestamp would otherwise let pop_and_run_next() skip ahead to
+    // a live event beyond t.
+    purge_cancelled_head();
+    if (heap_.empty() || heap_.top().t > t) break;
+    pop_and_run_next();
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace mcs::sim

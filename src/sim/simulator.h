@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mcs::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+// Deterministic discrete-event scheduler. Single-threaded: callbacks run to
+// completion in (time, schedule-order) order, so equal-timestamp events fire
+// FIFO and whole-system runs replay exactly for a fixed seed.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId at(Time t, Callback fn);
+  // Schedule `fn` after `delay` (must be >= 0) from now().
+  EventId after(Time delay, Callback fn);
+  // Cancel a pending event; no-op if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  Time now() const { return now_; }
+
+  // Run until the queue drains or stop() is called.
+  void run();
+  // Run all events with timestamp <= t; afterwards now() == t.
+  void run_until(Time t);
+  // Run for `d` simulated time from now().
+  void run_for(Time d) { run_until(now_ + d); }
+  // Stop the current run() after the in-flight callback returns.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending() const { return callbacks_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    Time t;
+    std::uint64_t seq;
+    EventId id;
+    // Min-heap on (t, seq): std::priority_queue is a max-heap, so invert.
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run_next();
+  void purge_cancelled_head();
+
+  Time now_;
+  bool stopped_ = false;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<HeapEntry> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace mcs::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mcs::sim {
+
+// Streaming summary of scalar samples: count/mean/min/max/stddev plus exact
+// percentiles from retained samples (capped via uniform reservoir sampling
+// so memory stays bounded on long runs).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t max_samples = 65536);
+
+  void record(double value);
+  void record_time(Time t) { record(t.to_millis()); }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double stddev() const;
+  double sum() const { return sum_; }
+  // p in [0,100]; exact over retained samples.
+  double percentile(double p) const;
+
+  void clear();
+
+  // "n=100 mean=1.2 p50=1.1 p95=2.0 max=3.4"
+  std::string summary(const char* unit = "") const;
+
+ private:
+  std::size_t max_samples_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  // xorshift state for reservoir replacement; independent of model Rngs so
+  // stats never perturb simulated behaviour.
+  std::uint64_t reservoir_state_ = 0x853c49e6748fea9bull;
+};
+
+// Monotonic event/byte counter with a rate helper.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void clear() { value_ = 0; }
+  // Events (or bytes) per second over `elapsed`.
+  double rate(Time elapsed) const {
+    const double s = elapsed.to_seconds();
+    return s > 0.0 ? static_cast<double>(value_) / s : 0.0;
+  }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Named stats for one component; registries compose into system reports.
+class StatsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  std::string report(const std::string& prefix = "") const;
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace mcs::sim

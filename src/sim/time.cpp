@@ -1,0 +1,15 @@
+#include "sim/time.h"
+
+#include "sim/util.h"
+
+namespace mcs::sim {
+
+std::string Time::to_string() const {
+  const double abs_ns = ns_ < 0 ? -static_cast<double>(ns_) : static_cast<double>(ns_);
+  if (abs_ns >= 1e9) return strf("%.3fs", to_seconds());
+  if (abs_ns >= 1e6) return strf("%.3fms", to_millis());
+  if (abs_ns >= 1e3) return strf("%.3fus", to_micros());
+  return strf("%lldns", static_cast<long long>(ns_));
+}
+
+}  // namespace mcs::sim

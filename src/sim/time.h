@@ -1,0 +1,70 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace mcs::sim {
+
+// Simulation time. One type is used for both absolute time points (ns since
+// simulation start) and durations (ns-3 style); arithmetic is closed over
+// the type and comparisons are total. Nanosecond resolution is enough to
+// model byte-level serialization on multi-Gbps links without rounding to
+// zero.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time nanos(std::int64_t v) { return Time{v}; }
+  static constexpr Time micros(std::int64_t v) { return Time{v * 1'000}; }
+  static constexpr Time millis(std::int64_t v) { return Time{v * 1'000'000}; }
+  static constexpr Time seconds(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e9)};
+  }
+  static constexpr Time minutes(double v) { return seconds(v * 60.0); }
+  static constexpr Time zero() { return Time{0}; }
+  // A time later than any event a simulation will ever schedule.
+  static constexpr Time infinity() { return Time{INT64_MAX / 4}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_micros() const { return static_cast<double>(ns_) / 1e3; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, double k) {
+    return Time{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
+  }
+  friend constexpr Time operator*(double k, Time a) { return a * k; }
+  friend constexpr Time operator/(Time a, double k) { return a * (1.0 / k); }
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  constexpr Time& operator+=(Time o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+  // Human-readable rendering with an auto-selected unit, e.g. "12.5ms".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+// Time to serialize `bytes` at `bits_per_second` onto a link or radio.
+constexpr Time transmission_time(std::uint64_t bytes, double bits_per_second) {
+  return Time::seconds(static_cast<double>(bytes) * 8.0 / bits_per_second);
+}
+
+}  // namespace mcs::sim

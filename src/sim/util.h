@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcs::sim {
+
+// printf-style formatting into a std::string (gcc 12 lacks <format>).
+[[gnu::format(printf, 1, 2)]] std::string strf(const char* fmt, ...);
+std::string vstrf(const char* fmt, std::va_list ap);
+
+// "1.5 KB", "3.2 MB" style rendering.
+std::string human_bytes(std::uint64_t bytes);
+// "11.0 Mbps" style rendering.
+std::string human_rate(double bits_per_second);
+
+// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(const std::string& s, char sep);
+// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+// ASCII lowercase copy.
+std::string to_lower(const std::string& s);
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+// FNV-1a 64-bit hash; used for checksums and non-cryptographic MACs.
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t seed = 14695981039346656037ull);
+std::uint64_t fnv1a(const std::string& s,
+                    std::uint64_t seed = 14695981039346656037ull);
+
+}  // namespace mcs::sim

@@ -1,0 +1,45 @@
+#include "station/battery.h"
+
+#include <algorithm>
+
+namespace mcs::station {
+
+void Battery::integrate_idle() const {
+  const sim::Time now = sim_.now();
+  if (now > last_update_) {
+    const double j = (now - last_update_).to_seconds() * cfg_.idle_watts;
+    spent_idle_ += j;
+    remaining_ -= j;
+    last_update_ = now;
+  }
+}
+
+void Battery::drain(double joules) const { remaining_ -= joules; }
+
+void Battery::drain_tx_bytes(std::uint64_t bytes) {
+  integrate_idle();
+  const double j = static_cast<double>(bytes) * cfg_.tx_joule_per_byte;
+  spent_tx_ += j;
+  drain(j);
+}
+
+void Battery::drain_rx_bytes(std::uint64_t bytes) {
+  integrate_idle();
+  const double j = static_cast<double>(bytes) * cfg_.rx_joule_per_byte;
+  spent_rx_ += j;
+  drain(j);
+}
+
+void Battery::drain_cpu(sim::Time busy) {
+  integrate_idle();
+  const double j = busy.to_millis() * cfg_.cpu_joule_per_ms;
+  spent_cpu_ += j;
+  drain(j);
+}
+
+double Battery::remaining_joules() const {
+  integrate_idle();
+  return std::max(remaining_, 0.0);
+}
+
+}  // namespace mcs::station

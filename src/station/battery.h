@@ -1,0 +1,49 @@
+#pragma once
+
+#include "sim/simulator.h"
+#include "station/device.h"
+
+namespace mcs::station {
+
+// Energy accounting for one mobile station: explicit radio/CPU drains plus
+// idle power integrated lazily over simulation time. "Mobile stations are
+// limited by ... low battery power" (§8).
+class Battery {
+ public:
+  Battery(sim::Simulator& sim, BatteryConfig cfg)
+      : sim_{sim}, cfg_{cfg}, remaining_{cfg.capacity_joules},
+        last_update_{sim.now()} {}
+
+  void drain_tx_bytes(std::uint64_t bytes);
+  void drain_rx_bytes(std::uint64_t bytes);
+  void drain_cpu(sim::Time busy);
+
+  // Joules left after integrating idle drain up to now.
+  double remaining_joules() const;
+  double fraction_remaining() const {
+    return remaining_joules() / cfg_.capacity_joules;
+  }
+  bool depleted() const { return remaining_joules() <= 0.0; }
+
+  double spent_tx() const { return spent_tx_; }
+  double spent_rx() const { return spent_rx_; }
+  double spent_cpu() const { return spent_cpu_; }
+  double spent_idle() const { return spent_idle_; }
+
+  const BatteryConfig& config() const { return cfg_; }
+
+ private:
+  void integrate_idle() const;
+  void drain(double joules) const;
+
+  sim::Simulator& sim_;
+  BatteryConfig cfg_;
+  mutable double remaining_;
+  mutable sim::Time last_update_;
+  mutable double spent_tx_ = 0.0;
+  mutable double spent_rx_ = 0.0;
+  mutable double spent_cpu_ = 0.0;
+  mutable double spent_idle_ = 0.0;
+};
+
+}  // namespace mcs::station

@@ -1,0 +1,228 @@
+#include "station/browser.h"
+
+#include "sim/logging.h"
+#include "sim/util.h"
+
+namespace mcs::station {
+
+namespace {
+// Local WDP port for the phone-side WTP endpoint.
+constexpr std::uint16_t kPhoneWdpPort = 9200;
+}  // namespace
+
+MicroBrowser::MicroBrowser(net::Node& station, DeviceProfile device,
+                           BrowserConfig cfg, transport::UdpStack* udp,
+                           transport::TcpStack* tcp)
+    : station_{station},
+      device_{std::move(device)},
+      cfg_{cfg},
+      battery_{station.sim(), device_.battery},
+      cache_{device_.cache_budget_bytes()} {
+  if (cfg_.mode == BrowserMode::kWap) {
+    wtp_ = std::make_unique<middleware::WtpEndpoint>(*udp, kPhoneWdpPort,
+                                                     cfg_.wtp);
+  } else {
+    http_ = std::make_unique<host::HttpClient>(*tcp);
+  }
+}
+
+void MicroBrowser::browse(const std::string& url, PageCallback cb) {
+  const sim::Time started = station_.sim().now();
+  stats_.counter("page_requests").add();
+
+  // Cache hit: only render cost applies.
+  if (auto hit = cache_.get(url); hit.has_value()) {
+    stats_.counter("cache_hits").add();
+    PageResult r = *hit;
+    r.from_cache = true;
+    r.network_time = sim::Time::zero();
+    const middleware::MarkupDocument doc = middleware::parse_markup(
+        r.content, cfg_.mode == BrowserMode::kWap ? middleware::MarkupKind::kWml
+                                                  : middleware::MarkupKind::kChtml);
+    r.render_time = sim::Time::millis(static_cast<std::int64_t>(
+        device_.render_ms_per_element() *
+        static_cast<double>(doc.root.element_count())));
+    battery_.drain_cpu(r.render_time);
+    station_.sim().after(r.render_time, [this, r = std::move(r), started,
+                                         cb = std::move(cb)]() mutable {
+      r.total_time = station_.sim().now() - started;
+      cb(std::move(r));
+    });
+    return;
+  }
+
+  if (cfg_.mode == BrowserMode::kWap) {
+    if (cfg_.use_wtls) {
+      secure_invoke(url, started, std::move(cb));
+      return;
+    }
+    const std::string payload = middleware::wsp_encode_request(url);
+    battery_.drain_tx_bytes(payload.size() + 36);  // + WDP/IP framing
+    wtp_->invoke(cfg_.gateway, payload,
+                 [this, url, started, cb = std::move(cb)](
+                     std::optional<std::string> result) mutable {
+      wsp_result(url, started, std::move(result), 0, std::move(cb));
+    });
+    return;
+  }
+
+  // i-mode: GET /<host:port/path> through the gateway over persistent HTTP.
+  const std::string path = "/" + url;
+  battery_.drain_tx_bytes(path.size() + 60);
+  http_->get(cfg_.gateway, path,
+             [this, url, started, cb = std::move(cb)](
+                 std::optional<host::HttpResponse> resp) mutable {
+    if (!resp.has_value()) {
+      stats_.counter("failures").add();
+      PageResult r;
+      r.total_time = station_.sim().now() - started;
+      cb(std::move(r));
+      return;
+    }
+    const std::size_t air = resp->serialize().size();
+    battery_.drain_rx_bytes(air);
+    finish_with_content(url, resp->status, std::move(resp->body), air,
+                        started, /*was_wbxml=*/false, std::move(cb));
+  });
+}
+
+// Decode one (possibly absent) WTP result into a page.
+void MicroBrowser::wsp_result(const std::string& url, sim::Time started,
+                              std::optional<std::string> result,
+                              std::size_t air_bytes, PageCallback cb) {
+  if (!result.has_value()) {
+    stats_.counter("failures").add();
+    PageResult r;
+    r.total_time = station_.sim().now() - started;
+    cb(std::move(r));
+    return;
+  }
+  battery_.drain_rx_bytes(result->size());
+  const auto wsp = middleware::wsp_decode_response(*result);
+  if (!wsp.has_value()) {
+    stats_.counter("failures").add();
+    PageResult r;
+    r.total_time = station_.sim().now() - started;
+    cb(std::move(r));
+    return;
+  }
+  const bool wbxml = wsp->content_type == "application/vnd.wap.wmlc";
+  finish_with_content(url, wsp->status, wsp->body,
+                      air_bytes != 0 ? air_bytes : result->size(), started,
+                      wbxml, std::move(cb));
+}
+
+void MicroBrowser::secure_invoke(const std::string& url, sim::Time started,
+                                 PageCallback cb) {
+  if (!wtls_channel_.has_value()) {
+    wtls_waiters_.emplace_back(url, std::move(cb));
+    if (wtls_handshaking_) return;
+    wtls_handshaking_ = true;
+    stats_.counter("wtls_handshakes").add();
+    // The handshake object lives across the round trip.
+    auto hs = std::make_shared<security::WtlsHandshake>(
+        security::WtlsHandshake::Role::kClient, rng_.fork(),
+        cfg_.wtls_ca_key);
+    const std::string hello = "WTLS-HELLO " + hs->client_hello();
+    battery_.drain_tx_bytes(hello.size() + 36);
+    wtp_->invoke(cfg_.gateway, hello,
+                 [this, hs](std::optional<std::string> result) {
+      wtls_handshaking_ = false;
+      auto waiters = std::move(wtls_waiters_);
+      wtls_waiters_.clear();
+      const bool ok =
+          result.has_value() && sim::starts_with(*result, "WTLS-SHELLO ") &&
+          hs->on_server_hello(result->substr(12)).has_value();
+      if (!ok) {
+        stats_.counter("wtls_failures").add();
+        for (auto& [u, w] : waiters) {
+          PageResult r;
+          w(std::move(r));
+        }
+        return;
+      }
+      wtls_channel_.emplace(hs->channel());
+      // Flush everything that queued behind the handshake.
+      for (auto& [u, w] : waiters) {
+        secure_invoke(u, station_.sim().now(), std::move(w));
+      }
+    });
+    return;
+  }
+  const std::string sealed =
+      "WTLS-DATA " + wtls_channel_->seal(middleware::wsp_encode_request(url));
+  battery_.drain_tx_bytes(sealed.size() + 36);
+  wtp_->invoke(cfg_.gateway, sealed,
+               [this, url, started, cb = std::move(cb)](
+                   std::optional<std::string> result) mutable {
+    if (result.has_value() && sim::starts_with(*result, "WTLS-DATA ")) {
+      const auto opened = wtls_channel_->open(result->substr(10));
+      if (opened.has_value()) {
+        wsp_result(url, started, *opened, result->size(), std::move(cb));
+        return;
+      }
+      stats_.counter("wtls_record_errors").add();
+    } else if (result.has_value() &&
+               sim::starts_with(*result, "WTLS-ERR")) {
+      // Session lost at the gateway: drop ours so the next browse redials.
+      wtls_channel_.reset();
+      stats_.counter("wtls_failures").add();
+    }
+    wsp_result(url, started, std::nullopt, 0, std::move(cb));
+  });
+}
+
+void MicroBrowser::finish_with_content(const std::string& url, int status,
+                                       std::string content,
+                                       std::size_t air_bytes,
+                                       sim::Time started, bool was_wbxml,
+                                       PageCallback cb) {
+  PageResult r;
+  r.status = status;
+  r.ok = status == 200;
+  r.over_air_bytes = air_bytes;
+  r.network_time = station_.sim().now() - started;
+
+  // Decode WBXML decks back to WML text.
+  if (was_wbxml) {
+    const auto doc = middleware::wbxml_decode(content);
+    if (!doc.has_value()) {
+      stats_.counter("decode_errors").add();
+      r.ok = false;
+      r.total_time = station_.sim().now() - started;
+      cb(std::move(r));
+      return;
+    }
+    content = doc->serialize();
+  }
+  r.content = std::move(content);
+
+  const middleware::MarkupDocument doc = middleware::parse_markup(
+      r.content, cfg_.mode == BrowserMode::kWap ? middleware::MarkupKind::kWml
+                                                : middleware::MarkupKind::kChtml);
+  r.title = doc.title();
+  r.parse_time = sim::Time::micros(static_cast<std::int64_t>(
+      device_.parse_ms_per_kb() * 1000.0 *
+      static_cast<double>(r.content.size()) / 1024.0));
+  r.render_time = sim::Time::millis(static_cast<std::int64_t>(
+      device_.render_ms_per_element() *
+      static_cast<double>(doc.root.element_count())));
+  battery_.drain_cpu(r.parse_time + r.render_time);
+
+  if (r.ok) {
+    stats_.counter("pages_loaded").add();
+    // Heuristic of the era: responses to parameterised requests are dynamic
+    // (CGI output) and must not be reused; plain resources are cacheable.
+    if (url.find('?') == std::string::npos) {
+      cache_.put(url, r, r.content.size());
+    }
+  }
+  station_.sim().after(r.parse_time + r.render_time,
+                       [this, r = std::move(r), started,
+                        cb = std::move(cb)]() mutable {
+    r.total_time = station_.sim().now() - started;
+    cb(std::move(r));
+  });
+}
+
+}  // namespace mcs::station

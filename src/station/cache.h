@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace mcs::station {
+
+// Byte-budgeted LRU cache for browser pages; the budget comes from the
+// device's RAM (Table 2), so small handhelds evict aggressively.
+template <typename V>
+class LruCache {
+ public:
+  explicit LruCache(std::uint64_t budget_bytes) : budget_{budget_bytes} {}
+
+  // `bytes` is the accounted size of the value (payload, not struct size).
+  void put(const std::string& key, V value, std::uint64_t bytes) {
+    if (bytes > budget_) return;  // would never fit
+    erase(key);
+    order_.push_front(key);
+    entries_[key] = Entry{std::move(value), bytes, order_.begin()};
+    used_ += bytes;
+    while (used_ > budget_ && !order_.empty()) {
+      evict_one();
+    }
+  }
+
+  // Refreshes recency on hit.
+  std::optional<V> get(const std::string& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.erase(it->second.where);
+    order_.push_front(key);
+    it->second.where = order_.begin();
+    return it->second.value;
+  }
+
+  bool erase(const std::string& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return false;
+    used_ -= it->second.bytes;
+    order_.erase(it->second.where);
+    entries_.erase(it);
+    return true;
+  }
+
+  void clear() {
+    entries_.clear();
+    order_.clear();
+    used_ = 0;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t budget_bytes() const { return budget_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    V value;
+    std::uint64_t bytes;
+    typename std::list<std::string>::iterator where;
+  };
+
+  void evict_one() {
+    const std::string victim = order_.back();
+    order_.pop_back();
+    auto it = entries_.find(victim);
+    used_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+
+  std::uint64_t budget_;
+  std::uint64_t used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::list<std::string> order_;  // front = most recent
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace mcs::station

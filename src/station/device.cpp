@@ -1,0 +1,112 @@
+#include "station/device.h"
+
+#include <stdexcept>
+
+namespace mcs::station {
+
+const char* mobile_os_name(MobileOs os) {
+  switch (os) {
+    case MobileOs::kPalmOs: return "Palm OS";
+    case MobileOs::kPocketPc: return "Pocket PC";
+    case MobileOs::kSymbian: return "Symbian OS";
+  }
+  return "?";
+}
+
+namespace {
+
+BatteryConfig battery_for(MobileOs os, double cpu_mhz) {
+  BatteryConfig b;
+  // CPU power scales with clock rate: a 400 MHz PXA250 burns far more per
+  // busy millisecond than a 33 MHz Dragonball (which is why slow Palm
+  // devices lasted so long despite doing more milliseconds of work).
+  b.cpu_joule_per_ms = 1.5e-3 * (cpu_mhz / 100.0);
+  // "The plain vanilla design of the Palm OS has resulted in a long battery
+  // life, approximately twice that of its rivals" (§4.1).
+  if (os == MobileOs::kPalmOs) {
+    b.capacity_joules = 20'000.0;
+    b.idle_watts = 0.005;
+  }
+  return b;
+}
+
+}  // namespace
+
+DeviceProfile ipaq_h3870() {
+  DeviceProfile d;
+  d.name = "Compaq iPAQ H3870";
+  d.os_name = "MS Pocket PC 2002";
+  d.os = MobileOs::kPocketPc;
+  d.processor = "206 MHz Intel StrongARM 32-bit RISC";
+  d.cpu_mhz = 206.0;
+  d.ram_bytes = 64ull << 20;
+  d.rom_bytes = 32ull << 20;
+  d.battery = battery_for(d.os, d.cpu_mhz);
+  return d;
+}
+
+DeviceProfile nokia_9290() {
+  DeviceProfile d;
+  d.name = "Nokia 9290 Communicator";
+  d.os_name = "Symbian OS";
+  d.os = MobileOs::kSymbian;
+  d.processor = "32-bit ARM9 RISC";
+  d.cpu_mhz = 52.0;  // ARM9 of the era
+  d.ram_bytes = 16ull << 20;
+  d.rom_bytes = 8ull << 20;
+  d.battery = battery_for(d.os, d.cpu_mhz);
+  return d;
+}
+
+DeviceProfile palm_i705() {
+  DeviceProfile d;
+  d.name = "Palm i705";
+  d.os_name = "Palm OS 4.1";
+  d.os = MobileOs::kPalmOs;
+  d.processor = "33 MHz Motorola Dragonball VZ";
+  d.cpu_mhz = 33.0;
+  d.ram_bytes = 8ull << 20;
+  d.rom_bytes = 4ull << 20;
+  d.battery = battery_for(d.os, d.cpu_mhz);
+  return d;
+}
+
+DeviceProfile sony_clie_nr70v() {
+  DeviceProfile d;
+  d.name = "SONY Clie PEG-NR70V";
+  d.os_name = "Palm OS 4.1";
+  d.os = MobileOs::kPalmOs;
+  d.processor = "66 MHz Motorola Dragonball Super VZ";
+  d.cpu_mhz = 66.0;
+  d.ram_bytes = 16ull << 20;
+  d.rom_bytes = 8ull << 20;
+  d.battery = battery_for(d.os, d.cpu_mhz);
+  return d;
+}
+
+DeviceProfile toshiba_e740() {
+  DeviceProfile d;
+  d.name = "Toshiba E740";
+  d.os_name = "MS Pocket PC 2002";
+  d.os = MobileOs::kPocketPc;
+  d.processor = "400 MHz Intel PXA250";
+  d.cpu_mhz = 400.0;
+  d.ram_bytes = 64ull << 20;
+  d.rom_bytes = 32ull << 20;
+  d.battery = battery_for(d.os, d.cpu_mhz);
+  return d;
+}
+
+std::vector<DeviceProfile> all_devices() {
+  return {ipaq_h3870(), nokia_9290(), palm_i705(), sony_clie_nr70v(),
+          toshiba_e740()};
+}
+
+DeviceProfile device_by_name(const std::string& name) {
+  for (auto& d : all_devices()) {
+    if (d.name == name) return d;
+  }
+  throw std::out_of_range("unknown device: " + name);
+}
+
+}  // namespace mcs::station

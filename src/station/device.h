@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcs::station {
+
+// The three dominant mobile operating systems of §4.1.
+enum class MobileOs { kPalmOs, kPocketPc, kSymbian };
+
+const char* mobile_os_name(MobileOs os);
+
+// Battery model parameters; Palm OS devices get roughly double the battery
+// life of rivals, per the paper ("approximately twice that of its rivals").
+struct BatteryConfig {
+  double capacity_joules = 10'000.0;
+  double tx_joule_per_byte = 2.0e-6;
+  double rx_joule_per_byte = 1.0e-6;
+  double cpu_joule_per_ms = 1.5e-3;
+  double idle_watts = 0.01;
+};
+
+// One row of the paper's Table 2 plus derived simulation parameters.
+struct DeviceProfile {
+  std::string name;        // "Compaq iPAQ H3870"
+  std::string os_name;     // "MS Pocket PC 2002"
+  MobileOs os = MobileOs::kPocketPc;
+  std::string processor;   // "206 MHz Intel StrongARM 32-bit RISC"
+  double cpu_mhz = 100.0;
+  std::uint64_t ram_bytes = 16ull << 20;
+  std::uint64_t rom_bytes = 8ull << 20;
+  BatteryConfig battery;
+
+  // --- Derived cost model ----------------------------------------------------
+  // Markup parse cost scales inversely with clock rate; the constant is
+  // calibrated so a 200 MHz device parses ~1 KB/ms.
+  double parse_ms_per_kb() const { return 200.0 / cpu_mhz; }
+  // Layout/paint per element.
+  double render_ms_per_element() const { return 40.0 / cpu_mhz; }
+  // Browser cache gets a fixed slice of RAM.
+  std::uint64_t cache_budget_bytes() const { return ram_bytes / 16; }
+};
+
+// The five devices of Table 2, exactly as tabulated.
+DeviceProfile ipaq_h3870();
+DeviceProfile nokia_9290();
+DeviceProfile palm_i705();
+DeviceProfile sony_clie_nr70v();
+DeviceProfile toshiba_e740();
+std::vector<DeviceProfile> all_devices();
+DeviceProfile device_by_name(const std::string& name);
+
+}  // namespace mcs::station

@@ -1,0 +1,42 @@
+#include "transport/split_proxy.h"
+
+namespace mcs::transport {
+
+SplitTcpProxy::SplitTcpProxy(TcpStack& stack, std::uint16_t listen_port,
+                             net::Endpoint upstream,
+                             std::optional<TcpConfig> downstream_cfg,
+                             std::optional<TcpConfig> upstream_cfg)
+    : stack_{stack},
+      upstream_{upstream},
+      upstream_cfg_{upstream_cfg.value_or(stack.default_config())} {
+  stack_.listen(
+      listen_port,
+      [this](TcpSocket::Ptr accepted) {
+        ++stats_.connections;
+        auto relay = std::make_shared<Relay>();
+        relay->down = std::move(accepted);
+        relay->up = stack_.connect(upstream_, upstream_cfg_);
+        wire(relay);
+      },
+      downstream_cfg);
+}
+
+void SplitTcpProxy::wire(const std::shared_ptr<Relay>& relay) {
+  // TcpSocket::send buffers until established, so both directions can start
+  // relaying immediately. The relay shared_ptr keeps both halves alive until
+  // each socket fires its final callback.
+  relay->down->on_data = [this, relay](const std::string& data) {
+    stats_.bytes_up += data.size();
+    relay->up->send(data);
+  };
+  relay->up->on_data = [this, relay](const std::string& data) {
+    stats_.bytes_down += data.size();
+    relay->down->send(data);
+  };
+  relay->down->on_remote_close = [relay] { relay->up->close(); };
+  relay->up->on_remote_close = [relay] { relay->down->close(); };
+  // TcpSocket::finish_close detaches all callbacks, which releases these
+  // relay captures and lets the Relay (and both sockets) be destroyed.
+}
+
+}  // namespace mcs::transport

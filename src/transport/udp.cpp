@@ -1,0 +1,46 @@
+#include "transport/udp.h"
+
+#include "sim/logging.h"
+
+namespace mcs::transport {
+
+UdpStack::UdpStack(net::Node& node) : node_{node} {
+  node_.register_protocol_handler(
+      net::Protocol::kUdp,
+      [this](const net::PacketPtr& p, net::Interface*) { on_packet(p); });
+}
+
+void UdpStack::bind(std::uint16_t port, ReceiveCallback cb) {
+  ports_[port] = std::move(cb);
+}
+
+void UdpStack::unbind(std::uint16_t port) { ports_.erase(port); }
+
+void UdpStack::send(net::Endpoint dst, std::uint16_t src_port,
+                    std::string payload) {
+  auto p = net::make_packet();
+  p->src = node_.addr();
+  p->dst = dst.addr;
+  p->proto = net::Protocol::kUdp;
+  p->udp.src_port = src_port;
+  p->udp.dst_port = dst.port;
+  p->payload = std::move(payload);
+  node_.send(p);
+}
+
+std::uint16_t UdpStack::allocate_port() {
+  while (ports_.contains(next_ephemeral_)) ++next_ephemeral_;
+  return next_ephemeral_++;
+}
+
+void UdpStack::on_packet(const net::PacketPtr& p) {
+  auto it = ports_.find(p->udp.dst_port);
+  if (it == ports_.end()) {
+    node_.stats().counter("udp_drop_unbound").add();
+    return;
+  }
+  it->second(p->payload, net::Endpoint{p->src, p->udp.src_port},
+             p->udp.dst_port);
+}
+
+}  // namespace mcs::transport

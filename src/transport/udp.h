@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/node.h"
+
+namespace mcs::transport {
+
+// Per-node UDP endpoint table. WDP (the WAP datagram protocol) and Mobile IP
+// registration both ride on this.
+class UdpStack {
+ public:
+  // `datagram payload`, sender endpoint, destination port it arrived on.
+  using ReceiveCallback = std::function<void(
+      const std::string& payload, net::Endpoint from, std::uint16_t port)>;
+
+  explicit UdpStack(net::Node& node);
+  UdpStack(const UdpStack&) = delete;
+  UdpStack& operator=(const UdpStack&) = delete;
+
+  void bind(std::uint16_t port, ReceiveCallback cb);
+  void unbind(std::uint16_t port);
+  bool bound(std::uint16_t port) const { return ports_.contains(port); }
+
+  // Send one datagram. `src_port` may be 0 for fire-and-forget senders.
+  void send(net::Endpoint dst, std::uint16_t src_port, std::string payload);
+
+  // Allocate an unused ephemeral port.
+  std::uint16_t allocate_port();
+
+  net::Node& node() { return node_; }
+
+ private:
+  void on_packet(const net::PacketPtr& p);
+
+  net::Node& node_;
+  std::unordered_map<std::uint16_t, ReceiveCallback> ports_;
+  std::uint16_t next_ephemeral_ = 49152;
+};
+
+}  // namespace mcs::transport

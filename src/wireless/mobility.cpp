@@ -1,0 +1,40 @@
+#include "wireless/mobility.h"
+
+#include <algorithm>
+
+namespace mcs::wireless {
+
+RandomWaypointMobility::RandomWaypointMobility(sim::Simulator& sim,
+                                               Position start, Config cfg,
+                                               sim::Rng rng)
+    : sim_{sim}, cfg_{cfg}, rng_{rng}, from_{start}, to_{start} {
+  leg_start_ = sim_.now();
+  leg_end_ = sim_.now();
+  pick_next_waypoint();
+}
+
+RandomWaypointMobility::~RandomWaypointMobility() {
+  if (timer_ != sim::kInvalidEventId) sim_.cancel(timer_);
+}
+
+void RandomWaypointMobility::pick_next_waypoint() {
+  from_ = position();
+  to_ = Position{rng_.uniform(0.0, cfg_.width_m),
+                 rng_.uniform(0.0, cfg_.height_m)};
+  const double speed = rng_.uniform(cfg_.min_speed_mps, cfg_.max_speed_mps);
+  const double dist = from_.distance_to(to_);
+  leg_start_ = sim_.now();
+  leg_end_ = leg_start_ + sim::Time::seconds(dist / std::max(speed, 1e-6));
+  timer_ = sim_.at(leg_end_ + cfg_.pause, [this] { pick_next_waypoint(); });
+}
+
+Position RandomWaypointMobility::position() const {
+  const sim::Time now = sim_.now();
+  if (now >= leg_end_) return to_;
+  if (now <= leg_start_ || leg_end_ == leg_start_) return from_;
+  const double f = (now - leg_start_) / (leg_end_ - leg_start_);
+  return Position{from_.x + (to_.x - from_.x) * f,
+                  from_.y + (to_.y - from_.y) * f};
+}
+
+}  // namespace mcs::wireless

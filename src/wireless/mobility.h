@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace mcs::wireless {
+
+// Planar position in metres.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  double distance_to(const Position& o) const {
+    const double dx = x - o.x;
+    const double dy = y - o.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+// Supplies the current position of a station; the wireless medium queries it
+// for range/path-loss decisions, the handoff manager for cell selection.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual Position position() const = 0;
+};
+
+// A station that never moves (and access points).
+class FixedPosition final : public MobilityModel {
+ public:
+  explicit FixedPosition(Position p) : pos_{p} {}
+  Position position() const override { return pos_; }
+  void move_to(Position p) { pos_ = p; }
+
+ private:
+  Position pos_;
+};
+
+// Constant-velocity straight-line motion; position is a pure function of the
+// simulation clock (no events needed). Models vehicles and walking users.
+class LinearMobility final : public MobilityModel {
+ public:
+  LinearMobility(sim::Simulator& sim, Position start, double velocity_x_mps,
+                 double velocity_y_mps)
+      : sim_{sim},
+        start_{start},
+        t0_{sim.now()},
+        vx_{velocity_x_mps},
+        vy_{velocity_y_mps} {}
+
+  Position position() const override {
+    const double dt = (sim_.now() - t0_).to_seconds();
+    return Position{start_.x + vx_ * dt, start_.y + vy_ * dt};
+  }
+
+ private:
+  sim::Simulator& sim_;
+  Position start_;
+  sim::Time t0_;
+  double vx_;
+  double vy_;
+};
+
+// Random waypoint: pick a uniform destination in the bounding box, move to
+// it at a uniform random speed, pause, repeat. The standard ad hoc /
+// cellular-coverage evaluation model.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  struct Config {
+    double width_m = 1000.0;
+    double height_m = 1000.0;
+    double min_speed_mps = 0.5;
+    double max_speed_mps = 2.0;   // pedestrian by default
+    sim::Time pause = sim::Time::seconds(2.0);
+  };
+
+  RandomWaypointMobility(sim::Simulator& sim, Position start, Config cfg,
+                         sim::Rng rng);
+  ~RandomWaypointMobility();
+
+  Position position() const override;
+
+ private:
+  void pick_next_waypoint();
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  sim::Rng rng_;
+  Position from_;
+  Position to_;
+  sim::Time leg_start_;
+  sim::Time leg_end_;
+  sim::EventId timer_ = sim::kInvalidEventId;
+};
+
+}  // namespace mcs::wireless

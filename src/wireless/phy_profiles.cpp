@@ -1,0 +1,113 @@
+#include "wireless/phy_profiles.h"
+
+#include <stdexcept>
+
+namespace mcs::wireless {
+namespace {
+
+PhyProfile make(std::string name, std::string gen, double rate_bps,
+                double range_m, std::string modulation, double band_ghz,
+                Switching sw, sim::Time setup, double efficiency,
+                double base_loss) {
+  PhyProfile p;
+  p.name = std::move(name);
+  p.generation = std::move(gen);
+  p.data_rate_bps = rate_bps;
+  p.range_m = range_m;
+  p.modulation = std::move(modulation);
+  p.band_ghz = band_ghz;
+  p.switching = sw;
+  p.call_setup = setup;
+  p.mac_efficiency = efficiency;
+  p.base_loss_rate = base_loss;
+  return p;
+}
+
+}  // namespace
+
+// Table 4 rows. Ranges use the midpoint of the paper's typical range.
+PhyProfile bluetooth() {
+  return make("Bluetooth", "WPAN", 1e6, 10, "GFSK", 2.4, Switching::kPacket,
+              sim::Time::zero(), 0.70, 0.01);
+}
+PhyProfile wifi_802_11b() {
+  return make("802.11b", "WLAN", 11e6, 100, "HR-DSSS", 2.4, Switching::kPacket,
+              sim::Time::zero(), 0.65, 0.01);
+}
+PhyProfile wifi_802_11a() {
+  return make("802.11a", "WLAN", 54e6, 100, "OFDM", 5.0, Switching::kPacket,
+              sim::Time::zero(), 0.55, 0.01);
+}
+PhyProfile hiperlan2() {
+  return make("HiperLAN2", "WLAN", 54e6, 300, "OFDM", 5.0, Switching::kPacket,
+              sim::Time::zero(), 0.58, 0.01);
+}
+PhyProfile wifi_802_11g() {
+  return make("802.11g", "WLAN", 54e6, 150, "OFDM", 2.4, Switching::kPacket,
+              sim::Time::zero(), 0.55, 0.01);
+}
+
+std::vector<PhyProfile> wlan_profiles() {
+  return {bluetooth(), wifi_802_11b(), wifi_802_11a(), hiperlan2(),
+          wifi_802_11g()};
+}
+
+// Table 5 rows. Analog 1G voice channels are modelled as modem-grade data;
+// circuit setup times reflect classic call establishment.
+PhyProfile amps() {
+  return make("AMPS", "1G", 9.6e3, 20000, "FM", 0.8, Switching::kCircuit,
+              sim::Time::seconds(6.0), 0.90, 0.02);
+}
+PhyProfile tacs() {
+  return make("TACS", "1G", 8.0e3, 20000, "FM", 0.9, Switching::kCircuit,
+              sim::Time::seconds(6.0), 0.90, 0.02);
+}
+PhyProfile gsm() {
+  return make("GSM", "2G", 14.4e3, 10000, "GMSK", 0.9, Switching::kCircuit,
+              sim::Time::seconds(3.0), 0.92, 0.01);
+}
+PhyProfile tdma_is136() {
+  return make("TDMA", "2G", 9.6e3, 10000, "pi/4-DQPSK", 1.9,
+              Switching::kCircuit, sim::Time::seconds(3.0), 0.92, 0.01);
+}
+PhyProfile cdma_is95() {
+  return make("CDMA", "2G", 14.4e3, 10000, "DSSS", 1.9, Switching::kCircuit,
+              sim::Time::seconds(3.0), 0.92, 0.01);
+}
+PhyProfile gprs() {
+  // "GPRS can support data rates of only about 100 kbps" (paper §6.2).
+  return make("GPRS", "2.5G", 100e3, 10000, "GMSK", 0.9, Switching::kPacket,
+              sim::Time::zero(), 0.85, 0.01);
+}
+PhyProfile edge() {
+  // "its upgraded version ... capable of supporting 384 kbps" (paper §6.2).
+  return make("EDGE", "2.5G", 384e3, 10000, "8PSK", 0.9, Switching::kPacket,
+              sim::Time::zero(), 0.85, 0.01);
+}
+PhyProfile wcdma() {
+  // W-CDMA "can support speeds of 384Kbps or faster" (paper §5.1); 2 Mbps
+  // is the indoor/stationary peak of the UMTS specification.
+  return make("WCDMA", "3G", 2e6, 5000, "DSSS", 2.1, Switching::kPacket,
+              sim::Time::zero(), 0.80, 0.01);
+}
+PhyProfile cdma2000() {
+  return make("CDMA2000", "3G", 2.4e6, 5000, "DSSS", 1.9, Switching::kPacket,
+              sim::Time::zero(), 0.80, 0.01);
+}
+
+std::vector<PhyProfile> cellular_profiles() {
+  return {amps(),  tacs(), gsm(),   tdma_is136(), cdma_is95(),
+          gprs(),  edge(), wcdma(), cdma2000()};
+}
+
+PhyProfile profile_by_name(const std::string& name) {
+  for (const auto& p : wlan_profiles()) {
+    if (p.name == name) return p;
+  }
+  for (const auto& p : cellular_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("unknown PHY profile: " + name);
+}
+
+}  // namespace mcs::wireless

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mcs::wireless {
+
+// Circuit-switched standards dedicate a channel per call (setup latency,
+// fixed rate); packet-switched standards share the medium and are always-on
+// (Table 5's switching-technique column).
+enum class Switching { kCircuit, kPacket };
+
+// One radio standard from the paper's Table 4 (WLAN) or Table 5 (cellular).
+// Rates/ranges are the paper's nominal figures; MAC efficiency and loss are
+// the simulation's layer-2 model on top of them.
+struct PhyProfile {
+  std::string name;
+  std::string generation;  // "WLAN"/"WPAN" or "1G".."3G"
+  double data_rate_bps = 1e6;       // nominal maximum (paper's "Max. Data Rate")
+  double range_m = 100.0;           // typical transmission range
+  std::string modulation;           // GFSK, HR-DSSS, OFDM, FM, GMSK, DSSS...
+  double band_ghz = 2.4;            // operational frequency band
+  Switching switching = Switching::kPacket;
+  sim::Time call_setup = sim::Time::zero();  // circuit-switched setup time
+  double mac_efficiency = 0.7;      // goodput fraction of nominal rate
+  double base_loss_rate = 0.0;      // residual frame loss at short range
+
+  // Effective saturation throughput in bps after MAC overheads.
+  double effective_rate_bps() const { return data_rate_bps * mac_efficiency; }
+};
+
+// --- Table 4: major WLAN standards -----------------------------------------
+PhyProfile bluetooth();
+PhyProfile wifi_802_11b();
+PhyProfile wifi_802_11a();
+PhyProfile hiperlan2();
+PhyProfile wifi_802_11g();
+// All five Table 4 rows, in the paper's order.
+std::vector<PhyProfile> wlan_profiles();
+
+// --- Table 5: major cellular wireless networks ------------------------------
+PhyProfile amps();       // 1G, circuit
+PhyProfile tacs();       // 1G, circuit
+PhyProfile gsm();        // 2G, circuit
+PhyProfile tdma_is136(); // 2G
+PhyProfile cdma_is95();  // 2G
+PhyProfile gprs();       // 2.5G, packet (~100 kbps per the paper)
+PhyProfile edge();       // 2.5G, packet (384 kbps per the paper)
+PhyProfile wcdma();      // 3G, packet
+PhyProfile cdma2000();   // 3G, packet
+// All nine Table 5 rows, generation order.
+std::vector<PhyProfile> cellular_profiles();
+
+// Lookup by name ("802.11b", "GPRS", ...); throws std::out_of_range if absent.
+PhyProfile profile_by_name(const std::string& name);
+
+}  // namespace mcs::wireless

@@ -1,0 +1,177 @@
+// System-scale integration tests: a roaming browsing session across cells
+// with Mobile IP keeping TCP-based i-mode alive, and a long mixed-workload
+// stress run over the full six-component system.
+
+#include <gtest/gtest.h>
+
+#include "core/apps.h"
+#include "mobileip/mobile_ip.h"
+#include "sim/util.h"
+#include "wireless/handoff.h"
+
+namespace mcs::core {
+namespace {
+
+// --- Roaming browse: WAP transactions survive an inter-cell handoff ------------
+//
+// Built from raw components: two cells on different routers, Mobile IP
+// between them, and a WAP microbrowser on the moving station. WTP runs on
+// UDP, so each page transaction either lands before/after the handoff or is
+// retried by WTP; Mobile IP restores reachability after the move.
+TEST(RoamingIntegrationTest, BrowsingSessionSurvivesHandoffViaMobileIp) {
+  sim::Simulator sim;
+  net::Network network{sim, 1001};
+  auto* core_rt = network.add_node("core");
+  auto* home_bs = network.add_node("home-bs");   // HA + WAP gateway
+  auto* away_bs = network.add_node("away-bs");   // FA
+  auto* web = network.add_node("web");
+  network.connect(core_rt, home_bs);
+  network.connect(core_rt, away_bs);
+  network.connect(core_rt, web);
+
+  wireless::WirelessConfig radio;
+  radio.phy = wireless::wifi_802_11b();
+  radio.phy.base_loss_rate = 0.0;
+  radio.p_good_to_bad = 0.0;
+  wireless::WirelessMedium home_cell{sim, "home", {0, 0}, radio, sim::Rng{1}};
+  wireless::WirelessMedium away_cell{sim, "away", {150, 0}, radio,
+                                     sim::Rng{2}};
+  home_cell.set_ap_interface(
+      home_bs->add_interface(network.allocate_address()));
+  away_cell.set_ap_interface(
+      away_bs->add_interface(network.allocate_address()));
+  network.register_channel(&home_cell);
+  network.register_channel(&away_cell);
+
+  auto* phone = network.add_node("phone");
+  auto* pif = phone->add_interface(network.allocate_address());
+  wireless::LinearMobility walk{sim, {10, 0}, 2.5, 0.0};  // toward away cell
+  home_cell.associate(pif, &walk);
+  network.compute_routes();
+
+  // Host side: web server + WAP gateway at the home base station.
+  transport::TcpStack web_tcp{*web};
+  host::HttpServer web_server{web_tcp, 80};
+  web_server.add_content(
+      "/news", "text/html",
+      "<html><head><title>News</title></head><body><p>HEADLINE of the day"
+      "</p></body></html>");
+  transport::UdpStack home_udp{*home_bs};
+  transport::TcpStack home_tcp{*home_bs};
+  middleware::WapGateway gateway{*home_bs, home_udp, home_tcp,
+                                 middleware::dotted_quad_resolver()};
+
+  // Mobile IP agents.
+  transport::UdpStack away_udp{*away_bs};
+  transport::UdpStack phone_udp{*phone};
+  mobileip::HomeAgent ha{*home_bs, home_udp};
+  ha.serve_mobile(phone->addr());
+  mobileip::ForeignAgent fa{*away_bs, away_udp, away_cell.ap_interface()};
+  mobileip::MobileClientConfig mip_cfg;
+  mip_cfg.home_agent = home_bs->addr();
+  mobileip::MobileIpClient mip{*phone, phone_udp, mip_cfg};
+  mip.attach(home_bs->addr(), home_cell.ap_interface()->addr());
+
+  // Layer-2 handoff wiring.
+  wireless::HandoffManager hom{sim, pif, &walk, {&home_cell, &away_cell}};
+  hom.on_handoff = [&](wireless::WirelessMedium* /*from*/,
+                       wireless::WirelessMedium* to) {
+    if (to == &away_cell) {
+      mip.attach(away_bs->addr(), away_cell.ap_interface()->addr());
+    } else if (to == &home_cell) {
+      mip.attach(home_bs->addr(), home_cell.ap_interface()->addr());
+    }
+  };
+  hom.start();
+
+  // The browser (WAP): one page load every 4 s while walking.
+  station::BrowserConfig bcfg;
+  bcfg.mode = station::BrowserMode::kWap;
+  bcfg.gateway = {home_bs->addr(), middleware::kWapGatewayPort};
+  station::MicroBrowser browser{*phone, station::nokia_9290(), bcfg,
+                                &phone_udp, nullptr};
+  const std::string url = web->addr().to_string() + ":80/news";
+
+  int ok = 0;
+  int attempts = 0;
+  std::function<void()> browse_loop = [&] {
+    if (sim.now() >= sim::Time::seconds(60.0)) return;
+    ++attempts;
+    // Bypass the cache so every attempt crosses the network.
+    browser.cache().clear();
+    browser.browse(url, [&](station::MicroBrowser::PageResult r) {
+      if (r.ok &&
+          r.content.find("HEADLINE") != std::string::npos) {
+        ++ok;
+      }
+    });
+    sim.after(sim::Time::seconds(4.0), browse_loop);
+  };
+  browse_loop();
+
+  sim.run_until(sim::Time::seconds(70.0));
+  // Walked ~175 m: firmly in the away cell; exactly one handoff.
+  EXPECT_EQ(hom.handoff_count(), 1u);
+  EXPECT_EQ(hom.current(), &away_cell);
+  EXPECT_TRUE(mip.registered());
+  EXPECT_EQ(attempts, 15);
+  // Every page attempt eventually succeeded (WTP retries + Mobile IP).
+  EXPECT_EQ(ok, attempts);
+  EXPECT_GT(ha.stats().counter("tunneled_packets").value(), 0u);
+}
+
+// --- Long mixed-workload stress over the full MC system ------------------------
+
+TEST(StressIntegrationTest, MixedWorkloadDayRunsClean) {
+  sim::Simulator sim;
+  McSystemConfig cfg;
+  cfg.num_mobiles = 6;
+  McSystem sys{sim, cfg};
+  seed_demo_accounts(sys.bank(), 8, 1e9);
+  auto apps = make_all_applications();
+  AppEnvironment env;
+  env.sim = &sim;
+  env.web = &sys.web_server();
+  env.programs = &sys.app_server();
+  env.db = &sys.database();
+  env.personalization = &sys.personalization();
+  env.payments = &sys.payments();
+  install_all(apps, env);
+
+  sim::Rng rng{555};
+  int completed = 0;
+  int ok = 0;
+  std::uint64_t seq = 0;
+  // Each mobile issues transactions against random applications with
+  // random think time, for one simulated hour.
+  std::function<void(std::size_t)> drive = [&](std::size_t mobile) {
+    if (sim.now() >= sim::Time::minutes(60.0)) return;
+    Application& app =
+        *apps[static_cast<std::size_t>(rng.uniform_int(0, 7))];
+    app.run_transaction(
+        *sys.mobile(mobile).driver, sys.web_url(""), ++seq,
+        [&, mobile](Application::TxnResult r) {
+          ++completed;
+          if (r.ok) ++ok;
+          sim.after(sim::Time::seconds(rng.uniform(0.5, 5.0)),
+                    [&, mobile] { drive(mobile); });
+        });
+  };
+  for (std::size_t m = 0; m < sys.mobile_count(); ++m) drive(m);
+  sim.run_until(sim::Time::minutes(62.0));
+  sim.run();
+
+  EXPECT_GT(completed, 2000);
+  // Most transactions succeed; the rest are legitimate application-level
+  // denials (finite stock, seats and ERP resources deplete over an hour).
+  EXPECT_GT(ok, completed * 8 / 10);
+  // System invariants after an hour of traffic:
+  EXPECT_EQ(sys.bank().reservations_active(), 0u);
+  // No connection leaks at the web tier (pooled connections stay bounded
+  // by client count, not by transaction count).
+  EXPECT_LE(sys.web_server().stats().counter("connections").value(),
+            20u);
+}
+
+}  // namespace
+}  // namespace mcs::core

@@ -1,0 +1,148 @@
+#include "security/wtls.h"
+
+#include <gtest/gtest.h>
+
+namespace mcs::security {
+namespace {
+
+TEST(ModPowTest, KnownValues) {
+  EXPECT_EQ(mod_pow(2, 10, 1'000'000), 1024u);
+  EXPECT_EQ(mod_pow(3, 0, 7), 1u);
+  EXPECT_EQ(mod_pow(5, 3, 13), 125 % 13);
+  // Fermat: g^(p-1) == 1 mod p for prime p.
+  EXPECT_EQ(mod_pow(kDhGenerator, kDhPrime - 1, kDhPrime), 1u);
+}
+
+TEST(DhTest, SharedSecretsAgree) {
+  sim::Rng rng{7};
+  const DhKeyPair a = dh_generate(rng);
+  const DhKeyPair b = dh_generate(rng);
+  EXPECT_NE(a.public_key, b.public_key);
+  EXPECT_EQ(dh_shared_secret(a.private_key, b.public_key),
+            dh_shared_secret(b.private_key, a.public_key));
+}
+
+TEST(CertificateTest, IssueVerifyAndTamper) {
+  const std::uint64_t ca = 0xCA11AB1Eull;
+  Certificate cert = issue_certificate("merchant.example", 12345, ca);
+  EXPECT_TRUE(verify_certificate(cert, ca));
+  EXPECT_FALSE(verify_certificate(cert, ca + 1));  // wrong CA
+  Certificate forged = cert;
+  forged.public_key = 99999;
+  EXPECT_FALSE(verify_certificate(forged, ca));
+  // Encode round trip.
+  auto back = Certificate::decode(cert.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(verify_certificate(*back, ca));
+  EXPECT_FALSE(Certificate::decode("junk").has_value());
+}
+
+TEST(SecureChannelTest, SealOpenRoundTrip) {
+  SecureChannel alice{0x5EC12E7ull, 0};
+  SecureChannel bob{0x5EC12E7ull, 1};
+  const std::string msg = "PAY acct3 49.99 order-17";
+  const std::string sealed = alice.seal(msg);
+  EXPECT_NE(sealed.find(msg), 0u);  // not plaintext-prefixed
+  EXPECT_EQ(sealed.size(), msg.size() + SecureChannel::kOverheadBytes);
+  const auto opened = bob.open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(SecureChannelTest, CiphertextDiffersFromPlaintext) {
+  SecureChannel a{42, 0};
+  const std::string msg(64, 'A');
+  const std::string sealed = a.seal(msg);
+  EXPECT_EQ(sealed.substr(4, msg.size()).find(msg), std::string::npos);
+}
+
+TEST(SecureChannelTest, TamperingIsDetected) {
+  SecureChannel alice{999, 0};
+  SecureChannel bob{999, 1};
+  std::string sealed = alice.seal("amount=10.00");
+  sealed[8] = static_cast<char>(sealed[8] ^ 0x01);  // flip one payload bit
+  EXPECT_FALSE(bob.open(sealed).has_value());
+  EXPECT_EQ(bob.macs_rejected(), 1u);
+}
+
+TEST(SecureChannelTest, TruncationIsDetected) {
+  SecureChannel alice{999, 0};
+  SecureChannel bob{999, 1};
+  std::string sealed = alice.seal("hello");
+  sealed.pop_back();
+  EXPECT_FALSE(bob.open(sealed).has_value());
+  EXPECT_FALSE(bob.open("tiny").has_value());
+}
+
+TEST(SecureChannelTest, ReplayIsRejected) {
+  SecureChannel alice{1234, 0};
+  SecureChannel bob{1234, 1};
+  const std::string s1 = alice.seal("first");
+  const std::string s2 = alice.seal("second");
+  EXPECT_TRUE(bob.open(s1).has_value());
+  EXPECT_TRUE(bob.open(s2).has_value());
+  EXPECT_FALSE(bob.open(s1).has_value());  // replayed
+  EXPECT_EQ(bob.replays_rejected(), 1u);
+}
+
+TEST(SecureChannelTest, WrongKeyFailsToOpen) {
+  SecureChannel alice{1111, 0};
+  SecureChannel eve{2222, 1};
+  EXPECT_FALSE(eve.open(alice.seal("secret")).has_value());
+}
+
+TEST(SecureChannelTest, DirectionsUseDistinctKeystreams) {
+  SecureChannel a{777, 0};
+  SecureChannel b{777, 1};
+  const std::string msg = "same plaintext";
+  EXPECT_NE(a.seal(msg), b.seal(msg));
+}
+
+TEST(WtlsHandshakeTest, FullHandshakeEstablishesMatchingChannels) {
+  const std::uint64_t ca = 0xAA55AA55ull;
+  sim::Rng rng{3};
+  // Server identity: static DH key + CA-signed certificate.
+  DhKeyPair server_key = dh_generate(rng);
+  Certificate cert = issue_certificate("shop", server_key.public_key, ca);
+
+  WtlsHandshake client{WtlsHandshake::Role::kClient, rng.fork(), ca};
+  WtlsHandshake server{WtlsHandshake::Role::kServer, rng.fork(), ca, cert,
+                       server_key.private_key};
+
+  const std::string hello = client.client_hello();
+  const auto shello = server.on_client_hello(hello);
+  ASSERT_TRUE(shello.has_value());
+  const auto keyx = client.on_server_hello(*shello);
+  ASSERT_TRUE(keyx.has_value());
+  EXPECT_TRUE(server.on_client_key_exchange(*keyx));
+
+  ASSERT_TRUE(client.established());
+  ASSERT_TRUE(server.established());
+  // Client -> server.
+  auto opened = server.rx().open(client.tx().seal("GET /cart"));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, "GET /cart");
+  // Server -> client.
+  opened = client.rx().open(server.tx().seal("200 OK"));
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, "200 OK");
+}
+
+TEST(WtlsHandshakeTest, ForgedCertificateIsRejected) {
+  const std::uint64_t ca = 0xAA55AA55ull;
+  sim::Rng rng{5};
+  DhKeyPair bogus_key = dh_generate(rng);
+  // Signed by the WRONG ca key (an attacker's).
+  Certificate forged = issue_certificate("shop", bogus_key.public_key, 0xBAD);
+
+  WtlsHandshake client{WtlsHandshake::Role::kClient, rng.fork(), ca};
+  WtlsHandshake server{WtlsHandshake::Role::kServer, rng.fork(), 0xBAD,
+                       forged, bogus_key.private_key};
+  const auto shello = server.on_client_hello(client.client_hello());
+  ASSERT_TRUE(shello.has_value());
+  EXPECT_FALSE(client.on_server_hello(*shello).has_value());
+  EXPECT_FALSE(client.established());
+}
+
+}  // namespace
+}  // namespace mcs::security

@@ -1,0 +1,173 @@
+#include "host/db/db_server.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/util.h"
+
+namespace mcs::host::db {
+namespace {
+
+TEST(DbProtocolTest, EscapingRoundTrips) {
+  const std::string nasty = "a b|c%d\ne";
+  EXPECT_EQ(unesc(esc(nasty)), nasty);
+  EXPECT_EQ(esc("plain"), "plain");
+  const std::vector<std::string> fields{"x y", "1|2", "z"};
+  EXPECT_EQ(split_fields(join_fields(fields)), fields);
+}
+
+struct DbNetFixture : public ::testing::Test {
+  explicit DbNetFixture() : network{sim, 31}, db{"shop"} {
+    db.create_table("products", {{"id", ValueType::kInt},
+                                 {"name", ValueType::kText},
+                                 {"price", ValueType::kReal}});
+    app_node = network.add_node("app");
+    db_node = network.add_node("dbhost");
+    network.connect(app_node, db_node);
+    network.compute_routes();
+    app_tcp = std::make_unique<transport::TcpStack>(*app_node);
+    db_tcp = std::make_unique<transport::TcpStack>(*db_node);
+  }
+
+  void start(DbServerConfig cfg = {}) {
+    server = std::make_unique<DbServer>(*db_tcp, 5432, db, cfg);
+    client = std::make_unique<DbClient>(*app_tcp, net::Endpoint{db_node->addr(), 5432});
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  Database db;
+  net::Node* app_node;
+  net::Node* db_node;
+  std::unique_ptr<transport::TcpStack> app_tcp;
+  std::unique_ptr<transport::TcpStack> db_tcp;
+  std::unique_ptr<DbServer> server;
+  std::unique_ptr<DbClient> client;
+};
+
+TEST_F(DbNetFixture, AutocommitInsertAndGet) {
+  start();
+  bool inserted = false;
+  client->insert(0, "products", {"1", "Smart Phone", "299.99"},
+                 [&](DbClient::Result r) { inserted = r.ok; });
+  DbClient::Result got;
+  client->get("products", "1", [&](DbClient::Result r) { got = std::move(r); });
+  sim.run();
+  EXPECT_TRUE(inserted);
+  ASSERT_TRUE(got.ok);
+  ASSERT_EQ(got.rows.size(), 1u);
+  EXPECT_EQ(got.rows[0][1], "Smart Phone");  // space survived escaping
+}
+
+TEST_F(DbNetFixture, GetMissingReturnsZeroRows) {
+  start();
+  DbClient::Result got;
+  got.ok = false;
+  client->get("products", "99", [&](DbClient::Result r) { got = std::move(r); });
+  sim.run();
+  EXPECT_TRUE(got.ok);
+  EXPECT_TRUE(got.rows.empty());
+}
+
+TEST_F(DbNetFixture, TransactionCommitOverNetwork) {
+  start();
+  std::uint64_t txn = 0;
+  bool committed = false;
+  client->begin([&](DbClient::Result r) {
+    ASSERT_TRUE(r.ok);
+    txn = r.txn;
+    client->insert(txn, "products", {"1", "A", "1.0"},
+                   [&](DbClient::Result r2) { ASSERT_TRUE(r2.ok); });
+    client->insert(txn, "products", {"2", "B", "2.0"},
+                   [&](DbClient::Result r2) { ASSERT_TRUE(r2.ok); });
+    client->commit(txn, [&](DbClient::Result r2) { committed = r2.ok; });
+  });
+  sim.run();
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(db.table("products")->size(), 2u);
+  EXPECT_EQ(db.committed_txns(), 1u);
+}
+
+TEST_F(DbNetFixture, TransactionAbortRollsBack) {
+  start();
+  client->begin([&](DbClient::Result r) {
+    const std::uint64_t txn = r.txn;
+    client->insert(txn, "products", {"1", "A", "1.0"},
+                   [](DbClient::Result) {});
+    client->abort_txn(txn, [](DbClient::Result) {});
+  });
+  sim.run();
+  EXPECT_EQ(db.table("products")->size(), 0u);
+}
+
+TEST_F(DbNetFixture, UpdateDeleteFindByScan) {
+  start();
+  for (int i = 1; i <= 6; ++i) {
+    client->insert(0, "products",
+                   {sim::strf("%d", i), i % 2 ? "odd" : "even",
+                    sim::strf("%d.5", i)},
+                   [](DbClient::Result) {});
+  }
+  DbClient::Result odd, all;
+  client->update(0, "products", "2", 2, "42.0", [](DbClient::Result) {});
+  client->erase(0, "products", "6", [](DbClient::Result) {});
+  client->find_by("products", 1, "odd",
+                  [&](DbClient::Result r) { odd = std::move(r); });
+  client->scan("products", [&](DbClient::Result r) { all = std::move(r); });
+  sim.run();
+  ASSERT_TRUE(odd.ok);
+  EXPECT_EQ(odd.rows.size(), 3u);
+  ASSERT_TRUE(all.ok);
+  EXPECT_EQ(all.rows.size(), 5u);
+  const Row* updated = db.table("products")->find(Value{std::int64_t{2}});
+  ASSERT_NE(updated, nullptr);
+  EXPECT_DOUBLE_EQ(std::get<double>((*updated)[2]), 42.0);
+}
+
+TEST_F(DbNetFixture, ErrorsAreReported) {
+  start();
+  DbClient::Result bad_table, dup;
+  client->insert(0, "nope", {"1"},
+                 [&](DbClient::Result r) { bad_table = std::move(r); });
+  client->insert(0, "products", {"1", "A", "1.0"}, [](DbClient::Result) {});
+  client->insert(0, "products", {"1", "B", "2.0"},
+                 [&](DbClient::Result r) { dup = std::move(r); });
+  sim.run();
+  EXPECT_FALSE(bad_table.ok);
+  EXPECT_FALSE(dup.ok);
+  EXPECT_NE(dup.error.find("ERR"), std::string::npos);
+}
+
+TEST_F(DbNetFixture, PerCommitFsyncSlowerThanNone) {
+  auto measure = [&](SyncPolicy policy) {
+    DbServerConfig cfg;
+    cfg.sync_policy = policy;
+    cfg.fsync_delay = sim::Time::millis(5);
+    start(cfg);
+    const sim::Time start_t = sim.now();
+    int done = 0;
+    for (int i = 0; i < 20; ++i) {
+      client->insert(0, "products", {sim::strf("%d", 100 + i), "x", "1.0"},
+                     [&](DbClient::Result r) {
+                       EXPECT_TRUE(r.ok);
+                       ++done;
+                     });
+    }
+    sim.run();
+    EXPECT_EQ(done, 20);
+    // Fresh tables for the next policy run.
+    for (int i = 0; i < 20; ++i) {
+      db.erase("products", Value{std::int64_t{100 + i}});
+    }
+    return sim.now() - start_t;
+  };
+  const sim::Time with_fsync = measure(SyncPolicy::kPerCommit);
+  const sim::Time without = measure(SyncPolicy::kNone);
+  const sim::Time grouped = measure(SyncPolicy::kGroup);
+  EXPECT_GT(with_fsync, without * 2.0);
+  EXPECT_LT(grouped, with_fsync);
+  EXPECT_GT(server->stats().counter("group_commit_batches").value(), 0u);
+}
+
+}  // namespace
+}  // namespace mcs::host::db

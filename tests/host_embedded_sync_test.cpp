@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "host/sync.h"
+#include "net/network.h"
+
+namespace mcs::host {
+namespace {
+
+TEST(EmbeddedDbTest, PutGetEraseContains) {
+  sim::Simulator sim;
+  EmbeddedDb db{sim};
+  EXPECT_TRUE(db.put("cart:1", "phone"));
+  EXPECT_EQ(db.get("cart:1"), "phone");
+  EXPECT_TRUE(db.contains("cart:1"));
+  EXPECT_TRUE(db.put("cart:1", "laptop"));  // overwrite
+  EXPECT_EQ(db.get("cart:1"), "laptop");
+  EXPECT_TRUE(db.erase("cart:1"));
+  EXPECT_FALSE(db.contains("cart:1"));
+  EXPECT_EQ(db.get("cart:1"), std::nullopt);
+  EXPECT_FALSE(db.erase("cart:1"));
+}
+
+TEST(EmbeddedDbTest, FootprintBudgetIsEnforced) {
+  sim::Simulator sim;
+  EmbeddedDb db{sim, 256};  // tiny handheld
+  EXPECT_TRUE(db.put("a", std::string(100, 'x')));
+  EXPECT_FALSE(db.put("b", std::string(200, 'y')));  // would exceed 256
+  EXPECT_TRUE(db.put("a", std::string(10, 'z')));    // shrink is fine
+  EXPECT_LE(db.bytes_used(), db.max_bytes());
+}
+
+TEST(EmbeddedDbTest, VersionsIncreaseAndChangesSince) {
+  sim::Simulator sim;
+  EmbeddedDb db{sim};
+  db.put("k1", "v1");
+  const std::uint64_t v1 = db.current_version();
+  db.put("k2", "v2");
+  db.erase("k1");
+  const auto all = db.changes_since(0);
+  EXPECT_EQ(all.size(), 2u);  // k1 tombstone + k2
+  const auto recent = db.changes_since(v1);
+  EXPECT_EQ(recent.size(), 2u);
+  bool saw_tombstone = false;
+  for (const auto& c : recent) {
+    if (c.key == "k1") saw_tombstone = c.tombstone;
+  }
+  EXPECT_TRUE(saw_tombstone);
+}
+
+TEST(EmbeddedDbTest, ApplyRemoteLastWriterWins) {
+  sim::Simulator sim;
+  EmbeddedDb db{sim};
+  sim.run_until(sim::Time::seconds(10.0));
+  db.put("k", "newer-local");
+
+  ChangeRecord stale;
+  stale.key = "k";
+  stale.value = "older-remote";
+  stale.modified_at = sim::Time::seconds(5.0);
+  EXPECT_FALSE(db.apply_remote(stale));  // local wins
+  EXPECT_EQ(db.get("k"), "newer-local");
+  EXPECT_EQ(db.conflicts_resolved(), 1u);
+
+  ChangeRecord fresh;
+  fresh.key = "k";
+  fresh.value = "newer-remote";
+  fresh.modified_at = sim::Time::seconds(20.0);
+  EXPECT_TRUE(db.apply_remote(fresh));
+  EXPECT_EQ(db.get("k"), "newer-remote");
+}
+
+TEST(EmbeddedDbTest, TombstonePurge) {
+  sim::Simulator sim;
+  EmbeddedDb db{sim};
+  db.put("k", "v");
+  db.erase("k");
+  sim.run_until(sim::Time::seconds(100.0));
+  db.purge_tombstones(sim::Time::seconds(50.0));
+  EXPECT_TRUE(db.changes_since(0).empty());
+}
+
+TEST(ChangeRecordTest, EncodingRoundTripsNastyStrings) {
+  ChangeRecord c;
+  c.key = "key with spaces";
+  c.value = "line1\nline2 100%";
+  c.version = 7;
+  c.modified_at = sim::Time::millis(1234);
+  c.tombstone = true;
+  auto back = ChangeRecord::decode(c.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->key, c.key);
+  EXPECT_EQ(back->value, c.value);
+  EXPECT_EQ(back->version, c.version);
+  EXPECT_EQ(back->modified_at, c.modified_at);
+  EXPECT_TRUE(back->tombstone);
+  EXPECT_FALSE(ChangeRecord::decode("CHG broken").has_value());
+}
+
+struct SyncFixture : public ::testing::Test {
+  SyncFixture() : network{sim, 37}, device_db{sim}, server_db{sim, 1 << 20} {
+    device_node = network.add_node("device");
+    server_node = network.add_node("server");
+    net::LinkConfig slow;  // low-bandwidth wireless-ish link
+    slow.bandwidth_bps = 100e3;
+    slow.propagation = sim::Time::millis(50);
+    network.connect(device_node, server_node, slow);
+    network.compute_routes();
+    device_tcp = std::make_unique<transport::TcpStack>(*device_node);
+    server_tcp = std::make_unique<transport::TcpStack>(*server_node);
+    sync_server = std::make_unique<SyncServer>(*server_tcp, 9999, server_db);
+    sync_client = std::make_unique<SyncClient>(
+        *device_tcp, device_db, net::Endpoint{server_node->addr(), 9999});
+  }
+
+  SyncClient::Outcome run_sync(std::uint64_t since) {
+    SyncClient::Outcome out;
+    sync_client->sync(since, [&](SyncClient::Outcome o) { out = o; });
+    sim.run();
+    return out;
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  net::Node* device_node;
+  net::Node* server_node;
+  EmbeddedDb device_db;
+  EmbeddedDb server_db;
+  std::unique_ptr<transport::TcpStack> device_tcp;
+  std::unique_ptr<transport::TcpStack> server_tcp;
+  std::unique_ptr<SyncServer> sync_server;
+  std::unique_ptr<SyncClient> sync_client;
+};
+
+TEST_F(SyncFixture, PushesLocalChangesToServer) {
+  device_db.put("order:1", "2x widget");
+  device_db.put("order:2", "1x gadget");
+  const auto out = run_sync(0);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.changes_pushed, 2u);
+  EXPECT_EQ(server_db.get("order:1"), "2x widget");
+  EXPECT_EQ(server_db.get("order:2"), "1x gadget");
+  EXPECT_GT(out.bytes_sent, 0u);
+  EXPECT_GT(out.duration, sim::Time::millis(100));  // 2x 50ms propagation
+}
+
+TEST_F(SyncFixture, PullsServerChangesToDevice) {
+  server_db.put("price:phone", "299");
+  server_db.put("price:laptop", "999");
+  const auto out = run_sync(0);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.changes_pulled, 2u);
+  EXPECT_EQ(device_db.get("price:phone"), "299");
+  EXPECT_EQ(device_db.get("price:laptop"), "999");
+}
+
+TEST_F(SyncFixture, IncrementalSyncSendsOnlyDeltas) {
+  device_db.put("a", "1");
+  server_db.put("x", "10");
+  const auto first = run_sync(0);
+  EXPECT_EQ(first.changes_pushed, 1u);
+  // changes_pulled includes x (and nothing else).
+  EXPECT_GE(first.changes_pulled, 1u);
+
+  device_db.put("b", "2");
+  const auto second = run_sync(sync_client->server_version_high_water());
+  EXPECT_TRUE(second.ok);
+  EXPECT_EQ(second.changes_pushed, 1u);  // only "b"
+  EXPECT_EQ(server_db.get("b"), "2");
+}
+
+TEST_F(SyncFixture, DeletionPropagatesAsTombstone) {
+  device_db.put("temp", "x");
+  run_sync(0);
+  ASSERT_EQ(server_db.get("temp"), "x");
+  device_db.erase("temp");
+  const auto out = run_sync(sync_client->server_version_high_water());
+  EXPECT_TRUE(out.ok);
+  EXPECT_FALSE(server_db.contains("temp"));
+}
+
+TEST_F(SyncFixture, ConflictResolvedByLastWriter) {
+  device_db.put("k", "device-old");
+  sim.run_until(sim::Time::seconds(5.0));
+  server_db.put("k", "server-new");
+  const auto out = run_sync(0);
+  EXPECT_TRUE(out.ok);
+  // Server wrote later: both replicas converge on the server value.
+  EXPECT_EQ(server_db.get("k"), "server-new");
+  EXPECT_EQ(device_db.get("k"), "server-new");
+}
+
+}  // namespace
+}  // namespace mcs::host

@@ -1,0 +1,282 @@
+#include "middleware/markup.h"
+
+#include <gtest/gtest.h>
+
+#include "middleware/adaptation.h"
+#include "middleware/wbxml.h"
+
+namespace mcs::middleware {
+namespace {
+
+TEST(MarkupParserTest, SimpleDocument) {
+  const auto doc = parse_markup(
+      "<html><head><title>Shop</title></head>"
+      "<body><h1>Hi</h1><p>Welcome</p></body></html>",
+      MarkupKind::kHtml);
+  EXPECT_EQ(doc.title(), "Shop");
+  const MarkupNode* p = doc.find("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->inner_text(), "Welcome");
+  EXPECT_NE(doc.find("h1"), nullptr);
+  EXPECT_EQ(doc.find("table"), nullptr);
+}
+
+TEST(MarkupParserTest, AttributesQuotedAndBare) {
+  const auto doc = parse_markup(
+      R"(<a href="/buy?item=1" class='hot' data-x=7>Buy</a>)",
+      MarkupKind::kHtml);
+  const MarkupNode* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(a->attr("href"), nullptr);
+  EXPECT_EQ(*a->attr("href"), "/buy?item=1");
+  EXPECT_EQ(*a->attr("class"), "hot");
+  EXPECT_EQ(*a->attr("data-x"), "7");
+  EXPECT_EQ(a->attr("missing"), nullptr);
+}
+
+TEST(MarkupParserTest, VoidAndSelfClosingTags) {
+  const auto doc = parse_markup("<p>a<br>b<img src=\"x.png\"/>c</p>",
+                                MarkupKind::kHtml);
+  const MarkupNode* p = doc.find("p");
+  ASSERT_NE(p, nullptr);
+  // br and img must not swallow following content.
+  EXPECT_EQ(p->inner_text(), "abc");
+  EXPECT_NE(doc.find("br"), nullptr);
+  EXPECT_NE(doc.find("img"), nullptr);
+}
+
+TEST(MarkupParserTest, CommentsAndDoctypeIgnored) {
+  const auto doc = parse_markup(
+      "<!DOCTYPE html><!-- hidden --><p>visible</p><!-- more -->",
+      MarkupKind::kHtml);
+  EXPECT_EQ(doc.root.inner_text(), "visible");
+}
+
+TEST(MarkupParserTest, ScriptContentIsRawText) {
+  const auto doc = parse_markup(
+      "<script>if (a < b) { alert('<p>'); }</script><p>real</p>",
+      MarkupKind::kHtml);
+  const MarkupNode* script = doc.find("script");
+  ASSERT_NE(script, nullptr);
+  EXPECT_NE(script->inner_text().find("a < b"), std::string::npos);
+  ASSERT_NE(doc.find("p"), nullptr);
+  EXPECT_EQ(doc.find("p")->inner_text(), "real");
+}
+
+TEST(MarkupParserTest, MismatchedTagsDoNotCrash) {
+  const auto doc = parse_markup("<b><i>text</b></i><p>after</p>",
+                                MarkupKind::kHtml);
+  EXPECT_NE(doc.find("p"), nullptr);
+  EXPECT_NE(doc.root.inner_text().find("after"), std::string::npos);
+}
+
+TEST(MarkupParserTest, SerializeRoundTrip) {
+  const std::string src =
+      "<html><body><p>Hello <b>bold</b> world</p></body></html>";
+  const auto doc = parse_markup(src, MarkupKind::kHtml);
+  const auto doc2 = parse_markup(doc.serialize(), MarkupKind::kHtml);
+  EXPECT_EQ(doc.serialize(), doc2.serialize());
+  EXPECT_EQ(doc2.root.inner_text(), "Hello bold world");
+}
+
+TEST(MarkupParserTest, ElementCount) {
+  const auto doc = parse_markup("<div><p>a</p><p>b<br></p></div>",
+                                MarkupKind::kHtml);
+  EXPECT_EQ(doc.root.element_count(), 4u);  // div, p, p, br
+}
+
+// --- HTML -> WML -------------------------------------------------------------
+
+TEST(HtmlToWmlTest, ProducesDeckWithCard) {
+  const auto html = parse_markup(
+      "<html><head><title>Store</title></head><body>"
+      "<h1>Welcome</h1><p>Buy things</p>"
+      "<a href=\"/cart\">Cart</a></body></html>",
+      MarkupKind::kHtml);
+  const auto wml = html_to_wml(html);
+  EXPECT_EQ(wml.kind, MarkupKind::kWml);
+  const MarkupNode* deck = wml.find("wml");
+  ASSERT_NE(deck, nullptr);
+  const MarkupNode* card = wml.find("card");
+  ASSERT_NE(card, nullptr);
+  ASSERT_NE(card->attr("title"), nullptr);
+  EXPECT_EQ(*card->attr("title"), "Store");
+  // Heading became a bold paragraph; link preserved.
+  ASSERT_NE(wml.find("a"), nullptr);
+  EXPECT_EQ(*wml.find("a")->attr("href"), "/cart");
+  EXPECT_NE(wml.root.inner_text().find("Welcome"), std::string::npos);
+  // No html/body/head tags survive.
+  EXPECT_EQ(wml.find("html"), nullptr);
+  EXPECT_EQ(wml.find("body"), nullptr);
+  EXPECT_EQ(wml.find("title"), nullptr);
+}
+
+TEST(HtmlToWmlTest, TablesAreLinearized) {
+  const auto html = parse_markup(
+      "<table><tr><td>A</td><td>B</td></tr><tr><td>C</td></tr></table>",
+      MarkupKind::kHtml);
+  const auto wml = html_to_wml(html);
+  EXPECT_EQ(wml.find("table"), nullptr);
+  const std::string text = wml.root.inner_text();
+  EXPECT_NE(text.find("A | B"), std::string::npos);
+  EXPECT_NE(text.find("C"), std::string::npos);
+}
+
+TEST(HtmlToWmlTest, ImagesBecomeAltText) {
+  const auto html = parse_markup(
+      "<p><img src=\"logo.png\" alt=\"Logo\"><img src=\"deco.png\"></p>",
+      MarkupKind::kHtml);
+  const auto wml = html_to_wml(html);
+  EXPECT_EQ(wml.find("img"), nullptr);
+  EXPECT_NE(wml.root.inner_text().find("[Logo]"), std::string::npos);
+}
+
+TEST(HtmlToWmlTest, ListsBecomeBulletedParagraphs) {
+  const auto html = parse_markup("<ol><li>first</li><li>second</li></ol>",
+                                 MarkupKind::kHtml);
+  const auto wml = html_to_wml(html);
+  const std::string text = wml.root.inner_text();
+  EXPECT_NE(text.find("1. first"), std::string::npos);
+  EXPECT_NE(text.find("2. second"), std::string::npos);
+}
+
+TEST(HtmlToWmlTest, ScriptsAndStylesDropped) {
+  const auto html = parse_markup(
+      "<style>p{color:red}</style><script>evil()</script><p>ok</p>",
+      MarkupKind::kHtml);
+  const auto wml = html_to_wml(html);
+  const std::string text = wml.root.inner_text();
+  EXPECT_EQ(text.find("color"), std::string::npos);
+  EXPECT_EQ(text.find("evil"), std::string::npos);
+  EXPECT_NE(text.find("ok"), std::string::npos);
+}
+
+// --- HTML -> cHTML -----------------------------------------------------------
+
+TEST(HtmlToChtmlTest, KeepsImagesAndStructure) {
+  const auto html = parse_markup(
+      "<html><body><h2>News</h2><img src=\"pic.jpg\" alt=\"pic\">"
+      "<script>no()</script><p>story</p></body></html>",
+      MarkupKind::kHtml);
+  const auto chtml = html_to_chtml(html);
+  EXPECT_EQ(chtml.kind, MarkupKind::kChtml);
+  EXPECT_NE(chtml.find("img"), nullptr);     // cHTML renders images
+  EXPECT_EQ(chtml.find("script"), nullptr);  // but no scripts
+  EXPECT_NE(chtml.find("html"), nullptr);
+  EXPECT_NE(chtml.root.inner_text().find("story"), std::string::npos);
+}
+
+// --- WBXML --------------------------------------------------------------------
+
+TEST(WbxmlTest, EncodeDecodeRoundTrip) {
+  const auto html = parse_markup(
+      "<html><head><title>T</title></head><body><h1>Head</h1>"
+      "<p>Some paragraph text</p><a href=\"/x?a=1\">link</a></body></html>",
+      MarkupKind::kHtml);
+  const auto wml = html_to_wml(html);
+  const std::string bytes = wbxml_encode(wml);
+  const auto decoded = wbxml_decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->serialize(), wml.serialize());
+}
+
+TEST(WbxmlTest, BinaryFormIsSmallerThanText) {
+  std::string body = "<body>";
+  for (int i = 0; i < 30; ++i) {
+    body += "<p>Item description with some repeated words here</p>"
+            "<a href=\"/item\">open</a>";
+  }
+  body += "</body>";
+  const auto wml = html_to_wml(parse_markup(body, MarkupKind::kHtml));
+  const std::string text = wml.serialize();
+  const std::string bin = wbxml_encode(wml);
+  EXPECT_LT(bin.size(), text.size());
+}
+
+TEST(WbxmlTest, UnknownTagsUseLiteralStringTable) {
+  MarkupDocument doc;
+  doc.kind = MarkupKind::kWml;
+  MarkupNode custom = MarkupNode::element("customtag");
+  custom.set_attr("customattr", "v");
+  custom.children.push_back(MarkupNode::text_node("inside"));
+  doc.root.children.push_back(std::move(custom));
+  const auto back = wbxml_decode(wbxml_encode(doc));
+  ASSERT_TRUE(back.has_value());
+  const MarkupNode* n = back->find("customtag");
+  ASSERT_NE(n, nullptr);
+  ASSERT_NE(n->attr("customattr"), nullptr);
+  EXPECT_EQ(n->inner_text(), "inside");
+}
+
+TEST(WbxmlTest, MalformedInputRejected) {
+  EXPECT_FALSE(wbxml_decode("").has_value());
+  EXPECT_FALSE(wbxml_decode("\x01\x02").has_value());
+  EXPECT_FALSE(wbxml_decode("not wbxml at all").has_value());
+}
+
+// --- Adaptation ----------------------------------------------------------------
+
+TEST(AdaptationTest, TruncatesLongTextRuns) {
+  MarkupDocument doc;
+  doc.kind = MarkupKind::kWml;
+  MarkupNode p = MarkupNode::element("p");
+  p.children.push_back(MarkupNode::text_node(std::string(2000, 'x')));
+  doc.root.children.push_back(std::move(p));
+  AdaptationConfig cfg;
+  cfg.max_text_run = 100;
+  const auto r = adapt_document(doc, cfg);
+  EXPECT_EQ(r.text_truncations, 1u);
+  EXPECT_LE(r.document.root.inner_text().size(), 110u);
+}
+
+TEST(AdaptationTest, DropsImagesUnlessAllowed) {
+  MarkupDocument doc;
+  doc.kind = MarkupKind::kChtml;
+  MarkupNode img = MarkupNode::element("img");
+  img.set_attr("alt", "photo");
+  doc.root.children.push_back(std::move(img));
+
+  AdaptationConfig strip;
+  strip.keep_images = false;
+  auto r = adapt_document(doc, strip);
+  EXPECT_EQ(r.images_dropped, 1u);
+  EXPECT_EQ(r.document.find("img"), nullptr);
+  EXPECT_NE(r.document.root.inner_text().find("[photo]"), std::string::npos);
+
+  AdaptationConfig keep;
+  keep.keep_images = true;
+  r = adapt_document(doc, keep);
+  EXPECT_EQ(r.images_dropped, 0u);
+  EXPECT_NE(r.document.find("img"), nullptr);
+}
+
+TEST(AdaptationTest, EnforcesSizeBudget) {
+  MarkupDocument doc;
+  doc.kind = MarkupKind::kWml;
+  MarkupNode card = MarkupNode::element("card");
+  for (int i = 0; i < 100; ++i) {
+    MarkupNode p = MarkupNode::element("p");
+    p.children.push_back(MarkupNode::text_node(std::string(100, 'y')));
+    card.children.push_back(std::move(p));
+  }
+  doc.root.children.push_back(std::move(card));
+  AdaptationConfig cfg;
+  cfg.max_serialized_bytes = 1400;  // classic WAP deck budget
+  const auto r = adapt_document(doc, cfg);
+  EXPECT_GT(r.nodes_dropped, 0u);
+  EXPECT_LE(r.document.serialize().size(), 1400u + 32u);  // + "[more...]"
+  EXPECT_NE(r.document.root.inner_text().find("[more...]"),
+            std::string::npos);
+}
+
+TEST(AdaptationTest, SmallDocumentUntouched) {
+  const auto wml = html_to_wml(
+      parse_markup("<p>tiny</p>", MarkupKind::kHtml));
+  const auto r = adapt_document(wml, AdaptationConfig{});
+  EXPECT_EQ(r.nodes_dropped, 0u);
+  EXPECT_EQ(r.text_truncations, 0u);
+  EXPECT_EQ(r.document.serialize(), wml.serialize());
+}
+
+}  // namespace
+}  // namespace mcs::middleware

@@ -1,0 +1,175 @@
+// WTLS-over-WAP tests: the phone seals WSP transactions toward the gateway,
+// the gateway terminates security (the historical "WAP gap") and fetches
+// over plain HTTP. Covers the handshake, request pipelining behind it,
+// per-phone channel isolation, tampering, and overhead accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "sim/util.h"
+
+namespace mcs::station {
+namespace {
+
+struct WtlsFixture : public ::testing::Test {
+  void build(bool secure, int mobiles = 1) {
+    core::McSystemConfig cfg;
+    cfg.num_mobiles = 0;  // built manually so we control browser config
+    sys = std::make_unique<core::McSystem>(sim, cfg);
+    sys->web_server().add_content(
+        "/account", "text/html",
+        "<html><head><title>Bank</title></head><body>"
+        "<p>BALANCE 1234.56</p></body></html>");
+    for (int i = 0; i < mobiles; ++i) add_mobile(secure, i);
+  }
+
+  void add_mobile(bool secure, int index) {
+    auto m = std::make_unique<MobileHandle>();
+    m->node = sys->network().add_node(sim::strf("phone%d", index));
+    m->iface = m->node->add_interface(sys->network().allocate_address());
+    m->pos = std::make_unique<wireless::FixedPosition>(
+        wireless::Position{10.0 + index, 0});
+    sys->cell().associate(m->iface, m->pos.get());
+    sys->network().compute_routes();
+    m->udp = std::make_unique<transport::UdpStack>(*m->node);
+    BrowserConfig bcfg;
+    bcfg.mode = BrowserMode::kWap;
+    bcfg.gateway = {sys->gateway_node()->addr(),
+                    middleware::kWapGatewayPort};
+    bcfg.use_wtls = secure;
+    m->browser = std::make_unique<MicroBrowser>(
+        *m->node, ipaq_h3870(), bcfg, m->udp.get(), nullptr);
+    mobiles.push_back(std::move(m));
+  }
+
+  MicroBrowser::PageResult browse(int phone, const std::string& path) {
+    MicroBrowser::PageResult out;
+    mobiles[static_cast<std::size_t>(phone)]->browser->browse(
+        sys->web_url(path), [&](MicroBrowser::PageResult r) { out = r; });
+    sim.run();
+    return out;
+  }
+
+  struct MobileHandle {
+    net::Node* node;
+    net::Interface* iface;
+    std::unique_ptr<wireless::FixedPosition> pos;
+    std::unique_ptr<transport::UdpStack> udp;
+    std::unique_ptr<MicroBrowser> browser;
+  };
+  sim::Simulator sim;
+  std::unique_ptr<core::McSystem> sys;
+  std::vector<std::unique_ptr<MobileHandle>> mobiles;
+};
+
+TEST_F(WtlsFixture, SecurePageLoadWorksEndToEnd) {
+  build(/*secure=*/true);
+  const auto r = browse(0, "/account");
+  EXPECT_TRUE(r.ok);
+  EXPECT_NE(r.content.find("BALANCE 1234.56"), std::string::npos);
+  EXPECT_TRUE(mobiles[0]->browser->wtls_established());
+  EXPECT_EQ(sys->wap_gateway().wtls_sessions(), 1u);
+  EXPECT_EQ(mobiles[0]->browser->stats().counter("wtls_handshakes").value(),
+            1u);
+}
+
+TEST_F(WtlsFixture, HandshakeHappensOnceAcrossRequests) {
+  build(true);
+  EXPECT_TRUE(browse(0, "/account").ok);
+  sys->web_server().add_content("/account2", "text/html",
+                                "<p>second page</p>");
+  EXPECT_TRUE(browse(0, "/account2").ok);
+  EXPECT_EQ(mobiles[0]->browser->stats().counter("wtls_handshakes").value(),
+            1u);
+  EXPECT_EQ(sys->wap_gateway().wtls_sessions(), 1u);
+}
+
+TEST_F(WtlsFixture, RequestsQueuedBehindHandshakeAllComplete) {
+  build(true);
+  sys->web_server().add_content("/a", "text/html", "<p>A</p>");
+  sys->web_server().add_content("/b", "text/html", "<p>B</p>");
+  int ok = 0;
+  auto& b = *mobiles[0]->browser;
+  b.browse(sys->web_url("/account"), [&](auto r) { ok += r.ok; });
+  b.browse(sys->web_url("/a"), [&](auto r) { ok += r.ok; });
+  b.browse(sys->web_url("/b"), [&](auto r) { ok += r.ok; });
+  sim.run();
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(b.stats().counter("wtls_handshakes").value(), 1u);
+}
+
+TEST_F(WtlsFixture, PhonesGetIsolatedChannels) {
+  build(true, /*mobiles=*/2);
+  EXPECT_TRUE(browse(0, "/account").ok);
+  EXPECT_TRUE(browse(1, "/account").ok);
+  EXPECT_EQ(sys->wap_gateway().wtls_sessions(), 2u);
+}
+
+TEST_F(WtlsFixture, SecureRequestsAreNotPlaintextOnTheAir) {
+  build(true);
+  // Capture the radio only: frames the gateway receives on its wireless
+  // interface plus frames the phone receives (the wired side legitimately
+  // carries plaintext HTTP -- that is the WAP gap).
+  std::string air;
+  net::Interface* radio = sys->cell().ap_interface();
+  sys->gateway_node()->add_filter(
+      [&, radio](const net::PacketPtr& p, net::Interface* in) {
+        if (in == radio) air += p->payload;
+        return net::FilterVerdict::kPass;
+      });
+  mobiles[0]->node->add_filter(
+      [&](const net::PacketPtr& p, net::Interface*) {
+        air += p->payload;
+        return net::FilterVerdict::kPass;
+      });
+  const auto r = browse(0, "/account");
+  ASSERT_TRUE(r.ok);
+  // The URL travels sealed: the air capture must not contain the WSP verb,
+  // and must not contain the page content (the response is sealed too).
+  EXPECT_EQ(air.find("GET 10."), std::string::npos);
+  EXPECT_EQ(air.find("BALANCE"), std::string::npos);
+  // ...but the gateway saw the plaintext (the WAP gap): it translated it.
+  EXPECT_EQ(sys->wap_gateway().stats().translations, 1u);
+}
+
+TEST_F(WtlsFixture, TamperedRecordsFailClosed) {
+  build(true);
+  ASSERT_TRUE(browse(0, "/account").ok);
+  // Corrupt every sealed record crossing the gateway from now on.
+  sys->gateway_node()->add_filter(
+      [&](const net::PacketPtr& p, net::Interface*) {
+        const auto at = p->payload.find("WTLS-DATA ");
+        if (at != std::string::npos && p->payload.size() > at + 20) {
+          p->payload[at + 15] = static_cast<char>(p->payload[at + 15] ^ 0x40);
+        }
+        return net::FilterVerdict::kPass;
+      });
+  sys->web_server().add_content("/t", "text/html", "<p>tamper target</p>");
+  const auto r = browse(0, "/t");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(WtlsFixture, InsecurePhoneStillWorksAgainstWtlsGateway) {
+  build(/*secure=*/false);
+  const auto r = browse(0, "/account");
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(mobiles[0]->browser->wtls_established());
+  EXPECT_EQ(sys->wap_gateway().wtls_sessions(), 0u);
+}
+
+TEST_F(WtlsFixture, SecurityAddsMeasurableOverhead) {
+  build(true);
+  const auto secure = browse(0, "/account");
+  ASSERT_TRUE(secure.ok);
+
+  // Fresh plain phone on the same system, same page.
+  add_mobile(false, 9);
+  const auto plain = browse(1, "/account");
+  ASSERT_TRUE(plain.ok);
+  // Sealed records carry seq + MAC on both request and response.
+  EXPECT_GE(secure.over_air_bytes,
+            plain.over_air_bytes + 12);
+}
+
+}  // namespace
+}  // namespace mcs::station

@@ -1,0 +1,314 @@
+#include "mobileip/mobile_ip.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "wireless/medium.h"
+#include "wireless/mobility.h"
+#include "wireless/phy_profiles.h"
+
+namespace mcs::mobileip {
+namespace {
+
+// Topology:
+//   corr --- core --- home_router (HA) ==wifi== [home cell]
+//                 \-- foreign_router (FA) ==wifi== [foreign cell]
+// The mobile keeps one interface (its home address) and roams between cells.
+struct MobileIpFixture : public ::testing::Test {
+  MobileIpFixture() : network{sim, 23} {
+    corr = network.add_node("corr");
+    core = network.add_node("core");
+    home = network.add_node("home_router");
+    foreign = network.add_node("foreign_router");
+    network.connect(corr, core);
+    network.connect(core, home);
+    network.connect(core, foreign);
+
+    wireless::WirelessConfig wcfg;
+    wcfg.phy = wireless::wifi_802_11b();
+    wcfg.phy.base_loss_rate = 0.0;
+    wcfg.p_good_to_bad = 0.0;
+    home_cell = std::make_unique<wireless::WirelessMedium>(
+        sim, "home_cell", wireless::Position{0, 0}, wcfg, sim::Rng{1});
+    foreign_cell = std::make_unique<wireless::WirelessMedium>(
+        sim, "foreign_cell", wireless::Position{1000, 0}, wcfg, sim::Rng{2});
+    home_wl = home->add_interface(network.allocate_address());
+    foreign_wl = foreign->add_interface(network.allocate_address());
+    home_cell->set_ap_interface(home_wl);
+    foreign_cell->set_ap_interface(foreign_wl);
+    network.register_channel(home_cell.get());
+    network.register_channel(foreign_cell.get());
+
+    mobile = network.add_node("mobile");
+    mobile_if = mobile->add_interface(network.allocate_address());
+
+    // Routing snapshot taken with the mobile at home (standard Mobile IP
+    // premise: the home prefix routes to the home network).
+    mobile_pos.move_to({10, 0});
+    home_cell->associate(mobile_if, &mobile_pos);
+    network.compute_routes();
+
+    home_udp = std::make_unique<transport::UdpStack>(*home);
+    foreign_udp = std::make_unique<transport::UdpStack>(*foreign);
+    mobile_udp = std::make_unique<transport::UdpStack>(*mobile);
+    corr_udp = std::make_unique<transport::UdpStack>(*corr);
+
+    ha = std::make_unique<HomeAgent>(*home, *home_udp, ha_config);
+    fa = std::make_unique<ForeignAgent>(*foreign, *foreign_udp, foreign_wl);
+    ha->serve_mobile(mobile->addr());
+
+    MobileClientConfig ccfg;
+    ccfg.home_agent = home->addr();
+    client = std::make_unique<MobileIpClient>(*mobile, *mobile_udp, ccfg);
+  }
+
+  // Move the mobile to the foreign cell (layer 2) and run Mobile IP.
+  void roam_to_foreign() {
+    home_cell->disassociate(mobile_if);
+    mobile_pos.move_to({1010, 0});
+    foreign_cell->associate(mobile_if, &mobile_pos);
+    client->attach(foreign->addr(), foreign_wl->addr());
+  }
+  void roam_home() {
+    foreign_cell->disassociate(mobile_if);
+    mobile_pos.move_to({10, 0});
+    home_cell->associate(mobile_if, &mobile_pos);
+    client->attach(home->addr(), home_wl->addr());
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  net::Node* corr;
+  net::Node* core;
+  net::Node* home;
+  net::Node* foreign;
+  net::Node* mobile;
+  net::Interface* home_wl;
+  net::Interface* foreign_wl;
+  net::Interface* mobile_if;
+  wireless::FixedPosition mobile_pos{{10, 0}};
+  std::unique_ptr<wireless::WirelessMedium> home_cell;
+  std::unique_ptr<wireless::WirelessMedium> foreign_cell;
+  std::unique_ptr<transport::UdpStack> home_udp;
+  std::unique_ptr<transport::UdpStack> foreign_udp;
+  std::unique_ptr<transport::UdpStack> mobile_udp;
+  std::unique_ptr<transport::UdpStack> corr_udp;
+  HomeAgentConfig ha_config;
+  std::unique_ptr<HomeAgent> ha;
+  std::unique_ptr<ForeignAgent> fa;
+  std::unique_ptr<MobileIpClient> client;
+};
+
+TEST(MobileIpMessagesTest, RoundTripEncoding) {
+  RegistrationRequest req;
+  req.home_addr = net::IpAddress{10, 0, 0, 7};
+  req.home_agent = net::IpAddress{10, 0, 0, 1};
+  req.care_of = net::IpAddress{10, 0, 0, 3};
+  req.lifetime_ms = 30000;
+  req.seq = 42;
+  auto back = RegistrationRequest::decode(req.encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->home_addr, req.home_addr);
+  EXPECT_EQ(back->home_agent, req.home_agent);
+  EXPECT_EQ(back->care_of, req.care_of);
+  EXPECT_EQ(back->lifetime_ms, req.lifetime_ms);
+  EXPECT_EQ(back->seq, req.seq);
+
+  RegistrationReply rep{net::IpAddress{10, 0, 0, 7}, 42, 0};
+  auto rep2 = RegistrationReply::decode(rep.encode());
+  ASSERT_TRUE(rep2.has_value());
+  EXPECT_EQ(rep2->code, 0);
+
+  BindingForward fwd{net::IpAddress{10, 0, 0, 7}, net::IpAddress{10, 0, 0, 9},
+                     5000};
+  auto fwd2 = BindingForward::decode(fwd.encode());
+  ASSERT_TRUE(fwd2.has_value());
+  EXPECT_EQ(fwd2->new_coa, fwd.new_coa);
+
+  EXPECT_FALSE(RegistrationRequest::decode("garbage").has_value());
+  EXPECT_FALSE(RegistrationReply::decode("REQ 1 2 3 4 5").has_value());
+}
+
+TEST_F(MobileIpFixture, RegistersAtForeignNetwork) {
+  bool ok = false;
+  sim::Time latency;
+  client->on_registered = [&](bool accepted, sim::Time l) {
+    ok = accepted;
+    latency = l;
+  };
+  roam_to_foreign();
+  sim.run_until(sim::Time::seconds(2.0));
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(client->registered());
+  EXPECT_GT(latency, sim::Time::zero());
+  ASSERT_TRUE(ha->is_away(mobile->addr()));
+  EXPECT_EQ(*ha->current_care_of(mobile->addr()), foreign->addr());
+  EXPECT_TRUE(fa->hosts_visitor(mobile->addr()));
+}
+
+TEST_F(MobileIpFixture, TunnelDeliversToRoamingMobile) {
+  roam_to_foreign();
+  sim.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(client->registered());
+
+  std::string got;
+  mobile_udp->bind(7000, [&](const std::string& d, net::Endpoint, std::uint16_t) {
+    got = d;
+  });
+  corr_udp->send({mobile->addr(), 7000}, 1, "hello roaming mobile");
+  sim.run_until(sim::Time::seconds(4.0));
+  EXPECT_EQ(got, "hello roaming mobile");
+  EXPECT_GT(ha->stats().counter("tunneled_packets").value(), 0u);
+  EXPECT_GT(ha->stats().counter("tunnel_overhead_bytes").value(), 0u);
+  EXPECT_GT(fa->stats().counter("decapsulated_packets").value(), 0u);
+}
+
+TEST_F(MobileIpFixture, NoTunnelWhenMobileIsHome) {
+  // Mobile starts at home; register (deregistration) there.
+  client->attach(home->addr(), home_wl->addr());
+  sim.run_until(sim::Time::seconds(2.0));
+  std::string got;
+  mobile_udp->bind(7000, [&](const std::string& d, net::Endpoint, std::uint16_t) {
+    got = d;
+  });
+  corr_udp->send({mobile->addr(), 7000}, 1, "direct");
+  sim.run_until(sim::Time::seconds(4.0));
+  EXPECT_EQ(got, "direct");
+  EXPECT_EQ(ha->stats().counter("tunneled_packets").value(), 0u);
+  EXPECT_FALSE(ha->is_away(mobile->addr()));
+}
+
+TEST_F(MobileIpFixture, ReverseTrafficFromMobileIsDirect) {
+  roam_to_foreign();
+  sim.run_until(sim::Time::seconds(2.0));
+  std::string got;
+  corr_udp->bind(8000, [&](const std::string& d, net::Endpoint, std::uint16_t) {
+    got = d;
+  });
+  mobile_udp->send({corr->addr(), 8000}, 1, "from the road");
+  sim.run_until(sim::Time::seconds(4.0));
+  EXPECT_EQ(got, "from the road");  // triangle routing: no tunnel on return
+}
+
+TEST_F(MobileIpFixture, ReturningHomeDeregisters) {
+  roam_to_foreign();
+  sim.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(ha->is_away(mobile->addr()));
+  roam_home();
+  sim.run_until(sim::Time::seconds(4.0));
+  EXPECT_FALSE(ha->is_away(mobile->addr()));
+  EXPECT_GT(ha->stats().counter("deregistrations").value(), 0u);
+
+  std::string got;
+  mobile_udp->bind(7000, [&](const std::string& d, net::Endpoint, std::uint16_t) {
+    got = d;
+  });
+  corr_udp->send({mobile->addr(), 7000}, 1, "welcome back");
+  sim.run_until(sim::Time::seconds(6.0));
+  EXPECT_EQ(got, "welcome back");
+}
+
+TEST_F(MobileIpFixture, BindingExpiresWithoutRenewal) {
+  MobileClientConfig ccfg;
+  ccfg.home_agent = home->addr();
+  ccfg.lifetime = sim::Time::seconds(2.0);
+  client = std::make_unique<MobileIpClient>(*mobile, *mobile_udp, ccfg);
+  // Re-create binds the port again; the old client unbinds on destruction?
+  // UdpStack::bind overwrites, so the new client owns the port.
+  roam_to_foreign();
+  sim.run_until(sim::Time::seconds(1.0));
+  ASSERT_TRUE(ha->is_away(mobile->addr()));
+  client->detach();  // stop renewing (e.g. powered off)
+  sim.run_until(sim::Time::seconds(10.0));
+  EXPECT_FALSE(ha->is_away(mobile->addr()));
+}
+
+TEST_F(MobileIpFixture, RegistrationRetriesSurviveLoss) {
+  // Drop the first two registration relays at the core router.
+  int dropped = 0;
+  core->add_filter([&](const net::PacketPtr& p, net::Interface*) {
+    if (p->proto == net::Protocol::kUdp && p->udp.dst_port == kMobileIpPort &&
+        dropped < 2) {
+      ++dropped;
+      return net::FilterVerdict::kConsumed;
+    }
+    return net::FilterVerdict::kPass;
+  });
+  roam_to_foreign();
+  sim.run_until(sim::Time::seconds(5.0));
+  EXPECT_TRUE(client->registered());
+  EXPECT_GE(client->stats().counter("registration_retries").value(), 1u);
+}
+
+// Smooth-handoff extension: packets in flight to the old FA get forwarded.
+struct SmoothHandoffFixture : public MobileIpFixture {
+  SmoothHandoffFixture() {
+    ha_config.smooth_handoff = true;
+    ha = std::make_unique<HomeAgent>(*home, *home_udp, ha_config);
+    ha->serve_mobile(mobile->addr());
+    // Second foreign network.
+    foreign2 = network.add_node("foreign_router2");
+    network.connect(core, foreign2);
+    wireless::WirelessConfig wcfg;
+    wcfg.phy = wireless::wifi_802_11b();
+    wcfg.phy.base_loss_rate = 0.0;
+    wcfg.p_good_to_bad = 0.0;
+    foreign2_cell = std::make_unique<wireless::WirelessMedium>(
+        sim, "foreign_cell2", wireless::Position{2000, 0}, wcfg, sim::Rng{3});
+    foreign2_wl = foreign2->add_interface(network.allocate_address());
+    foreign2_cell->set_ap_interface(foreign2_wl);
+    network.register_channel(foreign2_cell.get());
+    foreign2_udp = std::make_unique<transport::UdpStack>(*foreign2);
+    fa2 = std::make_unique<ForeignAgent>(*foreign2, *foreign2_udp, foreign2_wl);
+    network.compute_routes();
+  }
+
+  void roam_to_foreign2() {
+    foreign_cell->disassociate(mobile_if);
+    mobile_pos.move_to({2010, 0});
+    foreign2_cell->associate(mobile_if, &mobile_pos);
+    client->attach(foreign2->addr(), foreign2_wl->addr());
+  }
+
+  net::Node* foreign2;
+  net::Interface* foreign2_wl;
+  std::unique_ptr<wireless::WirelessMedium> foreign2_cell;
+  std::unique_ptr<transport::UdpStack> foreign2_udp;
+  std::unique_ptr<ForeignAgent> fa2;
+};
+
+TEST_F(SmoothHandoffFixture, OldFaForwardsToNewCareOf) {
+  roam_to_foreign();
+  sim.run_until(sim::Time::seconds(2.0));
+  ASSERT_TRUE(fa->hosts_visitor(mobile->addr()));
+
+  roam_to_foreign2();
+  sim.run_until(sim::Time::seconds(4.0));
+  ASSERT_TRUE(fa2->hosts_visitor(mobile->addr()));
+  EXPECT_GT(ha->stats().counter("forward_updates_sent").value(), 0u);
+  EXPECT_GT(fa->stats().counter("forward_pointers_installed").value(), 0u);
+
+  // A stale tunnel to the OLD care-of address must still reach the mobile.
+  std::string got;
+  mobile_udp->bind(7000, [&](const std::string& d, net::Endpoint, std::uint16_t) {
+    got = d;
+  });
+  auto inner = net::make_packet();
+  inner->src = corr->addr();
+  inner->dst = mobile->addr();
+  inner->proto = net::Protocol::kUdp;
+  inner->udp.dst_port = 7000;
+  inner->payload = "in-flight during handoff";
+  auto outer = net::make_packet();
+  outer->src = home->addr();
+  outer->dst = foreign->addr();  // old FA
+  outer->proto = net::Protocol::kIpInIp;
+  outer->inner = inner;
+  home->send(outer);
+  sim.run_until(sim::Time::seconds(6.0));
+  EXPECT_EQ(got, "in-flight during handoff");
+  EXPECT_GT(fa->stats().counter("forwarded_packets").value(), 0u);
+}
+
+}  // namespace
+}  // namespace mcs::mobileip

@@ -1,0 +1,98 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace mcs::net {
+namespace {
+
+TEST(AddressTest, OctetsAndToString) {
+  const IpAddress a{10, 0, 1, 2};
+  EXPECT_EQ(a.to_string(), "10.0.1.2");
+  EXPECT_EQ(a.v, 0x0A000102u);
+  EXPECT_TRUE(kUnspecified.is_unspecified());
+  EXPECT_FALSE(a.is_unspecified());
+}
+
+TEST(AddressTest, ComparisonAndHash) {
+  const IpAddress a{10, 0, 0, 1};
+  const IpAddress b{10, 0, 0, 2};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, (IpAddress{10, 0, 0, 1}));
+  EXPECT_NE(std::hash<IpAddress>{}(a), std::hash<IpAddress>{}(b));
+}
+
+TEST(EndpointTest, OrderingAndPrint) {
+  const Endpoint e1{IpAddress{10, 0, 0, 1}, 80};
+  const Endpoint e2{IpAddress{10, 0, 0, 1}, 8080};
+  EXPECT_LT(e1, e2);
+  EXPECT_EQ(e1.to_string(), "10.0.0.1:80");
+}
+
+TEST(PacketTest, UniqueUids) {
+  auto a = make_packet();
+  auto b = make_packet();
+  EXPECT_NE(a->uid, b->uid);
+}
+
+TEST(PacketTest, HeaderSizes) {
+  auto p = make_packet();
+  p->proto = Protocol::kTcp;
+  p->payload = std::string(100, 'x');
+  EXPECT_EQ(p->header_bytes(), 40u);  // 20 IP + 20 TCP
+  EXPECT_EQ(p->payload_bytes(), 100u);
+  EXPECT_EQ(p->size_bytes(), 140u);
+
+  p->proto = Protocol::kUdp;
+  EXPECT_EQ(p->header_bytes(), 28u);  // 20 IP + 8 UDP
+}
+
+TEST(PacketTest, TunnelAddsOuterIpHeader) {
+  auto inner = make_packet();
+  inner->proto = Protocol::kTcp;
+  inner->payload = std::string(500, 'y');
+
+  auto outer = make_packet();
+  outer->proto = Protocol::kIpInIp;
+  outer->inner = inner;
+  EXPECT_EQ(outer->header_bytes(), 20u + 40u);
+  EXPECT_EQ(outer->payload_bytes(), 500u);
+  EXPECT_EQ(outer->size_bytes(), inner->size_bytes() + 20u);
+}
+
+TEST(PacketTest, CloneIsDeepAndFreshUid) {
+  auto inner = make_packet();
+  inner->payload = "inner";
+  auto p = make_packet();
+  p->proto = Protocol::kIpInIp;
+  p->inner = inner;
+  p->payload = "outer";
+
+  auto c = p->clone();
+  EXPECT_NE(c->uid, p->uid);
+  EXPECT_EQ(c->payload, "outer");
+  ASSERT_NE(c->inner, nullptr);
+  EXPECT_NE(c->inner.get(), inner.get());
+  EXPECT_EQ(c->inner->payload, "inner");
+}
+
+TEST(PacketTest, TcpFlagHelpers) {
+  TcpHeader h;
+  h.flags = kTcpSyn | kTcpAck;
+  EXPECT_TRUE(h.has(kTcpSyn));
+  EXPECT_TRUE(h.has(kTcpAck));
+  EXPECT_FALSE(h.has(kTcpFin));
+}
+
+TEST(PacketTest, DescribeMentionsProtocolAndFlags) {
+  auto p = make_packet();
+  p->proto = Protocol::kTcp;
+  p->src = IpAddress{10, 0, 0, 1};
+  p->dst = IpAddress{10, 0, 0, 2};
+  p->tcp.flags = kTcpSyn;
+  const std::string d = p->describe();
+  EXPECT_NE(d.find("tcp"), std::string::npos);
+  EXPECT_NE(d.find("S"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::net

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace mcs::net {
+namespace {
+
+PacketPtr udp_to(IpAddress src, IpAddress dst, std::size_t len = 10) {
+  auto p = make_packet();
+  p->src = src;
+  p->dst = dst;
+  p->proto = Protocol::kUdp;
+  p->payload = std::string(len, 'x');
+  return p;
+}
+
+TEST(RoutingTest, LinearChainForwardsEndToEnd) {
+  sim::Simulator sim;
+  Network net{sim};
+  Node* n0 = net.add_node("n0");
+  Node* n1 = net.add_node("n1");
+  Node* n2 = net.add_node("n2");
+  Node* n3 = net.add_node("n3");
+  net.connect(n0, n1);
+  net.connect(n1, n2);
+  net.connect(n2, n3);
+  net.compute_routes();
+
+  int got = 0;
+  n3->register_protocol_handler(Protocol::kUdp,
+                                [&](const PacketPtr&, Interface*) { ++got; });
+  n0->send(udp_to(n0->addr(), n3->addr()));
+  sim.run();
+  EXPECT_EQ(got, 1);
+  // Intermediate hops forwarded, not delivered.
+  EXPECT_EQ(n1->stats().counter("rx_packets").value(), 1u);
+  EXPECT_EQ(n2->stats().counter("rx_packets").value(), 1u);
+}
+
+TEST(RoutingTest, PicksShorterOfTwoPaths) {
+  sim::Simulator sim;
+  Network net{sim};
+  // src - a - dst  (fast)  and  src - b - c - dst (slow, more hops)
+  Node* src = net.add_node("src");
+  Node* a = net.add_node("a");
+  Node* b = net.add_node("b");
+  Node* c = net.add_node("c");
+  Node* dst = net.add_node("dst");
+  net.connect(src, a);
+  net.connect(a, dst);
+  net.connect(src, b);
+  net.connect(b, c);
+  net.connect(c, dst);
+  net.compute_routes();
+
+  int got = 0;
+  dst->register_protocol_handler(Protocol::kUdp,
+                                 [&](const PacketPtr&, Interface*) { ++got; });
+  src->send(udp_to(src->addr(), dst->addr()));
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(a->stats().counter("rx_packets").value(), 1u);
+  EXPECT_EQ(b->stats().counter("rx_packets").value(), 0u);
+}
+
+TEST(RoutingTest, PrefersFasterLinkOnEqualHops) {
+  sim::Simulator sim;
+  Network net{sim};
+  Node* src = net.add_node("src");
+  Node* slow = net.add_node("slow");
+  Node* fast = net.add_node("fast");
+  Node* dst = net.add_node("dst");
+  LinkConfig slow_cfg;
+  slow_cfg.bandwidth_bps = 1e6;
+  LinkConfig fast_cfg;
+  fast_cfg.bandwidth_bps = 1e9;
+  net.connect(src, slow, slow_cfg);
+  net.connect(slow, dst, slow_cfg);
+  net.connect(src, fast, fast_cfg);
+  net.connect(fast, dst, fast_cfg);
+  net.compute_routes();
+
+  src->send(udp_to(src->addr(), dst->addr()));
+  sim.run();
+  EXPECT_EQ(fast->stats().counter("rx_packets").value(), 1u);
+  EXPECT_EQ(slow->stats().counter("rx_packets").value(), 0u);
+}
+
+TEST(RoutingTest, NoRouteIsCountedNotCrashed) {
+  sim::Simulator sim;
+  Network net{sim};
+  Node* lone = net.add_node("lone");
+  Node* island = net.add_node("island");
+  net.connect(lone, island);  // gives lone an interface
+  net.compute_routes();
+
+  lone->send(udp_to(lone->addr(), IpAddress{99, 9, 9, 9}));
+  sim.run();
+  EXPECT_EQ(lone->stats().counter("drop_no_route").value(), 1u);
+}
+
+TEST(RoutingTest, TtlExpiredIsDropped) {
+  sim::Simulator sim;
+  Network net{sim};
+  Node* n0 = net.add_node("n0");
+  Node* n1 = net.add_node("n1");
+  Node* n2 = net.add_node("n2");
+  net.connect(n0, n1);
+  net.connect(n1, n2);
+  net.compute_routes();
+
+  int got = 0;
+  n2->register_protocol_handler(Protocol::kUdp,
+                                [&](const PacketPtr&, Interface*) { ++got; });
+  auto p = udp_to(n0->addr(), n2->addr());
+  p->ttl = 1;  // dies at n1
+  n0->send(p);
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(n1->stats().counter("drop_ttl").value(), 1u);
+}
+
+TEST(RoutingTest, FilterCanConsumePackets) {
+  sim::Simulator sim;
+  Network net{sim};
+  Node* n0 = net.add_node("n0");
+  Node* n1 = net.add_node("n1");
+  Node* n2 = net.add_node("n2");
+  net.connect(n0, n1);
+  net.connect(n1, n2);
+  net.compute_routes();
+
+  int consumed = 0;
+  n1->add_filter([&](const PacketPtr& p, Interface*) {
+    if (p->proto == Protocol::kUdp) {
+      ++consumed;
+      return FilterVerdict::kConsumed;
+    }
+    return FilterVerdict::kPass;
+  });
+  int got = 0;
+  n2->register_protocol_handler(Protocol::kUdp,
+                                [&](const PacketPtr&, Interface*) { ++got; });
+  n0->send(udp_to(n0->addr(), n2->addr()));
+  sim.run();
+  EXPECT_EQ(consumed, 1);
+  EXPECT_EQ(got, 0);
+}
+
+TEST(RoutingTest, RecomputeAfterTopologyChange) {
+  sim::Simulator sim;
+  Network net{sim};
+  Node* a = net.add_node("a");
+  Node* b = net.add_node("b");
+  net.connect(a, b);
+  net.compute_routes();
+
+  Node* c = net.add_node("c");
+  net.connect(b, c);
+  net.compute_routes();
+
+  int got = 0;
+  c->register_protocol_handler(Protocol::kUdp,
+                               [&](const PacketPtr&, Interface*) { ++got; });
+  a->send(udp_to(a->addr(), c->addr()));
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(RoutingTest, AddressAllocatorIsUnique) {
+  sim::Simulator sim;
+  Network net{sim};
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(seen.insert(net.allocate_address().v).second);
+  }
+}
+
+}  // namespace
+}  // namespace mcs::net

@@ -1,0 +1,137 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcs::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(Time::millis(30), [&] { order.push_back(3); });
+  sim.at(Time::millis(10), [&] { order.push_back(1); });
+  sim.at(Time::millis(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Time::millis(30));
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(SimulatorTest, EqualTimestampsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(Time::millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  Time seen;
+  sim.at(Time::millis(10), [&] {
+    sim.after(Time::millis(5), [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, Time::millis(15));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.at(Time::millis(10), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelFromInsideCallback) {
+  Simulator sim;
+  bool ran = false;
+  const EventId victim = sim.at(Time::millis(20), [&] { ran = true; });
+  sim.at(Time::millis(10), [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockAndKeepsFutureEvents) {
+  Simulator sim;
+  int count = 0;
+  sim.at(Time::millis(10), [&] { ++count; });
+  sim.at(Time::millis(30), [&] { ++count; });
+  sim.run_until(Time::millis(20));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), Time::millis(20));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim;
+  sim.run_until(Time::millis(100));
+  int count = 0;
+  sim.after(Time::millis(50), [&] { ++count; });
+  sim.after(Time::millis(150), [&] { ++count; });
+  sim.run_for(Time::millis(100));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), Time::millis(200));
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.at(Time::millis(10), [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.at(Time::millis(20), [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.after(Time::micros(1), chain);
+  };
+  sim.at(Time::zero(), chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), Time::micros(99));
+}
+
+TEST(SimulatorTest, CancelledHeadDoesNotBreachRunUntilBoundary) {
+  // Regression: a cancelled event before the boundary must not let a live
+  // event beyond the boundary execute (the clock would jump past t).
+  Simulator sim;
+  bool far_ran = false;
+  const EventId near_id = sim.at(Time::millis(10), [] {});
+  sim.at(Time::seconds(10.0), [&] { far_ran = true; });
+  sim.cancel(near_id);
+  sim.run_until(Time::seconds(2.0));
+  EXPECT_FALSE(far_ran);
+  EXPECT_EQ(sim.now(), Time::seconds(2.0));
+  sim.run();
+  EXPECT_TRUE(far_ran);
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAtSameTime) {
+  Simulator sim;
+  Time seen = Time::infinity();
+  sim.at(Time::millis(5), [&] {
+    sim.after(Time::zero(), [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, Time::millis(5));
+}
+
+}  // namespace
+}  // namespace mcs::sim

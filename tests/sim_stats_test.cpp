@@ -1,0 +1,95 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace mcs::sim {
+namespace {
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.summary(), "n=0");
+}
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_NEAR(h.stddev(), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+}
+
+TEST(HistogramTest, PercentilesExactOnSmallSets) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  EXPECT_NEAR(h.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(h.percentile(95), 95.05, 1e-6);
+  EXPECT_NEAR(h.percentile(100), 100.0, 1e-9);
+}
+
+TEST(HistogramTest, PercentileUnsortedInsertOrder) {
+  Histogram h;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+}
+
+TEST(HistogramTest, ReservoirKeepsMomentsExactUnderCap) {
+  Histogram h{16};  // tiny reservoir
+  for (int i = 0; i < 10000; ++i) h.record(static_cast<double>(i % 100));
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_NEAR(h.mean(), 49.5, 1e-9);      // moments are streaming, exact
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 99.0);
+  // Percentiles are approximate but must stay within the value range.
+  EXPECT_GE(h.percentile(50), 0.0);
+  EXPECT_LE(h.percentile(50), 99.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.record(5.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  h.record(7.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(HistogramTest, RecordTimeUsesMillis) {
+  Histogram h;
+  h.record_time(Time::millis(250));
+  EXPECT_DOUBLE_EQ(h.mean(), 250.0);
+}
+
+TEST(CounterTest, AddAndRate) {
+  Counter c;
+  c.add();
+  c.add(9);
+  EXPECT_EQ(c.value(), 10u);
+  EXPECT_DOUBLE_EQ(c.rate(Time::seconds(2.0)), 5.0);
+  EXPECT_DOUBLE_EQ(c.rate(Time::zero()), 0.0);
+  c.clear();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatsRegistryTest, NamedAccessAndReport) {
+  StatsRegistry reg;
+  reg.counter("tx").add(3);
+  reg.histogram("lat").record(1.5);
+  EXPECT_EQ(reg.counter("tx").value(), 3u);
+  const std::string rep = reg.report("node0.");
+  EXPECT_NE(rep.find("node0.tx = 3"), std::string::npos);
+  EXPECT_NE(rep.find("node0.lat"), std::string::npos);
+  reg.clear();
+  EXPECT_EQ(reg.counter("tx").value(), 0u);
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,64 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace mcs::sim {
+namespace {
+
+TEST(TimeTest, FactoriesAndConversions) {
+  EXPECT_EQ(Time::nanos(5).ns(), 5);
+  EXPECT_EQ(Time::micros(3).ns(), 3'000);
+  EXPECT_EQ(Time::millis(2).ns(), 2'000'000);
+  EXPECT_EQ(Time::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(Time::seconds(2.0).to_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(Time::millis(250).to_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Time::micros(1500).to_millis(), 1.5);
+}
+
+TEST(TimeTest, Arithmetic) {
+  const Time a = Time::millis(10);
+  const Time b = Time::millis(4);
+  EXPECT_EQ((a + b).ns(), Time::millis(14).ns());
+  EXPECT_EQ((a - b).ns(), Time::millis(6).ns());
+  EXPECT_EQ((a * 2.0).ns(), Time::millis(20).ns());
+  EXPECT_EQ((a / 2.0).ns(), Time::millis(5).ns());
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c, Time::millis(14));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(TimeTest, Comparisons) {
+  EXPECT_LT(Time::millis(1), Time::millis(2));
+  EXPECT_GT(Time::seconds(1.0), Time::millis(999));
+  EXPECT_EQ(Time::micros(1000), Time::millis(1));
+  EXPECT_LE(Time::zero(), Time::zero());
+  EXPECT_LT(Time::seconds(1e6), Time::infinity());
+}
+
+TEST(TimeTest, ZeroAndNegative) {
+  EXPECT_TRUE(Time::zero().is_zero());
+  EXPECT_FALSE(Time::millis(1).is_zero());
+  EXPECT_TRUE((Time::zero() - Time::millis(1)).is_negative());
+  EXPECT_FALSE(Time::millis(1).is_negative());
+}
+
+TEST(TimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(Time::seconds(1.5).to_string(), "1.500s");
+  EXPECT_EQ(Time::millis(12).to_string(), "12.000ms");
+  EXPECT_EQ(Time::micros(7).to_string(), "7.000us");
+  EXPECT_EQ(Time::nanos(42).to_string(), "42ns");
+}
+
+TEST(TimeTest, TransmissionTime) {
+  // 1250 bytes at 10 Mbps = 1 ms.
+  EXPECT_EQ(transmission_time(1250, 10e6), Time::millis(1));
+  // 11 Mbps 802.11b, 1500B frame ≈ 1.09 ms.
+  const Time t = transmission_time(1500, 11e6);
+  EXPECT_NEAR(t.to_millis(), 1.0909, 1e-3);
+}
+
+}  // namespace
+}  // namespace mcs::sim

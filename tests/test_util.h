@@ -1,0 +1,49 @@
+#pragma once
+
+// Shared helpers for building small test topologies.
+
+#include <memory>
+#include <string>
+
+#include "net/network.h"
+#include "sim/random.h"
+
+namespace mcs::testutil {
+
+// Deterministic pseudo-random printable payload; content-checks catch
+// reordering/corruption bugs that 'xxxx...' payloads hide.
+inline std::string make_payload(std::size_t n, std::uint64_t seed = 1) {
+  sim::Rng rng{seed};
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>('a' + rng.uniform_int(0, 25)));
+  }
+  return s;
+}
+
+// client -- [clean fast link] -- router -- [configurable link] -- server
+struct ThreeNodeNet {
+  explicit ThreeNodeNet(sim::Simulator& sim, net::LinkConfig last_hop = {},
+                        std::uint64_t seed = 1)
+      : network(sim, seed) {
+    client = network.add_node("client");
+    router = network.add_node("router");
+    server = network.add_node("server");
+    net::LinkConfig fast;
+    fast.bandwidth_bps = 1e9;
+    fast.propagation = sim::Time::micros(50);
+    first = network.connect(client, router, fast);
+    second = network.connect(router, server, last_hop);
+    network.compute_routes();
+  }
+
+  net::Network network;
+  net::Node* client;
+  net::Node* router;
+  net::Node* server;
+  net::Link* first;
+  net::Link* second;
+};
+
+}  // namespace mcs::testutil

@@ -1,0 +1,319 @@
+#include "transport/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mcs::transport {
+namespace {
+
+using testutil::make_payload;
+using testutil::ThreeNodeNet;
+
+struct TcpFixture : public ::testing::Test {
+  void build(net::LinkConfig last_hop = {}, TcpConfig cfg = {}) {
+    topo = std::make_unique<ThreeNodeNet>(sim, last_hop);
+    client_tcp = std::make_unique<TcpStack>(*topo->client, cfg);
+    server_tcp = std::make_unique<TcpStack>(*topo->server, cfg);
+  }
+
+  // Server echoes nothing; collects whatever arrives on `port`.
+  void collect_server(std::uint16_t port) {
+    server_tcp->listen(port, [this](TcpSocket::Ptr s) {
+      server_sock = s;
+      s->on_data = [this](const std::string& d) { server_received += d; };
+      s->on_remote_close = [this, s] {
+        server_saw_eof = true;
+        s->close();
+      };
+    });
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<ThreeNodeNet> topo;
+  std::unique_ptr<TcpStack> client_tcp;
+  std::unique_ptr<TcpStack> server_tcp;
+  TcpSocket::Ptr server_sock;
+  std::string server_received;
+  bool server_saw_eof = false;
+};
+
+TEST_F(TcpFixture, HandshakeEstablishesBothSides) {
+  build();
+  bool server_accepted = false;
+  bool client_connected = false;
+  server_tcp->listen(80, [&](TcpSocket::Ptr s) {
+    server_accepted = true;
+    EXPECT_EQ(s->state(), TcpSocket::State::kEstablished);
+  });
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->on_connected = [&] { client_connected = true; };
+  sim.run();
+  EXPECT_TRUE(server_accepted);
+  EXPECT_TRUE(client_connected);
+  EXPECT_EQ(c->state(), TcpSocket::State::kEstablished);
+}
+
+TEST_F(TcpFixture, SmallMessageArrivesIntact) {
+  build();
+  collect_server(80);
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->send("GET / HTTP/1.1\r\n\r\n");
+  sim.run();
+  EXPECT_EQ(server_received, "GET / HTTP/1.1\r\n\r\n");
+}
+
+TEST_F(TcpFixture, SendBeforeEstablishedIsBuffered) {
+  build();
+  collect_server(80);
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->send("early");  // handshake not done yet
+  sim.run();
+  EXPECT_EQ(server_received, "early");
+}
+
+TEST_F(TcpFixture, BulkTransferIsExactOverCleanLink) {
+  build();
+  collect_server(80);
+  const std::string data = make_payload(500'000, 42);
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->send(data);
+  sim.run();
+  EXPECT_EQ(server_received.size(), data.size());
+  EXPECT_EQ(server_received, data);
+  EXPECT_EQ(c->counters().retransmissions, 0u);
+}
+
+TEST_F(TcpFixture, BulkTransferSurvivesRandomLoss) {
+  net::LinkConfig lossy;
+  lossy.bandwidth_bps = 10e6;
+  lossy.propagation = sim::Time::millis(5);
+  lossy.loss_rate = 0.02;
+  build(lossy);
+  collect_server(80);
+  const std::string data = make_payload(300'000, 7);
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->send(data);
+  sim.run();
+  EXPECT_EQ(server_received, data);
+  EXPECT_GT(c->counters().retransmissions, 0u);
+}
+
+TEST_F(TcpFixture, SingleDropRecoversByFastRetransmitNotTimeout) {
+  net::LinkConfig hop;
+  hop.bandwidth_bps = 100e6;
+  hop.propagation = sim::Time::millis(2);
+  build(hop);
+  collect_server(80);
+
+  // Drop exactly one mid-stream data segment at the router.
+  bool dropped = false;
+  topo->router->add_filter([&](const net::PacketPtr& p, net::Interface*) {
+    if (!dropped && p->proto == net::Protocol::kTcp && !p->payload.empty() &&
+        p->tcp.seq > 20'000) {
+      dropped = true;
+      return net::FilterVerdict::kConsumed;
+    }
+    return net::FilterVerdict::kPass;
+  });
+
+  const std::string data = make_payload(200'000, 3);
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->send(data);
+  sim.run();
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(server_received, data);
+  EXPECT_EQ(c->counters().fast_retransmits, 1u);
+  EXPECT_EQ(c->counters().timeouts, 0u);
+}
+
+TEST_F(TcpFixture, BlackholeTriggersRtoAndRecovers) {
+  net::LinkConfig hop;
+  hop.bandwidth_bps = 10e6;
+  hop.propagation = sim::Time::millis(5);
+  build(hop);
+  collect_server(80);
+
+  // Black-hole the last hop between t=100ms and t=600ms.
+  bool blackhole = false;
+  topo->router->add_filter([&](const net::PacketPtr&, net::Interface*) {
+    return blackhole ? net::FilterVerdict::kConsumed
+                     : net::FilterVerdict::kPass;
+  });
+  sim.at(sim::Time::millis(100), [&] { blackhole = true; });
+  sim.at(sim::Time::millis(600), [&] { blackhole = false; });
+
+  const std::string data = make_payload(150'000, 11);
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->send(data);
+  sim.run();
+  EXPECT_EQ(server_received, data);
+  EXPECT_GT(c->counters().timeouts, 0u);
+}
+
+TEST_F(TcpFixture, CleanCloseBothDirections) {
+  build();
+  collect_server(80);
+  bool client_saw_eof = false;
+  bool client_closed = false;
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->on_remote_close = [&] { client_saw_eof = true; };
+  c->on_closed = [&] { client_closed = true; };
+  c->send("bye");
+  c->close();
+  sim.run();
+  EXPECT_EQ(server_received, "bye");
+  EXPECT_TRUE(server_saw_eof);
+  EXPECT_TRUE(client_saw_eof);
+  EXPECT_TRUE(client_closed);
+  EXPECT_EQ(c->state(), TcpSocket::State::kClosed);
+  EXPECT_EQ(client_tcp->active_connections(), 0u);
+  EXPECT_EQ(server_tcp->active_connections(), 0u);
+}
+
+TEST_F(TcpFixture, DataQueuedBeforeCloseIsDeliveredBeforeFin) {
+  build();
+  collect_server(80);
+  const std::string data = make_payload(80'000, 5);
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->send(data);
+  c->close();  // immediately after queueing: FIN must trail the data
+  sim.run();
+  EXPECT_EQ(server_received, data);
+  EXPECT_TRUE(server_saw_eof);
+}
+
+TEST_F(TcpFixture, ConnectionRefusedFiresClosedWithoutConnected) {
+  build();
+  bool connected = false;
+  bool closed = false;
+  auto c = client_tcp->connect({topo->server->addr(), 9999});  // no listener
+  c->on_connected = [&] { connected = true; };
+  c->on_closed = [&] { closed = true; };
+  sim.run();
+  EXPECT_FALSE(connected);
+  EXPECT_TRUE(closed);
+}
+
+TEST_F(TcpFixture, ResetTearsDownPeer) {
+  build();
+  collect_server(80);
+  bool server_closed = false;
+  server_tcp->listen(81, [&](TcpSocket::Ptr s) {
+    s->on_closed = [&] { server_closed = true; };
+  });
+  auto c = client_tcp->connect({topo->server->addr(), 81});
+  sim.run_for(sim::Time::seconds(1.0));
+  c->reset();
+  sim.run();
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(server_tcp->active_connections(), 0u);
+}
+
+TEST_F(TcpFixture, ThroughputApproachesBottleneckBandwidth) {
+  net::LinkConfig hop;
+  hop.bandwidth_bps = 10e6;
+  hop.propagation = sim::Time::millis(5);
+  build(hop);
+  collect_server(80);
+  const std::string data = make_payload(1'000'000, 13);
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->send(data);
+  sim.run();
+  ASSERT_EQ(server_received, data);
+  const double goodput = 8.0 * static_cast<double>(data.size()) /
+                         sim.now().to_seconds();
+  EXPECT_GT(goodput, 0.7 * 10e6);   // should utilise most of the link
+  EXPECT_LT(goodput, 10e6 * 1.01);  // cannot beat the link
+}
+
+TEST_F(TcpFixture, RttEstimateTracksPathRtt) {
+  net::LinkConfig hop;
+  hop.bandwidth_bps = 100e6;
+  hop.propagation = sim::Time::millis(20);
+  build(hop);
+  collect_server(80);
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->send(make_payload(100'000, 17));
+  sim.run();
+  // Path RTT ~= 2 * (20ms + 0.05ms) plus serialization; srtt should be near.
+  EXPECT_GT(c->srtt().to_millis(), 30.0);
+  EXPECT_LT(c->srtt().to_millis(), 80.0);
+  EXPECT_GE(c->current_rto(), c->config().min_rto);
+}
+
+TEST_F(TcpFixture, CongestionWindowGrowsFromSlowStart) {
+  build();
+  collect_server(80);
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  const auto initial_cwnd = c->cwnd();
+  c->send(make_payload(400'000, 19));
+  sim.run();
+  EXPECT_GT(c->cwnd(), initial_cwnd);
+}
+
+TEST_F(TcpFixture, BidirectionalTransferWorks) {
+  build();
+  std::string client_got;
+  std::string server_got;
+  const std::string up = make_payload(60'000, 23);
+  const std::string down = make_payload(90'000, 29);
+  server_tcp->listen(80, [&](TcpSocket::Ptr s) {
+    server_sock = s;
+    s->on_data = [&](const std::string& d) { server_got += d; };
+    s->send(down);
+  });
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->on_data = [&](const std::string& d) { client_got += d; };
+  c->send(up);
+  sim.run();
+  EXPECT_EQ(server_got, up);
+  EXPECT_EQ(client_got, down);
+}
+
+TEST_F(TcpFixture, TwoParallelConnectionsDoNotInterfere) {
+  build();
+  std::string got1, got2;
+  int accepts = 0;
+  server_tcp->listen(80, [&](TcpSocket::Ptr s) {
+    auto target = ++accepts == 1 ? &got1 : &got2;
+    s->on_data = [target](const std::string& d) { *target += d; };
+  });
+  const std::string d1 = make_payload(50'000, 31);
+  const std::string d2 = make_payload(50'000, 37);
+  auto c1 = client_tcp->connect({topo->server->addr(), 80});
+  auto c2 = client_tcp->connect({topo->server->addr(), 80});
+  c1->send(d1);
+  c2->send(d2);
+  sim.run();
+  EXPECT_EQ(got1.size() + got2.size(), d1.size() + d2.size());
+  EXPECT_TRUE((got1 == d1 && got2 == d2) || (got1 == d2 && got2 == d1));
+}
+
+TEST_F(TcpFixture, MaxRetriesGivesUp) {
+  build();
+  collect_server(80);
+  TcpConfig cfg;
+  cfg.max_retries = 3;
+  cfg.initial_rto = sim::Time::millis(100);
+  client_tcp = std::make_unique<TcpStack>(*topo->client, cfg);
+
+  // Permanently black-hole everything at the router after the handshake.
+  bool blackhole = false;
+  topo->router->add_filter([&](const net::PacketPtr&, net::Interface*) {
+    return blackhole ? net::FilterVerdict::kConsumed
+                     : net::FilterVerdict::kPass;
+  });
+  bool closed = false;
+  auto c = client_tcp->connect({topo->server->addr(), 80});
+  c->on_closed = [&] { closed = true; };
+  sim.run_for(sim::Time::seconds(1.0));
+  blackhole = true;
+  c->send(make_payload(10'000, 41));
+  sim.run_for(sim::Time::minutes(10));
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(c->state(), TcpSocket::State::kClosed);
+}
+
+}  // namespace
+}  // namespace mcs::transport

@@ -1,0 +1,89 @@
+#include "transport/udp.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace mcs::transport {
+namespace {
+
+struct UdpFixture : public ::testing::Test {
+  UdpFixture() : net{sim} {
+    a = net.add_node("a");
+    b = net.add_node("b");
+    net.connect(a, b);
+    net.compute_routes();
+    ua = std::make_unique<UdpStack>(*a);
+    ub = std::make_unique<UdpStack>(*b);
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  net::Node* a;
+  net::Node* b;
+  std::unique_ptr<UdpStack> ua;
+  std::unique_ptr<UdpStack> ub;
+};
+
+TEST_F(UdpFixture, DeliversDatagramToBoundPort) {
+  std::string got;
+  net::Endpoint from;
+  ub->bind(5000, [&](const std::string& data, net::Endpoint f, std::uint16_t) {
+    got = data;
+    from = f;
+  });
+  ua->send({b->addr(), 5000}, 1234, "hello");
+  sim.run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(from.addr, a->addr());
+  EXPECT_EQ(from.port, 1234);
+}
+
+TEST_F(UdpFixture, UnboundPortCountsDrop) {
+  ua->send({b->addr(), 7777}, 0, "x");
+  sim.run();
+  EXPECT_EQ(b->stats().counter("udp_drop_unbound").value(), 1u);
+}
+
+TEST_F(UdpFixture, UnbindStopsDelivery) {
+  int got = 0;
+  ub->bind(5000,
+           [&](const std::string&, net::Endpoint, std::uint16_t) { ++got; });
+  ua->send({b->addr(), 5000}, 0, "1");
+  sim.run();
+  ub->unbind(5000);
+  ua->send({b->addr(), 5000}, 0, "2");
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(UdpFixture, RequestResponseRoundTrip) {
+  // Echo server on b.
+  ub->bind(9, [&](const std::string& data, net::Endpoint from, std::uint16_t) {
+    ub->send(from, 9, data + "-pong");
+  });
+  std::string reply;
+  const std::uint16_t my_port = ua->allocate_port();
+  ua->bind(my_port, [&](const std::string& data, net::Endpoint, std::uint16_t) {
+    reply = data;
+  });
+  ua->send({b->addr(), 9}, my_port, "ping");
+  sim.run();
+  EXPECT_EQ(reply, "ping-pong");
+}
+
+TEST_F(UdpFixture, EphemeralPortsAreDistinct) {
+  const auto p1 = ua->allocate_port();
+  ua->bind(p1, [](const std::string&, net::Endpoint, std::uint16_t) {});
+  const auto p2 = ua->allocate_port();
+  EXPECT_NE(p1, p2);
+}
+
+TEST_F(UdpFixture, BoundFlagReflectsState) {
+  EXPECT_FALSE(ub->bound(42));
+  ub->bind(42, [](const std::string&, net::Endpoint, std::uint16_t) {});
+  EXPECT_TRUE(ub->bound(42));
+}
+
+}  // namespace
+}  // namespace mcs::transport

@@ -1,0 +1,235 @@
+// Tests for the paper's §5.2 mobile TCP mechanisms: snoop agent,
+// split-connection proxy, and fast handoff retransmission.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "transport/snoop.h"
+#include "transport/split_proxy.h"
+#include "transport/tcp.h"
+
+namespace mcs::transport {
+namespace {
+
+using testutil::make_payload;
+using testutil::ThreeNodeNet;
+
+// Topology: server --(fast wired)-- AP/router --(lossy "wireless")-- mobile.
+struct WirelessPathFixture : public ::testing::Test {
+  void build(double loss_rate, TcpConfig cfg = {}) {
+    net::LinkConfig wireless;
+    wireless.bandwidth_bps = 5e6;
+    wireless.propagation = sim::Time::millis(2);
+    wireless.loss_rate = loss_rate;
+    // ThreeNodeNet: client --fast-- router --configurable-- server.
+    // We use "client" as the fixed server and "server" as the mobile.
+    topo = std::make_unique<ThreeNodeNet>(sim, wireless);
+    fixed = topo->client;
+    ap = topo->router;
+    mobile = topo->server;
+    fixed_tcp = std::make_unique<TcpStack>(*fixed, cfg);
+    mobile_tcp = std::make_unique<TcpStack>(*mobile, cfg);
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<ThreeNodeNet> topo;
+  net::Node* fixed = nullptr;
+  net::Node* ap = nullptr;
+  net::Node* mobile = nullptr;
+  std::unique_ptr<TcpStack> fixed_tcp;
+  std::unique_ptr<TcpStack> mobile_tcp;
+};
+
+TEST_F(WirelessPathFixture, SnoopDeliversDataExactlyUnderLoss) {
+  build(0.05);
+  SnoopAgent snoop{*ap,
+                   [this](net::IpAddress a) { return mobile->owns_address(a); }};
+  std::string received;
+  mobile_tcp->listen(80, [&](TcpSocket::Ptr s) {
+    s->on_data = [&](const std::string& d) { received += d; };
+  });
+  const std::string data = make_payload(200'000, 1);
+  auto c = fixed_tcp->connect({mobile->addr(), 80});
+  c->send(data);
+  sim.run();
+  EXPECT_EQ(received, data);
+  EXPECT_GT(snoop.stats().local_retransmissions, 0u);
+}
+
+TEST_F(WirelessPathFixture, SnoopShieldsFixedSenderFromWirelessLoss) {
+  // Run the same lossy transfer with and without the snoop agent and
+  // compare how much loss recovery the *fixed sender* had to do.
+  const std::string data = make_payload(200'000, 2);
+  auto run = [&](bool with_snoop) {
+    build(0.05);
+    std::unique_ptr<SnoopAgent> snoop;
+    if (with_snoop) {
+      snoop = std::make_unique<SnoopAgent>(
+          *ap, [this](net::IpAddress a) { return mobile->owns_address(a); });
+    }
+    std::string received;
+    mobile_tcp->listen(80, [&](TcpSocket::Ptr s) {
+      s->on_data = [&](const std::string& d) { received += d; };
+    });
+    auto c = fixed_tcp->connect({mobile->addr(), 80});
+    c->send(data);
+    sim.run();
+    EXPECT_EQ(received, data);
+    return c->counters().fast_retransmits + c->counters().timeouts;
+  };
+  const auto without = run(false);
+  const auto with = run(true);
+  EXPECT_LT(with, without);
+}
+
+TEST_F(WirelessPathFixture, SnoopSuppressesDupacksTowardSender) {
+  build(0.08);
+  SnoopAgent snoop{*ap,
+                   [this](net::IpAddress a) { return mobile->owns_address(a); }};
+  std::string received;
+  mobile_tcp->listen(80, [&](TcpSocket::Ptr s) {
+    s->on_data = [&](const std::string& d) { received += d; };
+  });
+  const std::string data = make_payload(150'000, 3);
+  auto c = fixed_tcp->connect({mobile->addr(), 80});
+  c->send(data);
+  sim.run();
+  EXPECT_EQ(received, data);
+  EXPECT_GT(snoop.stats().dupacks_suppressed, 0u);
+  EXPECT_GT(snoop.stats().cached_segments, 0u);
+}
+
+TEST_F(WirelessPathFixture, SnoopFlushDropsState) {
+  build(0.0);
+  SnoopAgent snoop{*ap,
+                   [this](net::IpAddress a) { return mobile->owns_address(a); }};
+  std::string received;
+  mobile_tcp->listen(80, [&](TcpSocket::Ptr s) {
+    s->on_data = [&](const std::string& d) { received += d; };
+  });
+  auto c = fixed_tcp->connect({mobile->addr(), 80});
+  c->send(make_payload(50'000, 4));
+  sim.run();
+  snoop.flush();  // must not break subsequent transfers
+  c->send(make_payload(10'000, 5));
+  sim.run();
+  EXPECT_EQ(received.size(), 60'000u);
+}
+
+TEST_F(WirelessPathFixture, SplitProxyRelaysRequestAndResponse) {
+  build(0.0);
+  TcpStack ap_tcp{*ap};
+  // Fixed host serves on port 80; proxy at the AP listens on 8080.
+  std::string server_got;
+  fixed_tcp->listen(80, [&](TcpSocket::Ptr s) {
+    auto sp = s;
+    s->on_data = [&, sp](const std::string& d) {
+      server_got += d;
+      sp->send("response:" + d);
+    };
+    s->on_remote_close = [sp] { sp->close(); };
+  });
+  SplitTcpProxy proxy{ap_tcp, 8080, {fixed->addr(), 80}};
+
+  std::string client_got;
+  bool client_eof = false;
+  auto c = mobile_tcp->connect({ap->addr(), 8080});
+  c->on_data = [&](const std::string& d) { client_got += d; };
+  c->on_remote_close = [&] { client_eof = true; };
+  c->send("hello");
+  sim.run_for(sim::Time::seconds(2.0));
+  c->close();
+  sim.run();
+  EXPECT_EQ(server_got, "hello");
+  EXPECT_EQ(client_got, "response:hello");
+  EXPECT_TRUE(client_eof);
+  EXPECT_EQ(proxy.stats().connections, 1u);
+  EXPECT_EQ(proxy.stats().bytes_up, 5u);
+  EXPECT_EQ(proxy.stats().bytes_down, std::string("response:hello").size());
+}
+
+TEST_F(WirelessPathFixture, SplitProxyIsolatesWirelessLossFromWiredSender) {
+  build(0.06);
+  TcpStack ap_tcp{*ap};
+  std::string server_got;
+  TcpSocket::Ptr server_side;
+  fixed_tcp->listen(80, [&](TcpSocket::Ptr s) {
+    server_side = s;
+    s->on_data = [&](const std::string& d) { server_got += d; };
+  });
+  SplitTcpProxy proxy{ap_tcp, 8080, {fixed->addr(), 80}};
+
+  const std::string data = make_payload(200'000, 6);
+  auto c = mobile_tcp->connect({ap->addr(), 8080});
+  c->send(data);
+  sim.run();
+  EXPECT_EQ(server_got, data);
+  // Mobile side fought the lossy hop...
+  EXPECT_GT(c->counters().retransmissions, 0u);
+  // ...but the wired half saw a clean path: the proxy's upstream socket sent
+  // everything without loss recovery. (We check via the server's receive
+  // counters: bytes delivered equals bytes sent exactly once.)
+  ASSERT_NE(server_side, nullptr);
+  EXPECT_EQ(server_side->counters().bytes_delivered, data.size());
+}
+
+TEST_F(WirelessPathFixture, FastHandoffRetransmitRecoversQuickly) {
+  // Disconnection during handoff: packets black-holed for 300 ms. With
+  // fast_handoff_retransmit the sender retransmits immediately at the
+  // handoff signal instead of waiting out a backed-off RTO.
+  const std::string data = make_payload(400'000, 7);
+  auto run = [&](bool fast) {
+    TcpConfig cfg;
+    cfg.fast_handoff_retransmit = fast;
+    build(0.0, cfg);
+    std::string received;
+    mobile_tcp->listen(80, [&](TcpSocket::Ptr s) {
+      s->on_data = [&](const std::string& d) { received += d; };
+    });
+    bool blackhole = false;
+    ap->add_filter([&](const net::PacketPtr&, net::Interface*) {
+      return blackhole ? net::FilterVerdict::kConsumed
+                       : net::FilterVerdict::kPass;
+    });
+    // The *mobile* is the sender in the Caceres-Iftode scheme; send upstream.
+    auto c = mobile_tcp->connect({fixed->addr(), 80});
+    std::string fixed_got;
+    fixed_tcp->listen(80, [&](TcpSocket::Ptr s) {
+      s->on_data = [&](const std::string& d) { fixed_got += d; };
+    });
+    const sim::Time start = sim.now();
+    c->send(data);
+    sim.after(sim::Time::millis(200), [&] { blackhole = true; });
+    sim.after(sim::Time::millis(500), [&] {
+      blackhole = false;
+      mobile_tcp->notify_handoff_all();  // link-layer handoff complete signal
+    });
+    sim.run();
+    EXPECT_EQ(fixed_got, data);
+    if (fast) {
+      EXPECT_GT(c->counters().handoff_retransmits, 0u);
+    }
+    return sim.now() - start;
+  };
+  const sim::Time t_fast = run(true);
+  const sim::Time t_slow = run(false);
+  EXPECT_LT(t_fast, t_slow);
+}
+
+TEST_F(WirelessPathFixture, HandoffNotifyWithoutFlagIsNoop) {
+  TcpConfig cfg;  // fast_handoff_retransmit = false
+  build(0.0, cfg);
+  std::string received;
+  mobile_tcp->listen(80, [&](TcpSocket::Ptr s) {
+    s->on_data = [&](const std::string& d) { received += d; };
+  });
+  auto c = fixed_tcp->connect({mobile->addr(), 80});
+  c->send(make_payload(50'000, 8));
+  sim.at(sim::Time::millis(50), [&] { fixed_tcp->notify_handoff_all(); });
+  sim.run();
+  EXPECT_EQ(received.size(), 50'000u);
+  EXPECT_EQ(c->counters().handoff_retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace mcs::transport

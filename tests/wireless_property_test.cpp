@@ -1,0 +1,208 @@
+// Property sweeps across every Table 4 / Table 5 PHY profile: capacity
+// tracks the MAC model, coverage degrades monotonically with distance,
+// circuit standards gate on calls, and the ad hoc mode of §6.1 works.
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/util.h"
+#include "transport/udp.h"
+#include "wireless/medium.h"
+#include "wireless/phy_profiles.h"
+
+namespace mcs::wireless {
+namespace {
+
+std::vector<PhyProfile> all_profiles() {
+  auto v = wlan_profiles();
+  for (auto& p : cellular_profiles()) v.push_back(p);
+  return v;
+}
+
+struct PhyFixture {
+  explicit PhyFixture(const PhyProfile& phy, double distance)
+      : network{sim, 61} {
+    ap_node = network.add_node("ap");
+    sta_node = network.add_node("sta");
+    WirelessConfig radio;
+    radio.phy = phy;
+    radio.phy.base_loss_rate = 0.0;
+    radio.p_good_to_bad = 0.0;
+    radio.scheduled_mac = phy.generation != "WLAN" && phy.generation != "WPAN";
+    medium = std::make_unique<WirelessMedium>(sim, "cell", Position{0, 0},
+                                              radio, sim::Rng{17});
+    medium->set_ap_interface(ap_node->add_interface(network.allocate_address()));
+    sta_if = sta_node->add_interface(network.allocate_address());
+    pos = std::make_unique<FixedPosition>(Position{distance, 0});
+    medium->associate(sta_if, pos.get());
+    network.register_channel(medium.get());
+    network.compute_routes();
+    ap_udp = std::make_unique<transport::UdpStack>(*ap_node);
+    sta_udp = std::make_unique<transport::UdpStack>(*sta_node);
+  }
+
+  // Saturating CBR for `seconds`; returns delivered fraction of offered.
+  double delivered_fraction(double seconds, int* delivered_out = nullptr) {
+    if (medium->config().phy.switching == Switching::kCircuit) {
+      bool ok = false;
+      medium->place_call(sta_if, [&](bool g) { ok = g; });
+      sim.run();
+      if (!ok) return 0.0;
+    }
+    int sent = 0;
+    int delivered = 0;
+    const sim::Time cutoff = sim.now() + sim::Time::seconds(seconds);
+    sta_udp->bind(7, [&](const std::string&, net::Endpoint, std::uint16_t) {
+      if (sim.now() <= cutoff + sim::Time::seconds(5.0)) ++delivered;
+    });
+    const sim::Time gap = sim::transmission_time(
+        600 + 28, medium->config().phy.effective_rate_bps());
+    std::function<void()> pump = [&] {
+      if (sim.now() >= cutoff) return;
+      ++sent;
+      ap_udp->send({sta_node->addr(), 7}, 7, std::string(600, 'z'));
+      sim.after(gap, pump);
+    };
+    pump();
+    sim.run();
+    if (delivered_out != nullptr) *delivered_out = delivered;
+    return sent > 0 ? static_cast<double>(delivered) / sent : 0.0;
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  net::Node* ap_node;
+  net::Node* sta_node;
+  net::Interface* sta_if;
+  std::unique_ptr<FixedPosition> pos;
+  std::unique_ptr<WirelessMedium> medium;
+  std::unique_ptr<transport::UdpStack> ap_udp;
+  std::unique_ptr<transport::UdpStack> sta_udp;
+};
+
+class PhySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PhySweep, NearFieldDeliveryIsLossless) {
+  const PhyProfile phy = all_profiles()[GetParam()];
+  PhyFixture f{phy, 0.1 * phy.range_m};
+  EXPECT_DOUBLE_EQ(f.delivered_fraction(2.0), 1.0) << phy.name;
+}
+
+TEST_P(PhySweep, CoverageDegradesMonotonicallyTowardTheEdge) {
+  const PhyProfile phy = all_profiles()[GetParam()];
+  double previous = 1.1;
+  for (double frac : {0.5, 0.9, 0.97, 1.2}) {
+    PhyFixture f{phy, frac * phy.range_m};
+    const double d = f.delivered_fraction(1.0);
+    EXPECT_LE(d, previous + 0.05) << phy.name << " at " << frac;
+    previous = d;
+  }
+  // Beyond range: nothing.
+  PhyFixture f{phy, 1.2 * phy.range_m};
+  EXPECT_DOUBLE_EQ(f.delivered_fraction(1.0), 0.0) << phy.name;
+}
+
+TEST_P(PhySweep, EffectiveRateIsRespected) {
+  const PhyProfile phy = all_profiles()[GetParam()];
+  PhyFixture f{phy, 0.1 * phy.range_m};
+  // Window sized to >= 30 packet-times so quantization noise on the ~10 kbps
+  // circuit standards does not dominate the measurement.
+  const double pkt_time = (600 + 28) * 8 / phy.effective_rate_bps();
+  const double window = std::max(2.0, 30.0 * pkt_time);
+  int delivered = 0;
+  (void)f.delivered_fraction(window, &delivered);
+  const double bits = static_cast<double>(delivered) * (600 + 28) * 8;
+  // Offered exactly at the effective rate: delivery must not exceed it.
+  EXPECT_LE(bits / window, phy.effective_rate_bps() * 1.08) << phy.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPhys, PhySweep,
+                         ::testing::Range<std::size_t>(0, 14),
+                         [](const auto& info) {
+                           std::string n = all_profiles()[info.param].name;
+                           for (char& c : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+// --- Ad hoc mode (§6.1: "mobile devices can form a wireless ad hoc network
+// among themselves and exchange data packets") ---------------------------------
+
+TEST(AdHocTest, StationsExchangeDirectlyWithoutInfrastructureRouting) {
+  sim::Simulator sim;
+  net::Network network{sim, 71};
+  auto* a = network.add_node("peer-a");
+  auto* b = network.add_node("peer-b");
+  WirelessConfig radio;
+  radio.phy = wifi_802_11b();
+  radio.phy.base_loss_rate = 0.0;
+  radio.p_good_to_bad = 0.0;
+  WirelessMedium medium{sim, "adhoc", Position{0, 0}, radio, sim::Rng{5}};
+  auto* ia = a->add_interface(network.allocate_address());
+  auto* ib = b->add_interface(network.allocate_address());
+  FixedPosition pa{{0, 0}}, pb{{30, 0}};
+  // No AP at all: both peers are plain stations on the shared medium.
+  medium.associate(ia, &pa);
+  medium.associate(ib, &pb);
+  // Peers address each other directly.
+  a->set_route(ib->addr(), net::Node::Route{ia, ib->addr()});
+  b->set_route(ia->addr(), net::Node::Route{ib, ia->addr()});
+
+  transport::UdpStack ua{*a}, ub{*b};
+  std::string got;
+  ub.bind(9, [&](const std::string& d, net::Endpoint from, std::uint16_t) {
+    got = d;
+    ub.send(from, 9, "pong");
+  });
+  std::string reply;
+  ua.bind(9, [&](const std::string& d, net::Endpoint, std::uint16_t) {
+    reply = d;
+  });
+  ua.send({ib->addr(), 9}, 9, "business transaction");
+  sim.run();
+  EXPECT_EQ(got, "business transaction");
+  EXPECT_EQ(reply, "pong");
+}
+
+// --- Circuit capacity (Erlang-style blocking) ----------------------------------
+
+TEST(CircuitCapacityTest, BlockingRateMatchesChannelCount) {
+  sim::Simulator sim;
+  net::Network network{sim, 73};
+  auto* bs = network.add_node("bs");
+  WirelessConfig radio;
+  radio.phy = gsm();
+  radio.circuit_channels = 4;
+  WirelessMedium cell{sim, "cell", Position{0, 0}, radio, sim::Rng{7}};
+  cell.set_ap_interface(bs->add_interface(network.allocate_address()));
+
+  std::vector<std::unique_ptr<FixedPosition>> positions;
+  std::vector<net::Interface*> phones;
+  for (int i = 0; i < 10; ++i) {
+    auto* n = network.add_node(sim::strf("phone%d", i));
+    auto* iface = n->add_interface(network.allocate_address());
+    positions.push_back(std::make_unique<FixedPosition>(Position{20, 0}));
+    cell.associate(iface, positions.back().get());
+    phones.push_back(iface);
+  }
+  int granted = 0;
+  int blocked = 0;
+  for (auto* p : phones) {
+    cell.place_call(p, [&](bool ok) { ok ? ++granted : ++blocked; });
+  }
+  sim.run();
+  EXPECT_EQ(granted, 4);
+  EXPECT_EQ(blocked, 6);
+  // Hanging up frees capacity for the blocked callers.
+  cell.end_call(phones[0]);
+  bool late = false;
+  cell.place_call(phones[9], [&](bool ok) { late = ok; });
+  sim.run();
+  EXPECT_TRUE(late);
+}
+
+}  // namespace
+}  // namespace mcs::wireless

@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "wireless/handoff.h"
+#include "wireless/medium.h"
+#include "wireless/mobility.h"
+#include "wireless/phy_profiles.h"
+#include "sim/util.h"
+
+namespace mcs::wireless {
+namespace {
+
+// --- PHY profiles (Tables 4 & 5) -------------------------------------------
+
+TEST(PhyProfilesTest, Table4RowsMatchPaper) {
+  const auto rows = wlan_profiles();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].name, "Bluetooth");
+  EXPECT_DOUBLE_EQ(rows[0].data_rate_bps, 1e6);
+  EXPECT_EQ(rows[1].name, "802.11b");
+  EXPECT_DOUBLE_EQ(rows[1].data_rate_bps, 11e6);
+  EXPECT_EQ(rows[1].modulation, "HR-DSSS");
+  EXPECT_DOUBLE_EQ(rows[1].band_ghz, 2.4);
+  EXPECT_EQ(rows[2].name, "802.11a");
+  EXPECT_DOUBLE_EQ(rows[2].data_rate_bps, 54e6);
+  EXPECT_DOUBLE_EQ(rows[2].band_ghz, 5.0);
+  EXPECT_EQ(rows[3].name, "HiperLAN2");
+  EXPECT_EQ(rows[4].name, "802.11g");
+  EXPECT_EQ(rows[4].modulation, "OFDM");
+}
+
+TEST(PhyProfilesTest, BluetoothHasShortestRange) {
+  for (const auto& p : wlan_profiles()) {
+    if (p.name == "Bluetooth") continue;
+    EXPECT_LT(bluetooth().range_m, p.range_m) << p.name;
+  }
+}
+
+TEST(PhyProfilesTest, Table5GenerationsAndSwitching) {
+  const auto rows = cellular_profiles();
+  ASSERT_EQ(rows.size(), 9u);
+  // 1G/2G circuit-switched; 2.5G/3G packet-switched (paper's Table 5).
+  for (const auto& p : rows) {
+    if (p.generation == "1G" || p.generation == "2G") {
+      EXPECT_EQ(p.switching, Switching::kCircuit) << p.name;
+      EXPECT_GT(p.call_setup, sim::Time::zero()) << p.name;
+    } else {
+      EXPECT_EQ(p.switching, Switching::kPacket) << p.name;
+    }
+  }
+}
+
+TEST(PhyProfilesTest, CellularRatesGrowByGeneration) {
+  EXPECT_LT(amps().data_rate_bps, gprs().data_rate_bps);
+  EXPECT_LT(gprs().data_rate_bps, edge().data_rate_bps);
+  EXPECT_LT(edge().data_rate_bps, wcdma().data_rate_bps);
+  // Cellular < 1 Mbps before 3G (paper §8 point 4).
+  EXPECT_LT(edge().data_rate_bps, 1e6);
+  EXPECT_GT(wcdma().data_rate_bps, 1e6);
+}
+
+TEST(PhyProfilesTest, LookupByName) {
+  EXPECT_EQ(profile_by_name("802.11b").data_rate_bps, 11e6);
+  EXPECT_EQ(profile_by_name("GPRS").generation, "2.5G");
+  EXPECT_THROW(profile_by_name("802.11n"), std::out_of_range);
+}
+
+TEST(PhyProfilesTest, EffectiveRateBelowNominal) {
+  for (const auto& p : wlan_profiles()) {
+    EXPECT_LT(p.effective_rate_bps(), p.data_rate_bps) << p.name;
+    EXPECT_GT(p.effective_rate_bps(), 0.4 * p.data_rate_bps) << p.name;
+  }
+}
+
+// --- Mobility ----------------------------------------------------------------
+
+TEST(MobilityTest, FixedPositionStaysPut) {
+  FixedPosition m{{10, 20}};
+  EXPECT_EQ(m.position(), (Position{10, 20}));
+  m.move_to({1, 2});
+  EXPECT_EQ(m.position(), (Position{1, 2}));
+}
+
+TEST(MobilityTest, PositionDistance) {
+  EXPECT_DOUBLE_EQ((Position{0, 0}).distance_to({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ((Position{1, 1}).distance_to({1, 1}), 0.0);
+}
+
+TEST(MobilityTest, LinearMobilityTracksClock) {
+  sim::Simulator sim;
+  LinearMobility m{sim, {0, 0}, 2.0, -1.0};  // 2 m/s east, 1 m/s south
+  EXPECT_EQ(m.position(), (Position{0, 0}));
+  sim.run_until(sim::Time::seconds(10.0));
+  EXPECT_DOUBLE_EQ(m.position().x, 20.0);
+  EXPECT_DOUBLE_EQ(m.position().y, -10.0);
+}
+
+TEST(MobilityTest, RandomWaypointStaysInBounds) {
+  sim::Simulator sim;
+  RandomWaypointMobility::Config cfg;
+  cfg.width_m = 100;
+  cfg.height_m = 50;
+  cfg.min_speed_mps = 5;
+  cfg.max_speed_mps = 20;
+  cfg.pause = sim::Time::millis(100);
+  RandomWaypointMobility m{sim, {50, 25}, cfg, sim::Rng{3}};
+  for (int i = 0; i < 200; ++i) {
+    sim.run_until(sim.now() + sim::Time::seconds(1.0));
+    const Position p = m.position();
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 100.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 50.0);
+  }
+}
+
+TEST(MobilityTest, RandomWaypointActuallyMoves) {
+  sim::Simulator sim;
+  RandomWaypointMobility m{sim, {500, 500}, {}, sim::Rng{5}};
+  const Position start = m.position();
+  sim.run_until(sim::Time::seconds(60.0));
+  EXPECT_GT(start.distance_to(m.position()), 1.0);
+}
+
+// --- Medium -------------------------------------------------------------------
+
+struct MediumFixture : public ::testing::Test {
+  void build(PhyProfile phy, WirelessConfig extra = {},
+             bool deterministic = true) {
+    extra.phy = phy;
+    if (deterministic) {  // disable stochastic effects unless a test opts in
+      extra.phy.base_loss_rate = 0.0;
+      extra.p_good_to_bad = 0.0;
+    }
+    net = std::make_unique<net::Network>(sim, 9);
+    ap_node = net->add_node("ap");
+    sta_node = net->add_node("sta");
+    medium = std::make_unique<WirelessMedium>(sim, "cell0", Position{0, 0},
+                                              extra, sim::Rng{11});
+    ap_if = ap_node->add_interface(net->allocate_address());
+    sta_if = sta_node->add_interface(net->allocate_address());
+    medium->set_ap_interface(ap_if);
+    medium->associate(sta_if, &sta_pos);
+    net->register_channel(medium.get());
+    net->compute_routes();
+  }
+
+  net::PacketPtr udp(net::IpAddress src, net::IpAddress dst, std::size_t n) {
+    auto p = net::make_packet();
+    p->src = src;
+    p->dst = dst;
+    p->proto = net::Protocol::kUdp;
+    p->payload = std::string(n, 'x');
+    return p;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> net;
+  net::Node* ap_node = nullptr;
+  net::Node* sta_node = nullptr;
+  net::Interface* ap_if = nullptr;
+  net::Interface* sta_if = nullptr;
+  FixedPosition sta_pos{{10, 0}};
+  std::unique_ptr<WirelessMedium> medium;
+};
+
+TEST_F(MediumFixture, DeliversBothDirections) {
+  build(wifi_802_11b());
+  int at_sta = 0;
+  int at_ap = 0;
+  sta_node->register_protocol_handler(
+      net::Protocol::kUdp, [&](const net::PacketPtr&, net::Interface*) { ++at_sta; });
+  ap_node->register_protocol_handler(
+      net::Protocol::kUdp, [&](const net::PacketPtr&, net::Interface*) { ++at_ap; });
+  ap_node->send(udp(ap_node->addr(), sta_node->addr(), 100));
+  sta_node->send(udp(sta_node->addr(), ap_node->addr(), 100));
+  sim.run();
+  EXPECT_EQ(at_sta, 1);
+  EXPECT_EQ(at_ap, 1);
+}
+
+TEST_F(MediumFixture, OutOfRangeIsDropped) {
+  build(bluetooth());  // 10 m range
+  sta_pos.move_to({50, 0});
+  int got = 0;
+  sta_node->register_protocol_handler(
+      net::Protocol::kUdp, [&](const net::PacketPtr&, net::Interface*) { ++got; });
+  ap_node->send(udp(ap_node->addr(), sta_node->addr(), 100));
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(medium->stats().counter("drop_out_of_range").value(), 1u);
+}
+
+TEST_F(MediumFixture, ThroughputMatchesEffectiveRate) {
+  build(wifi_802_11b());
+  std::uint64_t bytes = 0;
+  sta_node->register_protocol_handler(
+      net::Protocol::kUdp, [&](const net::PacketPtr& p, net::Interface*) {
+        bytes += p->payload.size();
+      });
+  // Saturate for one second of simulated time.
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ap_node->send(udp(ap_node->addr(), sta_node->addr(), 1400));
+  }
+  sim.run();
+  const double rate = 8.0 * static_cast<double>(bytes) / sim.now().to_seconds();
+  const double effective = wifi_802_11b().effective_rate_bps();
+  EXPECT_NEAR(rate, effective, 0.15 * effective);
+}
+
+TEST_F(MediumFixture, ContentionSlowsSharedMedium) {
+  // Measure one station's transfer duration alone vs with nine bystanders.
+  auto run_with_stations = [&](int extra) {
+    build(wifi_802_11b());
+    std::vector<std::unique_ptr<FixedPosition>> positions;
+    for (int i = 0; i < extra; ++i) {
+      auto* n = net->add_node(sim::strf("bystander%d", i));
+      auto* iface = n->add_interface(net->allocate_address());
+      positions.push_back(std::make_unique<FixedPosition>(Position{5, 5}));
+      medium->associate(iface, positions.back().get());
+    }
+    const sim::Time start = sim.now();
+    int got = 0;
+    sta_node->register_protocol_handler(
+        net::Protocol::kUdp,
+        [&](const net::PacketPtr&, net::Interface*) { ++got; });
+    for (int i = 0; i < 50; ++i) {
+      ap_node->send(udp(ap_node->addr(), sta_node->addr(), 1400));
+    }
+    sim.run();
+    EXPECT_EQ(got, 50);
+    return sim.now() - start;
+  };
+  const sim::Time alone = run_with_stations(0);
+  const sim::Time crowded = run_with_stations(9);
+  EXPECT_GT(crowded, alone * 1.3);
+}
+
+TEST_F(MediumFixture, GilbertElliottLosesBursts) {
+  WirelessConfig cfg;
+  cfg.p_good_to_bad = 0.05;
+  cfg.p_bad_to_good = 0.2;
+  cfg.burst_loss = 0.9;
+  cfg.queue_limit_bytes = 16 * 1024 * 1024;  // isolate loss from queueing
+  PhyProfile phy = wifi_802_11b();
+  phy.base_loss_rate = 0.0;  // isolate the burst process
+  build(phy, cfg, /*deterministic=*/false);
+  int got = 0;
+  sta_node->register_protocol_handler(
+      net::Protocol::kUdp, [&](const net::PacketPtr&, net::Interface*) { ++got; });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ap_node->send(udp(ap_node->addr(), sta_node->addr(), 200));
+  }
+  sim.run();
+  // Expected stationary bad-state share = 0.05/(0.05+0.2) = 20%, losing 90%
+  // of frames there: ~18% loss overall.
+  EXPECT_LT(got, n);
+  const double loss = 1.0 - static_cast<double>(got) / n;
+  EXPECT_NEAR(loss, 0.18, 0.08);
+}
+
+TEST_F(MediumFixture, CircuitModeRequiresCall) {
+  build(gsm());
+  int got = 0;
+  sta_node->register_protocol_handler(
+      net::Protocol::kUdp, [&](const net::PacketPtr&, net::Interface*) { ++got; });
+  ap_node->send(udp(ap_node->addr(), sta_node->addr(), 100));
+  sim.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(medium->stats().counter("drop_no_call").value(), 1u);
+}
+
+TEST_F(MediumFixture, CallSetupTakesStandardTime) {
+  build(gsm());
+  bool granted = false;
+  sim::Time granted_at;
+  medium->place_call(sta_if, [&](bool ok) {
+    granted = ok;
+    granted_at = sim.now();
+  });
+  sim.run();
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(granted_at, gsm().call_setup);
+  EXPECT_TRUE(medium->has_call(sta_if));
+}
+
+TEST_F(MediumFixture, DataFlowsDuringCall) {
+  build(gsm());
+  int got = 0;
+  sta_node->register_protocol_handler(
+      net::Protocol::kUdp, [&](const net::PacketPtr&, net::Interface*) { ++got; });
+  medium->place_call(sta_if, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    ap_node->send(udp(ap_node->addr(), sta_node->addr(), 100));
+  });
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(MediumFixture, CellBlocksWhenChannelsExhausted) {
+  WirelessConfig cfg;
+  cfg.circuit_channels = 1;
+  build(gsm(), cfg);
+  auto* other = net->add_node("other");
+  auto* other_if = other->add_interface(net->allocate_address());
+  FixedPosition other_pos{{5, 5}};
+  medium->associate(other_if, &other_pos);
+
+  bool first = false;
+  bool second = true;
+  medium->place_call(sta_if, [&](bool ok) { first = ok; });
+  medium->place_call(other_if, [&](bool ok) { second = ok; });
+  sim.run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);  // blocked
+  EXPECT_EQ(medium->stats().counter("calls_blocked").value(), 1u);
+
+  medium->end_call(sta_if);
+  bool third = false;
+  medium->place_call(other_if, [&](bool ok) { third = ok; });
+  sim.run();
+  EXPECT_TRUE(third);
+}
+
+TEST_F(MediumFixture, DisassociateRemovesStation) {
+  build(wifi_802_11b());
+  medium->disassociate(sta_if);
+  EXPECT_FALSE(medium->is_associated(sta_if));
+  int got = 0;
+  sta_node->register_protocol_handler(
+      net::Protocol::kUdp, [&](const net::PacketPtr&, net::Interface*) { ++got; });
+  ap_node->send(udp(ap_node->addr(), sta_node->addr(), 100));
+  sim.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST_F(MediumFixture, TopologyChangeCallbackFires) {
+  build(wifi_802_11b());
+  int fired = 0;
+  medium->on_topology_changed = [&] { ++fired; };
+  medium->disassociate(sta_if);
+  medium->associate(sta_if, &sta_pos);
+  EXPECT_EQ(fired, 2);
+}
+
+// --- Handoff ------------------------------------------------------------------
+
+TEST(HandoffTest, MobileCrossingCellsHandsOff) {
+  sim::Simulator sim;
+  net::Network network{sim, 13};
+  auto* ap1 = network.add_node("ap1");
+  auto* ap2 = network.add_node("ap2");
+  auto* mob = network.add_node("mobile");
+  WirelessConfig cfg;
+  cfg.phy = wifi_802_11b();  // 100 m range
+  WirelessMedium cell1{sim, "cell1", Position{0, 0}, cfg, sim::Rng{1}};
+  WirelessMedium cell2{sim, "cell2", Position{150, 0}, cfg, sim::Rng{2}};
+  cell1.set_ap_interface(ap1->add_interface(network.allocate_address()));
+  cell2.set_ap_interface(ap2->add_interface(network.allocate_address()));
+  auto* mif = mob->add_interface(network.allocate_address());
+
+  LinearMobility walk{sim, {0, 0}, 10.0, 0.0};  // 10 m/s toward cell2
+  HandoffManager hm{sim, mif, &walk, {&cell1, &cell2}};
+  std::vector<std::string> log;
+  hm.on_handoff = [&](WirelessMedium* from, WirelessMedium* to) {
+    log.push_back(sim::strf("%s->%s", from ? from->name().c_str() : "none",
+                            to ? to->name().c_str() : "none"));
+  };
+  hm.start();
+  EXPECT_EQ(hm.current(), &cell1);
+  sim.run_until(sim::Time::seconds(15.0));  // at x=150: inside cell2 only
+  EXPECT_EQ(hm.current(), &cell2);
+  EXPECT_EQ(hm.handoff_count(), 1u);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "none->cell1");
+  EXPECT_EQ(log[1], "cell1->cell2");
+}
+
+TEST(HandoffTest, HysteresisPreventsPingPong) {
+  sim::Simulator sim;
+  net::Network network{sim, 17};
+  auto* ap1 = network.add_node("ap1");
+  auto* ap2 = network.add_node("ap2");
+  auto* mob = network.add_node("mobile");
+  WirelessConfig cfg;
+  cfg.phy = wifi_802_11b();
+  WirelessMedium cell1{sim, "cell1", Position{0, 0}, cfg, sim::Rng{1}};
+  WirelessMedium cell2{sim, "cell2", Position{100, 0}, cfg, sim::Rng{2}};
+  cell1.set_ap_interface(ap1->add_interface(network.allocate_address()));
+  cell2.set_ap_interface(ap2->add_interface(network.allocate_address()));
+  auto* mif = mob->add_interface(network.allocate_address());
+
+  // Sitting exactly at the midpoint: equal distances; must not flap.
+  FixedPosition still{{50, 0}};
+  HandoffConfig hcfg;
+  hcfg.hysteresis_m = 20;
+  HandoffManager hm{sim, mif, &still, {&cell1, &cell2}, hcfg};
+  hm.start();
+  sim.run_until(sim::Time::seconds(30.0));
+  EXPECT_EQ(hm.handoff_count(), 0u);
+  EXPECT_EQ(hm.current(), &cell1);
+}
+
+TEST(HandoffTest, CoverageLossDetaches) {
+  sim::Simulator sim;
+  net::Network network{sim, 19};
+  auto* ap1 = network.add_node("ap1");
+  auto* mob = network.add_node("mobile");
+  WirelessConfig cfg;
+  cfg.phy = bluetooth();  // 10 m
+  WirelessMedium cell{sim, "pan", Position{0, 0}, cfg, sim::Rng{1}};
+  cell.set_ap_interface(ap1->add_interface(network.allocate_address()));
+  auto* mif = mob->add_interface(network.allocate_address());
+
+  LinearMobility walk{sim, {0, 0}, 2.0, 0.0};
+  HandoffManager hm{sim, mif, &walk, {&cell}};
+  hm.start();
+  EXPECT_EQ(hm.current(), &cell);
+  sim.run_until(sim::Time::seconds(10.0));  // at 20 m: out of range
+  EXPECT_EQ(hm.current(), nullptr);
+  EXPECT_EQ(hm.coverage_losses(), 1u);
+}
+
+}  // namespace
+}  // namespace mcs::wireless
