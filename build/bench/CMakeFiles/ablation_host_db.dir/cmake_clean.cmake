@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_host_db.dir/ablation_host_db.cpp.o"
+  "CMakeFiles/ablation_host_db.dir/ablation_host_db.cpp.o.d"
+  "ablation_host_db"
+  "ablation_host_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_host_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mobile_ip.dir/ablation_mobile_ip.cpp.o"
+  "CMakeFiles/ablation_mobile_ip.dir/ablation_mobile_ip.cpp.o.d"
+  "ablation_mobile_ip"
+  "ablation_mobile_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mobile_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ec_system.dir/fig1_ec_system.cpp.o"
+  "CMakeFiles/fig1_ec_system.dir/fig1_ec_system.cpp.o.d"
+  "fig1_ec_system"
+  "fig1_ec_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ec_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

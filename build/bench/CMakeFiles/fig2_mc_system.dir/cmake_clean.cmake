@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_mc_system.dir/fig2_mc_system.cpp.o"
+  "CMakeFiles/fig2_mc_system.dir/fig2_mc_system.cpp.o.d"
+  "fig2_mc_system"
+  "fig2_mc_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mc_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

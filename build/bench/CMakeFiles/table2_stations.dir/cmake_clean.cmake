@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_stations.dir/table2_stations.cpp.o"
+  "CMakeFiles/table2_stations.dir/table2_stations.cpp.o.d"
+  "table2_stations"
+  "table2_stations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_stations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_middleware.dir/table3_middleware.cpp.o"
+  "CMakeFiles/table3_middleware.dir/table3_middleware.cpp.o.d"
+  "table3_middleware"
+  "table3_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

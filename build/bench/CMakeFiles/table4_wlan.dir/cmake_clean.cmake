@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_wlan.dir/table4_wlan.cpp.o"
+  "CMakeFiles/table4_wlan.dir/table4_wlan.cpp.o.d"
+  "table4_wlan"
+  "table4_wlan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_wlan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

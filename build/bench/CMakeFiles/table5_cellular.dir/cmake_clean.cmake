@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cellular.dir/table5_cellular.cpp.o"
+  "CMakeFiles/table5_cellular.dir/table5_cellular.cpp.o.d"
+  "table5_cellular"
+  "table5_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

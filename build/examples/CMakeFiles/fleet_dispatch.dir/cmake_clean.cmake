@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_dispatch.dir/fleet_dispatch.cpp.o"
+  "CMakeFiles/fleet_dispatch.dir/fleet_dispatch.cpp.o.d"
+  "fleet_dispatch"
+  "fleet_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

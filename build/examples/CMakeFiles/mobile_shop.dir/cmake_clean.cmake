@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_shop.dir/mobile_shop.cpp.o"
+  "CMakeFiles/mobile_shop.dir/mobile_shop.cpp.o.d"
+  "mobile_shop"
+  "mobile_shop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_shop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

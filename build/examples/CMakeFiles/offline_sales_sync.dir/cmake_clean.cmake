@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_sales_sync.dir/offline_sales_sync.cpp.o"
+  "CMakeFiles/offline_sales_sync.dir/offline_sales_sync.cpp.o.d"
+  "offline_sales_sync"
+  "offline_sales_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_sales_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

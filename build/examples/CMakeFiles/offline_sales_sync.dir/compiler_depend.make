@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for offline_sales_sync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_core.dir/apps.cpp.o"
+  "CMakeFiles/mcs_core.dir/apps.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/payment.cpp.o"
+  "CMakeFiles/mcs_core.dir/payment.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/personalization.cpp.o"
+  "CMakeFiles/mcs_core.dir/personalization.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/system.cpp.o"
+  "CMakeFiles/mcs_core.dir/system.cpp.o.d"
+  "libmcs_core.a"
+  "libmcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

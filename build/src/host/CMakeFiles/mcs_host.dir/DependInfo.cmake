@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/app_server.cpp" "src/host/CMakeFiles/mcs_host.dir/app_server.cpp.o" "gcc" "src/host/CMakeFiles/mcs_host.dir/app_server.cpp.o.d"
+  "/root/repo/src/host/db/database.cpp" "src/host/CMakeFiles/mcs_host.dir/db/database.cpp.o" "gcc" "src/host/CMakeFiles/mcs_host.dir/db/database.cpp.o.d"
+  "/root/repo/src/host/db/db_server.cpp" "src/host/CMakeFiles/mcs_host.dir/db/db_server.cpp.o" "gcc" "src/host/CMakeFiles/mcs_host.dir/db/db_server.cpp.o.d"
+  "/root/repo/src/host/db/table.cpp" "src/host/CMakeFiles/mcs_host.dir/db/table.cpp.o" "gcc" "src/host/CMakeFiles/mcs_host.dir/db/table.cpp.o.d"
+  "/root/repo/src/host/db/value.cpp" "src/host/CMakeFiles/mcs_host.dir/db/value.cpp.o" "gcc" "src/host/CMakeFiles/mcs_host.dir/db/value.cpp.o.d"
+  "/root/repo/src/host/embedded_db.cpp" "src/host/CMakeFiles/mcs_host.dir/embedded_db.cpp.o" "gcc" "src/host/CMakeFiles/mcs_host.dir/embedded_db.cpp.o.d"
+  "/root/repo/src/host/http.cpp" "src/host/CMakeFiles/mcs_host.dir/http.cpp.o" "gcc" "src/host/CMakeFiles/mcs_host.dir/http.cpp.o.d"
+  "/root/repo/src/host/http_server.cpp" "src/host/CMakeFiles/mcs_host.dir/http_server.cpp.o" "gcc" "src/host/CMakeFiles/mcs_host.dir/http_server.cpp.o.d"
+  "/root/repo/src/host/sync.cpp" "src/host/CMakeFiles/mcs_host.dir/sync.cpp.o" "gcc" "src/host/CMakeFiles/mcs_host.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/mcs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

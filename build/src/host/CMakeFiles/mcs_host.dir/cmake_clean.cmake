@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_host.dir/app_server.cpp.o"
+  "CMakeFiles/mcs_host.dir/app_server.cpp.o.d"
+  "CMakeFiles/mcs_host.dir/db/database.cpp.o"
+  "CMakeFiles/mcs_host.dir/db/database.cpp.o.d"
+  "CMakeFiles/mcs_host.dir/db/db_server.cpp.o"
+  "CMakeFiles/mcs_host.dir/db/db_server.cpp.o.d"
+  "CMakeFiles/mcs_host.dir/db/table.cpp.o"
+  "CMakeFiles/mcs_host.dir/db/table.cpp.o.d"
+  "CMakeFiles/mcs_host.dir/db/value.cpp.o"
+  "CMakeFiles/mcs_host.dir/db/value.cpp.o.d"
+  "CMakeFiles/mcs_host.dir/embedded_db.cpp.o"
+  "CMakeFiles/mcs_host.dir/embedded_db.cpp.o.d"
+  "CMakeFiles/mcs_host.dir/http.cpp.o"
+  "CMakeFiles/mcs_host.dir/http.cpp.o.d"
+  "CMakeFiles/mcs_host.dir/http_server.cpp.o"
+  "CMakeFiles/mcs_host.dir/http_server.cpp.o.d"
+  "CMakeFiles/mcs_host.dir/sync.cpp.o"
+  "CMakeFiles/mcs_host.dir/sync.cpp.o.d"
+  "libmcs_host.a"
+  "libmcs_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/adaptation.cpp" "src/middleware/CMakeFiles/mcs_middleware.dir/adaptation.cpp.o" "gcc" "src/middleware/CMakeFiles/mcs_middleware.dir/adaptation.cpp.o.d"
+  "/root/repo/src/middleware/markup.cpp" "src/middleware/CMakeFiles/mcs_middleware.dir/markup.cpp.o" "gcc" "src/middleware/CMakeFiles/mcs_middleware.dir/markup.cpp.o.d"
+  "/root/repo/src/middleware/wap_gateway.cpp" "src/middleware/CMakeFiles/mcs_middleware.dir/wap_gateway.cpp.o" "gcc" "src/middleware/CMakeFiles/mcs_middleware.dir/wap_gateway.cpp.o.d"
+  "/root/repo/src/middleware/wbxml.cpp" "src/middleware/CMakeFiles/mcs_middleware.dir/wbxml.cpp.o" "gcc" "src/middleware/CMakeFiles/mcs_middleware.dir/wbxml.cpp.o.d"
+  "/root/repo/src/middleware/wtp.cpp" "src/middleware/CMakeFiles/mcs_middleware.dir/wtp.cpp.o" "gcc" "src/middleware/CMakeFiles/mcs_middleware.dir/wtp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/host/CMakeFiles/mcs_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/mcs_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mcs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_middleware.dir/adaptation.cpp.o"
+  "CMakeFiles/mcs_middleware.dir/adaptation.cpp.o.d"
+  "CMakeFiles/mcs_middleware.dir/markup.cpp.o"
+  "CMakeFiles/mcs_middleware.dir/markup.cpp.o.d"
+  "CMakeFiles/mcs_middleware.dir/wap_gateway.cpp.o"
+  "CMakeFiles/mcs_middleware.dir/wap_gateway.cpp.o.d"
+  "CMakeFiles/mcs_middleware.dir/wbxml.cpp.o"
+  "CMakeFiles/mcs_middleware.dir/wbxml.cpp.o.d"
+  "CMakeFiles/mcs_middleware.dir/wtp.cpp.o"
+  "CMakeFiles/mcs_middleware.dir/wtp.cpp.o.d"
+  "libmcs_middleware.a"
+  "libmcs_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_mobileip.dir/mobile_ip.cpp.o"
+  "CMakeFiles/mcs_mobileip.dir/mobile_ip.cpp.o.d"
+  "libmcs_mobileip.a"
+  "libmcs_mobileip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_mobileip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mcs_mobileip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_net.dir/address.cpp.o"
+  "CMakeFiles/mcs_net.dir/address.cpp.o.d"
+  "CMakeFiles/mcs_net.dir/link.cpp.o"
+  "CMakeFiles/mcs_net.dir/link.cpp.o.d"
+  "CMakeFiles/mcs_net.dir/network.cpp.o"
+  "CMakeFiles/mcs_net.dir/network.cpp.o.d"
+  "CMakeFiles/mcs_net.dir/node.cpp.o"
+  "CMakeFiles/mcs_net.dir/node.cpp.o.d"
+  "CMakeFiles/mcs_net.dir/packet.cpp.o"
+  "CMakeFiles/mcs_net.dir/packet.cpp.o.d"
+  "libmcs_net.a"
+  "libmcs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

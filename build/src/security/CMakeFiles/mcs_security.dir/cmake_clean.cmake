@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_security.dir/wtls.cpp.o"
+  "CMakeFiles/mcs_security.dir/wtls.cpp.o.d"
+  "libmcs_security.a"
+  "libmcs_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_sim.dir/logging.cpp.o"
+  "CMakeFiles/mcs_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/random.cpp.o"
+  "CMakeFiles/mcs_sim.dir/random.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mcs_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/stats.cpp.o"
+  "CMakeFiles/mcs_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/time.cpp.o"
+  "CMakeFiles/mcs_sim.dir/time.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/util.cpp.o"
+  "CMakeFiles/mcs_sim.dir/util.cpp.o.d"
+  "libmcs_sim.a"
+  "libmcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_station.dir/battery.cpp.o"
+  "CMakeFiles/mcs_station.dir/battery.cpp.o.d"
+  "CMakeFiles/mcs_station.dir/browser.cpp.o"
+  "CMakeFiles/mcs_station.dir/browser.cpp.o.d"
+  "CMakeFiles/mcs_station.dir/device.cpp.o"
+  "CMakeFiles/mcs_station.dir/device.cpp.o.d"
+  "libmcs_station.a"
+  "libmcs_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

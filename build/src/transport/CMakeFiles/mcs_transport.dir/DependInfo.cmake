@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/snoop.cpp" "src/transport/CMakeFiles/mcs_transport.dir/snoop.cpp.o" "gcc" "src/transport/CMakeFiles/mcs_transport.dir/snoop.cpp.o.d"
+  "/root/repo/src/transport/split_proxy.cpp" "src/transport/CMakeFiles/mcs_transport.dir/split_proxy.cpp.o" "gcc" "src/transport/CMakeFiles/mcs_transport.dir/split_proxy.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/transport/CMakeFiles/mcs_transport.dir/tcp.cpp.o" "gcc" "src/transport/CMakeFiles/mcs_transport.dir/tcp.cpp.o.d"
+  "/root/repo/src/transport/udp.cpp" "src/transport/CMakeFiles/mcs_transport.dir/udp.cpp.o" "gcc" "src/transport/CMakeFiles/mcs_transport.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

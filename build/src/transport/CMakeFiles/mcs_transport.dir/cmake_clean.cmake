@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_transport.dir/snoop.cpp.o"
+  "CMakeFiles/mcs_transport.dir/snoop.cpp.o.d"
+  "CMakeFiles/mcs_transport.dir/split_proxy.cpp.o"
+  "CMakeFiles/mcs_transport.dir/split_proxy.cpp.o.d"
+  "CMakeFiles/mcs_transport.dir/tcp.cpp.o"
+  "CMakeFiles/mcs_transport.dir/tcp.cpp.o.d"
+  "CMakeFiles/mcs_transport.dir/udp.cpp.o"
+  "CMakeFiles/mcs_transport.dir/udp.cpp.o.d"
+  "libmcs_transport.a"
+  "libmcs_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

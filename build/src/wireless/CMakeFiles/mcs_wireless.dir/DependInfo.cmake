@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wireless/handoff.cpp" "src/wireless/CMakeFiles/mcs_wireless.dir/handoff.cpp.o" "gcc" "src/wireless/CMakeFiles/mcs_wireless.dir/handoff.cpp.o.d"
+  "/root/repo/src/wireless/medium.cpp" "src/wireless/CMakeFiles/mcs_wireless.dir/medium.cpp.o" "gcc" "src/wireless/CMakeFiles/mcs_wireless.dir/medium.cpp.o.d"
+  "/root/repo/src/wireless/mobility.cpp" "src/wireless/CMakeFiles/mcs_wireless.dir/mobility.cpp.o" "gcc" "src/wireless/CMakeFiles/mcs_wireless.dir/mobility.cpp.o.d"
+  "/root/repo/src/wireless/phy_profiles.cpp" "src/wireless/CMakeFiles/mcs_wireless.dir/phy_profiles.cpp.o" "gcc" "src/wireless/CMakeFiles/mcs_wireless.dir/phy_profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/mcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

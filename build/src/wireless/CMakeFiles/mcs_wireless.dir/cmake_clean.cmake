@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_wireless.dir/handoff.cpp.o"
+  "CMakeFiles/mcs_wireless.dir/handoff.cpp.o.d"
+  "CMakeFiles/mcs_wireless.dir/medium.cpp.o"
+  "CMakeFiles/mcs_wireless.dir/medium.cpp.o.d"
+  "CMakeFiles/mcs_wireless.dir/mobility.cpp.o"
+  "CMakeFiles/mcs_wireless.dir/mobility.cpp.o.d"
+  "CMakeFiles/mcs_wireless.dir/phy_profiles.cpp.o"
+  "CMakeFiles/mcs_wireless.dir/phy_profiles.cpp.o.d"
+  "libmcs_wireless.a"
+  "libmcs_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

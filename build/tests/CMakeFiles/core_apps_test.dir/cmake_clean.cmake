@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_apps_test.dir/core_apps_test.cpp.o"
+  "CMakeFiles/core_apps_test.dir/core_apps_test.cpp.o.d"
+  "core_apps_test"
+  "core_apps_test.pdb"
+  "core_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

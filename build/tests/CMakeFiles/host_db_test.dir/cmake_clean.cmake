@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_db_test.dir/host_db_test.cpp.o"
+  "CMakeFiles/host_db_test.dir/host_db_test.cpp.o.d"
+  "host_db_test"
+  "host_db_test.pdb"
+  "host_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

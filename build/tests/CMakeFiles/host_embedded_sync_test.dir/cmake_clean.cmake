@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_embedded_sync_test.dir/host_embedded_sync_test.cpp.o"
+  "CMakeFiles/host_embedded_sync_test.dir/host_embedded_sync_test.cpp.o.d"
+  "host_embedded_sync_test"
+  "host_embedded_sync_test.pdb"
+  "host_embedded_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_embedded_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

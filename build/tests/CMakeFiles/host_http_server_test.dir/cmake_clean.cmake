@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_http_server_test.dir/host_http_server_test.cpp.o"
+  "CMakeFiles/host_http_server_test.dir/host_http_server_test.cpp.o.d"
+  "host_http_server_test"
+  "host_http_server_test.pdb"
+  "host_http_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_http_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

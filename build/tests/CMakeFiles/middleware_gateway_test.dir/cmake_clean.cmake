@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_gateway_test.dir/middleware_gateway_test.cpp.o"
+  "CMakeFiles/middleware_gateway_test.dir/middleware_gateway_test.cpp.o.d"
+  "middleware_gateway_test"
+  "middleware_gateway_test.pdb"
+  "middleware_gateway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

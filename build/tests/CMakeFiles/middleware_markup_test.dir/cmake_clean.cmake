@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_markup_test.dir/middleware_markup_test.cpp.o"
+  "CMakeFiles/middleware_markup_test.dir/middleware_markup_test.cpp.o.d"
+  "middleware_markup_test"
+  "middleware_markup_test.pdb"
+  "middleware_markup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_markup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

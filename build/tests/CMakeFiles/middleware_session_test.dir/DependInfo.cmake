@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/middleware_session_test.cpp" "tests/CMakeFiles/middleware_session_test.dir/middleware_session_test.cpp.o" "gcc" "tests/CMakeFiles/middleware_session_test.dir/middleware_session_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/station/CMakeFiles/mcs_station.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/mcs_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/mcs_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobileip/CMakeFiles/mcs_mobileip.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/mcs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/mcs_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mcs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/mcs_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

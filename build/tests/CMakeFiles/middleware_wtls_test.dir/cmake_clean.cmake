@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_wtls_test.dir/middleware_wtls_test.cpp.o"
+  "CMakeFiles/middleware_wtls_test.dir/middleware_wtls_test.cpp.o.d"
+  "middleware_wtls_test"
+  "middleware_wtls_test.pdb"
+  "middleware_wtls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_wtls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

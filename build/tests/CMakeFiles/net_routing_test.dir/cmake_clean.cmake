@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_routing_test.dir/net_routing_test.cpp.o"
+  "CMakeFiles/net_routing_test.dir/net_routing_test.cpp.o.d"
+  "net_routing_test"
+  "net_routing_test.pdb"
+  "net_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_udp_test.dir/transport_udp_test.cpp.o"
+  "CMakeFiles/transport_udp_test.dir/transport_udp_test.cpp.o.d"
+  "transport_udp_test"
+  "transport_udp_test.pdb"
+  "transport_udp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_udp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

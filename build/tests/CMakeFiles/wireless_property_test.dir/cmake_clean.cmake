@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_property_test.dir/wireless_property_test.cpp.o"
+  "CMakeFiles/wireless_property_test.dir/wireless_property_test.cpp.o.d"
+  "wireless_property_test"
+  "wireless_property_test.pdb"
+  "wireless_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
