@@ -75,7 +75,7 @@ class Transaction {
   bool lock(const std::string& table);
 
   Database& db_;
-  std::uint64_t id_;
+  std::uint64_t id_ = 0;
   State state_ = State::kActive;
   std::vector<UndoOp> undo_;
   std::vector<std::string> redo_;  // WAL ops, written on commit

@@ -59,7 +59,7 @@ class Table {
 
   std::string name_;
   std::vector<Column> columns_;
-  std::size_t pk_col_;
+  std::size_t pk_col_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::size_t> free_slots_;
   std::map<Value, std::size_t, ValueLess> primary_;

@@ -1,5 +1,6 @@
 #include "host/embedded_db.h"
 
+#include "sim/contract.h"
 #include "sim/util.h"
 
 namespace mcs::host {
@@ -54,7 +55,10 @@ EmbeddedDb::EmbeddedDb(sim::Simulator& sim, std::size_t max_bytes)
 
 void EmbeddedDb::stamp(const std::string& key, Entry& e) {
   (void)key;
+  const std::uint64_t previous = version_;
   e.version = ++version_;
+  MCS_INVARIANT(version_ > previous,
+                "embedded DB version counter wrapped; sync deltas would skew");
   e.modified_at = sim_.now();
 }
 
@@ -68,6 +72,8 @@ bool EmbeddedDb::put(const std::string& key, const std::string& value) {
   if (bytes_used_ - old_bytes + new_bytes > max_bytes_) return false;
   stamp(key, e);
   bytes_used_ = bytes_used_ - old_bytes + new_bytes;
+  MCS_INVARIANT(bytes_used_ <= max_bytes_,
+                "embedded DB footprint accounting exceeded its budget");
   entries_[key] = std::move(e);
   return true;
 }
@@ -86,6 +92,8 @@ bool EmbeddedDb::contains(const std::string& key) const {
 bool EmbeddedDb::erase(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end() || it->second.tombstone) return false;
+  MCS_INVARIANT(bytes_used_ >= it->second.value.size(),
+                "embedded DB byte accounting underflow on erase");
   bytes_used_ -= it->second.value.size();
   it->second.value.clear();
   it->second.tombstone = true;
@@ -138,7 +146,10 @@ bool EmbeddedDb::apply_remote(const ChangeRecord& change) {
   const std::size_t nb = entry_bytes(change.key, e);
   if (bytes_used_ + nb > max_bytes_) return false;  // footprint exceeded
   bytes_used_ += nb;
+  const std::uint64_t applied_version = e.version;
   entries_[change.key] = std::move(e);
+  MCS_INVARIANT(applied_version == version_,
+                "applied remote change must carry the newest local version");
   return true;
 }
 

@@ -68,7 +68,7 @@ class EmbeddedDb {
   void stamp(const std::string& key, Entry& e);
 
   sim::Simulator& sim_;
-  std::size_t max_bytes_;
+  std::size_t max_bytes_ = 0;
   std::size_t bytes_used_ = 0;
   std::uint64_t version_ = 0;
   std::uint64_t conflicts_ = 0;

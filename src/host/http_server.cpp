@@ -46,16 +46,24 @@ void HttpServer::on_accept(transport::TcpSocket::Ptr s) {
   stats_.counter("connections").add();
   auto conn = std::make_shared<Connection>();
   conn->socket = std::move(s);
-  conn->parser.on_request = [this, conn](HttpRequest&& req) {
+  // The parser lives inside Connection, so its callbacks must hold the
+  // connection weakly: a strong capture would be a self-cycle that outlives
+  // even socket teardown. The socket callbacks below keep conn alive.
+  std::weak_ptr<Connection> weak = conn;
+  conn->parser.on_request = [this, weak](HttpRequest&& req) {
+    auto c = weak.lock();
+    if (!c) return;
     // Synthetic header: lets CGI programs and gateways identify the client
     // connection (sessions, per-phone cookie jars).
-    req.set_header("X-Peer", conn->socket->remote().to_string());
-    dispatch(conn, std::move(req));
+    req.set_header("X-Peer", c->socket->remote().to_string());
+    dispatch(c, std::move(req));
   };
-  conn->parser.on_error = [this, conn](const std::string&) {
+  conn->parser.on_error = [this, weak](const std::string&) {
+    auto c = weak.lock();
+    if (!c) return;
     stats_.counter("parse_errors").add();
-    conn->socket->send(HttpResponse::bad_request("malformed").serialize());
-    conn->socket->close();
+    c->socket->send(HttpResponse::bad_request("malformed").serialize());
+    c->socket->close();
   };
   conn->socket->on_data = [conn](const std::string& bytes) {
     conn->parser.feed(bytes);

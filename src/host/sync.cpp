@@ -1,5 +1,6 @@
 #include "host/sync.h"
 
+#include "sim/contract.h"
 #include "sim/util.h"
 
 namespace mcs::host {
@@ -42,6 +43,8 @@ void SyncServer::on_line(const std::shared_ptr<Session>& s,
     return;
   }
   if (line == "END") {
+    MCS_INVARIANT(s->got_header,
+                  "sync session reached END without a SYNC header");
     // Collect our outgoing delta BEFORE applying theirs, so the client does
     // not get its own changes echoed back.
     const auto outgoing = replica_.changes_since(s->since);
@@ -116,7 +119,11 @@ void SyncClient::sync(std::uint64_t last_server_version, DoneCallback done) {
           st->pulled.push_back(std::move(*c));
         }
       } else if (sim::starts_with(line, "DONE ")) {
-        high_water_ = std::strtoull(line.c_str() + 5, nullptr, 10);
+        const std::uint64_t done_version =
+            std::strtoull(line.c_str() + 5, nullptr, 10);
+        MCS_INVARIANT(done_version >= high_water_,
+                      "sync server version went backwards between rounds");
+        high_water_ = done_version;
         sock->close();
         finish(true);
         return;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "middleware/wbxml.h"
+#include "sim/contract.h"
 #include "sim/util.h"
 
 namespace mcs::middleware {
@@ -90,6 +91,8 @@ void WapGateway::on_wtp_invoke(const std::string& payload, net::Endpoint from,
     wtls_channels_.erase(from);
     wtls_channels_.emplace(from, server.channel());
     ++wtls_sessions_;
+    MCS_INVARIANT(wtls_sessions_ >= wtls_channels_.size(),
+                  "more live WTLS channels than sessions ever created");
     respond("WTLS-SHELLO " + *shello);
     return;
   }
@@ -188,6 +191,8 @@ void WapGateway::handle_request(const std::string& payload,
         out = wsp_encode_response(200, "text/vnd.wap.wml", wml_text);
       }
       stats_.air_bytes_out += out.size();
+      MCS_INVARIANT(stats_.translations <= stats_.requests,
+                    "gateway translated more responses than it saw requests");
       respond(std::move(out));
     });
   });

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "sim/contract.h"
 #include "sim/logging.h"
 #include "sim/util.h"
 
@@ -44,6 +45,8 @@ void WtpEndpoint::send_segments(net::Endpoint to, const char* kind,
 void WtpEndpoint::invoke(net::Endpoint responder, std::string payload,
                          ResultCallback cb) {
   const std::uint64_t tid = next_tid_++;
+  MCS_ASSERT(!outgoing_.contains(tid),
+             "WTP transaction id reused while still outstanding");
   OutgoingTxn& txn = outgoing_[tid];
   txn.responder = responder;
   txn.payload = std::move(payload);
@@ -66,6 +69,8 @@ void WtpEndpoint::arm_retry(std::uint64_t tid) {
       finish(tid, std::nullopt);
       return;
     }
+    MCS_INVARIANT(txn.retries <= cfg_.max_retries,
+                  "WTP retry loop escaped its budget");
     stats_.counter("retransmissions").add();
     send_segments(txn.responder, "INV", tid, txn.payload);
     arm_retry(tid);
@@ -114,6 +119,8 @@ void WtpEndpoint::on_datagram(const std::string& data, net::Endpoint from) {
       auto rit = responding_.find(key);
       if (rit == responding_.end() || rit->second.responded) return;
       rit->second.responded = true;
+      MCS_INVARIANT(rit->second.handled,
+                    "WTP responder answered an invoke it never handled");
       rit->second.cached_result = std::move(result);
       send_segments(from, "RES", key.tid, rit->second.cached_result);
       // Drop cached state after the TTL even if the ACK is lost.
@@ -138,6 +145,8 @@ void WtpEndpoint::on_datagram(const std::string& data, net::Endpoint from) {
     txn.result.total = total;
     txn.result.segments.emplace(seg, body);
     if (!txn.result.complete()) return;
+    MCS_INVARIANT(txn.result.segments.size() == txn.result.total,
+                  "WTP reassembly completed with a segment-count mismatch");
     udp_.send(from, port_,
               strf("ACK %llu\n", static_cast<unsigned long long>(tid)));
     stats_.counter("transactions_completed").add();

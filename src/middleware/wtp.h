@@ -81,15 +81,15 @@ class WtpEndpoint {
   void finish(std::uint64_t tid, std::optional<std::string> result);
 
   transport::UdpStack& udp_;
-  std::uint16_t port_;
+  std::uint16_t port_ = 0;
   WtpConfig cfg_;
-  std::uint64_t next_tid_;
+  std::uint64_t next_tid_ = 0;
   std::unordered_map<std::uint64_t, OutgoingTxn> outgoing_;
   // Keyed by (initiator endpoint, tid) so tids from different phones never
   // collide at a shared gateway.
   struct RespKey {
     net::Endpoint from;
-    std::uint64_t tid;
+    std::uint64_t tid = 0;
     bool operator==(const RespKey&) const = default;
   };
   struct RespKeyHash {

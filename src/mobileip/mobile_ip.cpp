@@ -1,5 +1,6 @@
 #include "mobileip/mobile_ip.h"
 
+#include "sim/contract.h"
 #include "sim/logging.h"
 #include "sim/util.h"
 
@@ -68,12 +69,20 @@ std::optional<BindingForward> BindingForward::decode(const std::string& s) {
 HomeAgent::HomeAgent(net::Node& router, transport::UdpStack& udp,
                      HomeAgentConfig cfg)
     : router_{router}, udp_{udp}, cfg_{cfg} {
-  router_.add_filter([this](const net::PacketPtr& p, net::Interface* in) {
-    return intercept(p, in);
-  });
+  filter_id_ =
+      router_.add_filter([this](const net::PacketPtr& p, net::Interface* in) {
+        return intercept(p, in);
+      });
   udp_.bind(kMobileIpPort,
             [this](const std::string& payload, net::Endpoint from,
                    std::uint16_t) { on_datagram(payload, from); });
+}
+
+HomeAgent::~HomeAgent() {
+  // Only the filter is deregistered here: a replacement agent (constructed
+  // before this destructor runs, unique_ptr-assignment style) has already
+  // re-bound the registration port, and unbinding would tear that down.
+  router_.remove_filter(filter_id_);
 }
 
 void HomeAgent::serve_mobile(net::IpAddress home_addr) {
@@ -109,6 +118,10 @@ net::FilterVerdict HomeAgent::intercept(const net::PacketPtr& p,
 }
 
 void HomeAgent::tunnel_to(const net::PacketPtr& p, net::IpAddress coa) {
+  MCS_ASSERT(p->proto != net::Protocol::kIpInIp,
+             "home agent must never nest IP-in-IP tunnels");
+  MCS_ASSERT(!coa.is_unspecified(),
+             "tunnel care-of address must be a real address");
   auto outer = net::make_packet();
   outer->src = router_.addr();
   outer->dst = coa;
@@ -152,6 +165,10 @@ void HomeAgent::on_datagram(const std::string& payload, net::Endpoint from) {
                 now + sim::Time::millis(static_cast<std::int64_t>(
                           req->lifetime_ms)),
                 req->seq};
+    MCS_INVARIANT(bindings_[req->home_addr].expires > now,
+                  "accepted mobility binding must expire in the future");
+    MCS_INVARIANT(is_away(req->home_addr),
+                  "accepted registration must leave the mobile marked away");
     stats_.counter("registrations_accepted").add();
   }
   udp_.send(from, kMobileIpPort,
@@ -186,6 +203,8 @@ void ForeignAgent::visitor_departed(net::IpAddress home_addr) {
 
 void ForeignAgent::forward_packet(const net::PacketPtr& inner,
                                   net::IpAddress new_coa) {
+  MCS_ASSERT(new_coa != router_.addr(),
+             "forward pointer loops back to this foreign agent");
   auto outer = net::make_packet();
   outer->src = router_.addr();
   outer->dst = new_coa;
@@ -207,6 +226,8 @@ void ForeignAgent::buffer_packet(const net::PacketPtr& inner) {
     return;
   }
   q.push_back(BufferedPacket{inner, now});
+  MCS_INVARIANT(q.size() <= cfg_.buffer_packets,
+                "foreign agent exceeded its per-mobile buffer budget");
   stats_.counter("buffered_packets").add();
 }
 
@@ -313,6 +334,10 @@ void MobileIpClient::cancel_timers() {
 }
 
 void MobileIpClient::attach(net::IpAddress agent_addr, net::IpAddress next_hop) {
+  MCS_ASSERT(!agent_addr.is_unspecified(),
+             "attach() needs the agent's address; use detach() for loss");
+  MCS_ASSERT(!next_hop.is_unspecified(),
+             "attach() needs the access point's next-hop address");
   cancel_timers();
   current_agent_ = agent_addr;
   at_home_ = agent_addr == cfg_.home_agent;

@@ -69,6 +69,9 @@ class HomeAgent {
             HomeAgentConfig cfg = {});
   HomeAgent(const HomeAgent&) = delete;
   HomeAgent& operator=(const HomeAgent&) = delete;
+  // Deregisters the interception filter: it captures `this`, so a
+  // destroyed agent must not stay on the node's forwarding path.
+  ~HomeAgent();
 
   // Declare a mobile served by this HA (its home address).
   void serve_mobile(net::IpAddress home_addr);
@@ -91,6 +94,7 @@ class HomeAgent {
   void tunnel_to(const net::PacketPtr& p, net::IpAddress coa);
 
   net::Node& router_;
+  net::FilterId filter_id_ = 0;
   transport::UdpStack& udp_;
   HomeAgentConfig cfg_;
   std::unordered_map<net::IpAddress, bool> served_;  // home addrs

@@ -28,7 +28,7 @@ class Channel {
   struct Edge {
     Interface* a;
     Interface* b;
-    double cost;
+    double cost = 0.0;
   };
   virtual std::vector<Edge> edges() const = 0;
 };

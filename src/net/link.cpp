@@ -1,5 +1,6 @@
 #include "net/link.h"
 
+#include "sim/contract.h"
 #include "sim/logging.h"
 
 namespace mcs::net {
@@ -7,6 +8,10 @@ namespace mcs::net {
 Link::Link(sim::Simulator& sim, Interface* a, Interface* b, LinkConfig cfg,
            sim::Rng rng)
     : sim_{sim}, a_{a}, b_{b}, cfg_{cfg}, rng_{rng} {
+  MCS_ASSERT(a_ != nullptr && b_ != nullptr,
+             "link requires an interface on both ends");
+  MCS_ASSERT(a_ != b_, "link endpoints must be distinct interfaces");
+  MCS_ASSERT(cfg_.bandwidth_bps > 0.0, "link bandwidth must be positive");
   a_->attach(this);
   b_->attach(this);
 }
@@ -32,6 +37,8 @@ void Link::start_service(Interface* from) {
   dir.busy = true;
   PacketPtr p = dir.queue.front();
   dir.queue.pop_front();
+  MCS_INVARIANT(dir.queued_bytes >= p->size_bytes(),
+                "link queue byte accounting underflow");
   dir.queued_bytes -= p->size_bytes();
 
   const sim::Time serialization =

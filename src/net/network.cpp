@@ -47,7 +47,7 @@ void Network::compute_routes() {
     NodeId peer;
     Interface* out;
     Interface* peer_iface;
-    double cost;
+    double cost = 0.0;
   };
   std::vector<std::vector<Adj>> adj(nodes_.size());
   for (const auto& e : edges) {

@@ -45,7 +45,7 @@ void Node::receive(const PacketPtr& p, Interface* in) {
   stats_.counter("rx_packets").add();
   stats_.counter("rx_bytes").add(p->size_bytes());
   for (auto& f : filters_) {
-    if (f(p, in) == FilterVerdict::kConsumed) return;
+    if (f.fn(p, in) == FilterVerdict::kConsumed) return;
   }
   if (owns_address(p->dst)) {
     deliver_local(p, in);
@@ -66,7 +66,7 @@ void Node::send(const PacketPtr& p) {
   // agent colocated with a server must intercept its own node's output the
   // way a kernel routing hook would.
   for (auto& f : filters_) {
-    if (f(p, nullptr) == FilterVerdict::kConsumed) return;
+    if (f.fn(p, nullptr) == FilterVerdict::kConsumed) return;
   }
   if (owns_address(p->dst)) {
     // Loopback: deliver on the next event tick to preserve async semantics.

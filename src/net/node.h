@@ -34,7 +34,7 @@ class Interface {
  private:
   Node* node_;
   IpAddress addr_;
-  int index_;
+  int index_ = 0;
   Channel* channel_ = nullptr;
   bool up_ = true;
 };
@@ -51,6 +51,8 @@ using PacketFilter = std::function<FilterVerdict(const PacketPtr&, Interface*)>;
 
 // Handles packets addressed to this node for one protocol (transport demux).
 using ProtocolHandler = std::function<void(const PacketPtr&, Interface*)>;
+
+using FilterId = std::uint64_t;
 
 // A host or router: interfaces, a routing table, L4 demux and filters.
 class Node {
@@ -91,7 +93,18 @@ class Node {
   void send(const PacketPtr& p);
 
   void register_protocol_handler(Protocol proto, ProtocolHandler h);
-  void add_filter(PacketFilter f) { filters_.push_back(std::move(f)); }
+  // Registers a forwarding-path filter; the returned id deregisters it.
+  // Filters that capture `this` of a shorter-lived object (snoop agents,
+  // Mobile IP agents) must remove_filter() in their destructor.
+  FilterId add_filter(PacketFilter f) {
+    filters_.push_back(FilterEntry{next_filter_id_, std::move(f)});
+    return next_filter_id_++;
+  }
+  // Must not be called from inside a filter callback.
+  void remove_filter(FilterId id) {
+    std::erase_if(filters_,
+                  [id](const FilterEntry& e) { return e.id == id; });
+  }
 
   sim::StatsRegistry& stats() { return stats_; }
 
@@ -106,8 +119,14 @@ class Node {
   std::unordered_map<std::uint32_t, Route> routes_;
   Route default_route_;
   bool has_default_route_ = false;
+  struct FilterEntry {
+    FilterId id = 0;
+    PacketFilter fn;
+  };
+
   std::unordered_map<int, ProtocolHandler> handlers_;
-  std::vector<PacketFilter> filters_;
+  std::vector<FilterEntry> filters_;
+  FilterId next_filter_id_ = 1;
   sim::StatsRegistry stats_;
 };
 

@@ -69,8 +69,8 @@ class SecureChannel {
   std::string keystream(std::uint64_t nonce, std::size_t len,
                         int sender_role) const;
 
-  std::uint64_t secret_;
-  int role_;
+  std::uint64_t secret_ = 0;
+  int role_ = 0;
   std::uint32_t send_seq_ = 0;
   std::uint32_t recv_next_ = 0;
   std::uint64_t replays_ = 0;
@@ -109,9 +109,9 @@ class WtlsHandshake {
  private:
   Role role_;
   sim::Rng rng_;
-  std::uint64_t ca_key_;
+  std::uint64_t ca_key_ = 0;
   std::optional<Certificate> cert_;
-  std::uint64_t my_private_;
+  std::uint64_t my_private_ = 0;
   DhKeyPair ephemeral_;
   bool established_ = false;
   std::optional<SecureChannel> channel_;

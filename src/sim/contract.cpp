@@ -1,0 +1,18 @@
+#include "sim/contract.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcs::sim {
+
+void contract_violation(const char* kind, const char* expr, const char* file,
+                        int line, const char* msg) noexcept {
+  // One flat fprintf so the whole line survives even if abort() races other
+  // output; stderr is unbuffered enough for death-test matchers.
+  std::fprintf(stderr, "mcs contract violation (%s) at %s:%d: %s [%s]\n", kind,
+               file, line, msg, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mcs::sim

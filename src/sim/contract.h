@@ -1,0 +1,68 @@
+#pragma once
+
+// Contract checking for the simulation core and every layer above it.
+//
+// Three macros, used at real invariant points rather than as blanket input
+// validation:
+//
+//   MCS_ASSERT(cond, msg)     precondition / postcondition on an API
+//   MCS_INVARIANT(cond, msg)  internal consistency that must hold mid-flight
+//   MCS_UNREACHABLE(msg)      control flow that must never be reached
+//
+// A violated contract prints "file:line" plus the message and the failed
+// expression to stderr, then aborts — so death tests can match on the text
+// and a core dump lands at the first broken invariant instead of a later
+// symptom.
+//
+// MCS_CONTRACTS_ENABLED is injected by CMake (option MCS_CONTRACTS, default
+// ON in every build type). When built standalone without the definition,
+// checks follow NDEBUG: on in Debug, off in optimized builds.
+// MCS_UNREACHABLE stays armed even with contracts off — it marks states that
+// are terminal bugs, not checks with a cost worth trading away.
+
+#if !defined(MCS_CONTRACTS_ENABLED)
+#if defined(NDEBUG)
+#define MCS_CONTRACTS_ENABLED 0
+#else
+#define MCS_CONTRACTS_ENABLED 1
+#endif
+#endif
+
+namespace mcs::sim {
+
+// Prints the violation and aborts. `kind` is "assert" / "invariant" /
+// "unreachable"; `msg` is the human explanation from the call site.
+[[noreturn]] void contract_violation(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const char* msg) noexcept;
+
+}  // namespace mcs::sim
+
+#if MCS_CONTRACTS_ENABLED
+
+#define MCS_ASSERT(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::mcs::sim::contract_violation("assert", #cond, __FILE__, __LINE__, \
+                                     msg);                                \
+    }                                                                     \
+  } while (false)
+
+#define MCS_INVARIANT(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::mcs::sim::contract_violation("invariant", #cond, __FILE__, __LINE__, \
+                                     msg);                                   \
+    }                                                                        \
+  } while (false)
+
+#else  // contracts compiled out: condition stays unevaluated but type-checked
+
+#define MCS_ASSERT(cond, msg) ((void)sizeof((cond) ? 1 : 0))
+#define MCS_INVARIANT(cond, msg) ((void)sizeof((cond) ? 1 : 0))
+
+#endif  // MCS_CONTRACTS_ENABLED
+
+#define MCS_UNREACHABLE(msg)                                            \
+  ::mcs::sim::contract_violation("unreachable", "reached", __FILE__, \
+                                 __LINE__, msg)

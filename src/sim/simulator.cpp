@@ -1,12 +1,26 @@
 #include "sim/simulator.h"
 
-#include <cassert>
 #include <utility>
+
+#include "sim/contract.h"
 
 namespace mcs::sim {
 
+namespace {
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+constexpr std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xff)) * kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+}  // namespace
+
 EventId Simulator::at(Time t, Callback fn) {
-  assert(t >= now_ && "cannot schedule into the past");
+  MCS_ASSERT(t >= now_, "Simulator::at(): cannot schedule into the past");
+  MCS_ASSERT(fn != nullptr, "Simulator::at(): null callback");
   const EventId id = next_id_++;
   heap_.push(HeapEntry{t, next_seq_++, id});
   callbacks_.emplace(id, std::move(fn));
@@ -14,7 +28,7 @@ EventId Simulator::at(Time t, Callback fn) {
 }
 
 EventId Simulator::after(Time delay, Callback fn) {
-  assert(!delay.is_negative());
+  MCS_ASSERT(!delay.is_negative(), "Simulator::after(): negative delay");
   return at(now_ + delay, std::move(fn));
 }
 
@@ -28,8 +42,14 @@ bool Simulator::pop_and_run_next() {
     if (it == callbacks_.end()) continue;  // cancelled
     Callback fn = std::move(it->second);
     callbacks_.erase(it);
+    // The heap must deliver events in nondecreasing time: a violation here
+    // means the (time, schedule-order) replay contract is already broken.
+    MCS_INVARIANT(top.t >= now_, "event heap yielded a timestamp before now()");
     now_ = top.t;
     ++executed_;
+    trace_hash_ = fnv1a_mix(fnv1a_mix(trace_hash_,
+                                      static_cast<std::uint64_t>(top.t.ns())),
+                            top.seq);
     fn();
     return true;
   }
@@ -49,6 +69,7 @@ void Simulator::purge_cancelled_head() {
 }
 
 void Simulator::run_until(Time t) {
+  MCS_ASSERT(t >= now_, "Simulator::run_until(): target before now()");
   stopped_ = false;
   while (!stopped_) {
     // Cancelled entries must not gate the boundary check: a stale head with

@@ -45,11 +45,17 @@ class Simulator {
   std::size_t pending() const { return callbacks_.size(); }
   std::uint64_t executed() const { return executed_; }
 
+  // FNV-1a hash over the (time, sequence) pairs of every executed event.
+  // Two runs of the same scenario with the same seed must produce identical
+  // hashes; the determinism tests (and future scaling refactors) assert on
+  // this instead of diffing full event logs.
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
  private:
   struct HeapEntry {
     Time t;
-    std::uint64_t seq;
-    EventId id;
+    std::uint64_t seq = 0;
+    EventId id = kInvalidEventId;
     // Min-heap on (t, seq): std::priority_queue is a max-heap, so invert.
     friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
       if (a.t != b.t) return a.t > b.t;
@@ -65,6 +71,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t trace_hash_ = 14695981039346656037ull;  // FNV-1a offset basis
   std::priority_queue<HeapEntry> heap_;
   std::unordered_map<EventId, Callback> callbacks_;
 };

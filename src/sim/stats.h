@@ -35,7 +35,7 @@ class Histogram {
   std::string summary(const char* unit = "") const;
 
  private:
-  std::size_t max_samples_;
+  std::size_t max_samples_ = 0;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;

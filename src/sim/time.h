@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/contract.h"
+
 namespace mcs::sim {
 
 // Simulation time. One type is used for both absolute time points (ns since
@@ -34,8 +36,22 @@ class Time {
   constexpr bool is_zero() const { return ns_ == 0; }
   constexpr bool is_negative() const { return ns_ < 0; }
 
-  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
-  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  // Addition/subtraction are contract-checked against int64 overflow: a
+  // wrapped timestamp silently reorders the event heap, which is the worst
+  // possible failure mode for a replay-exact simulator. (Inside constant
+  // evaluation a violation is a compile error instead of an abort.)
+  friend constexpr Time operator+(Time a, Time b) {
+    std::int64_t r = 0;
+    MCS_ASSERT(!__builtin_add_overflow(a.ns_, b.ns_, &r),
+               "Time addition overflowed int64 nanoseconds");
+    return Time{r};
+  }
+  friend constexpr Time operator-(Time a, Time b) {
+    std::int64_t r = 0;
+    MCS_ASSERT(!__builtin_sub_overflow(a.ns_, b.ns_, &r),
+               "Time subtraction overflowed int64 nanoseconds");
+    return Time{r};
+  }
   friend constexpr Time operator*(Time a, double k) {
     return Time{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k)};
   }
@@ -45,11 +61,11 @@ class Time {
     return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
   }
   constexpr Time& operator+=(Time o) {
-    ns_ += o.ns_;
+    *this = *this + o;
     return *this;
   }
   constexpr Time& operator-=(Time o) {
-    ns_ -= o.ns_;
+    *this = *this - o;
     return *this;
   }
   friend constexpr auto operator<=>(Time a, Time b) = default;

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "sim/contract.h"
+
 namespace mcs::station {
 
 void Battery::integrate_idle() const {
   const sim::Time now = sim_.now();
+  MCS_INVARIANT(now >= last_update_,
+                "battery idle integration observed time running backwards");
   if (now > last_update_) {
     const double j = (now - last_update_).to_seconds() * cfg_.idle_watts;
     spent_idle_ += j;
@@ -14,7 +18,10 @@ void Battery::integrate_idle() const {
   }
 }
 
-void Battery::drain(double joules) const { remaining_ -= joules; }
+void Battery::drain(double joules) const {
+  MCS_ASSERT(joules >= 0.0, "battery drain must not add charge");
+  remaining_ -= joules;
+}
 
 void Battery::drain_tx_bytes(std::uint64_t bytes) {
   integrate_idle();

@@ -38,7 +38,7 @@ class Battery {
 
   sim::Simulator& sim_;
   BatteryConfig cfg_;
-  mutable double remaining_;
+  mutable double remaining_ = 0.0;
   mutable sim::Time last_update_;
   mutable double spent_tx_ = 0.0;
   mutable double spent_rx_ = 0.0;

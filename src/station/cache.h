@@ -2,6 +2,9 @@
 
 #include <cstdint>
 #include <list>
+
+#include "sim/contract.h"
+
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -25,6 +28,10 @@ class LruCache {
     while (used_ > budget_ && !order_.empty()) {
       evict_one();
     }
+    MCS_INVARIANT(used_ <= budget_,
+                  "LRU cache exceeded its byte budget after eviction");
+    MCS_INVARIANT(entries_.size() == order_.size(),
+                  "LRU cache index and recency list diverged");
   }
 
   // Refreshes recency on hit.
@@ -44,6 +51,8 @@ class LruCache {
   bool erase(const std::string& key) {
     auto it = entries_.find(key);
     if (it == entries_.end()) return false;
+    MCS_INVARIANT(used_ >= it->second.bytes,
+                  "LRU cache byte accounting underflow on erase");
     used_ -= it->second.bytes;
     order_.erase(it->second.where);
     entries_.erase(it);
@@ -65,7 +74,7 @@ class LruCache {
  private:
   struct Entry {
     V value;
-    std::uint64_t bytes;
+    std::uint64_t bytes = 0;
     typename std::list<std::string>::iterator where;
   };
 
@@ -73,11 +82,15 @@ class LruCache {
     const std::string victim = order_.back();
     order_.pop_back();
     auto it = entries_.find(victim);
+    MCS_ASSERT(it != entries_.end(),
+               "LRU recency list names a key missing from the index");
+    MCS_INVARIANT(used_ >= it->second.bytes,
+                  "LRU cache byte accounting underflow on eviction");
     used_ -= it->second.bytes;
     entries_.erase(it);
   }
 
-  std::uint64_t budget_;
+  std::uint64_t budget_ = 0;
   std::uint64_t used_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -1,5 +1,6 @@
 #include "transport/snoop.h"
 
+#include "sim/contract.h"
 #include "sim/logging.h"
 
 namespace mcs::transport {
@@ -8,14 +9,15 @@ SnoopAgent::SnoopAgent(net::Node& ap,
                        std::function<bool(net::IpAddress)> is_mobile,
                        SnoopConfig cfg)
     : ap_{ap}, is_mobile_{std::move(is_mobile)}, cfg_{cfg} {
-  ap_.add_filter([this](const net::PacketPtr& p, net::Interface* in) {
-    return on_packet(p, in);
-  });
+  filter_id_ =
+      ap_.add_filter([this](const net::PacketPtr& p, net::Interface* in) {
+        return on_packet(p, in);
+      });
 }
 
 SnoopAgent::~SnoopAgent() {
   if (scan_timer_ != sim::kInvalidEventId) ap_.sim().cancel(scan_timer_);
-  // The filter lambda captures `this`; agents must outlive node traffic.
+  ap_.remove_filter(filter_id_);
 }
 
 void SnoopAgent::flush() {
@@ -90,6 +92,8 @@ net::FilterVerdict SnoopAgent::on_ack_from_mobile(const net::PacketPtr& p,
     auto it = flow.cache.begin();
     while (it != flow.cache.end() &&
            it->first + it->second.packet->payload.size() <= ack) {
+      MCS_INVARIANT(flow.cached_bytes >= it->second.packet->payload.size(),
+                    "snoop cache byte accounting underflow");
       flow.cached_bytes -= it->second.packet->payload.size();
       it = flow.cache.erase(it);
     }
@@ -118,6 +122,9 @@ void SnoopAgent::retransmit(Flow& flow, std::uint64_t seq, bool timeout) {
   ++stats_.local_retransmissions;
   if (timeout) ++stats_.timeout_retransmissions;
   ++it->second.retransmissions;
+  MCS_INVARIANT(!timeout ||
+                    it->second.retransmissions <= cfg_.max_local_retransmissions,
+                "snoop timeout path exceeded the local retransmission budget");
   it->second.last_sent_at = ap_.sim().now();
   sim::logf(sim::LogLevel::kDebug, ap_.sim().now(),
             "snoop %s: local rtx seq=%llu%s", ap_.name().c_str(),
@@ -135,6 +142,8 @@ void SnoopAgent::scan_cache() {
     if (now - it->second.last_sent_at >= cfg_.local_rto) {
       if (it->second.retransmissions >= cfg_.max_local_retransmissions) {
         // Stop repairing: evict and let end-to-end recovery handle it.
+        MCS_INVARIANT(flow.cached_bytes >= it->second.packet->payload.size(),
+                      "snoop cache byte accounting underflow");
         flow.cached_bytes -= it->second.packet->payload.size();
         flow.cache.erase(it);
         ++stats_.segments_abandoned;

@@ -52,9 +52,9 @@ class SnoopAgent {
  private:
   struct FlowKey {
     net::IpAddress fixed;
-    std::uint16_t fixed_port;
+    std::uint16_t fixed_port = 0;
     net::IpAddress mobile;
-    std::uint16_t mobile_port;
+    std::uint16_t mobile_port = 0;
     bool operator==(const FlowKey&) const = default;
   };
   struct FlowKeyHash {
@@ -86,6 +86,7 @@ class SnoopAgent {
   void retransmit(Flow& flow, std::uint64_t seq, bool timeout);
 
   net::Node& ap_;
+  net::FilterId filter_id_ = 0;
   std::function<bool(net::IpAddress)> is_mobile_;
   SnoopConfig cfg_;
   std::unordered_map<FlowKey, Flow, FlowKeyHash> flows_;

@@ -1,5 +1,7 @@
 #include "transport/split_proxy.h"
 
+#include "sim/contract.h"
+
 namespace mcs::transport {
 
 SplitTcpProxy::SplitTcpProxy(TcpStack& stack, std::uint16_t listen_port,
@@ -22,6 +24,10 @@ SplitTcpProxy::SplitTcpProxy(TcpStack& stack, std::uint16_t listen_port,
 }
 
 void SplitTcpProxy::wire(const std::shared_ptr<Relay>& relay) {
+  MCS_ASSERT(relay->down != nullptr && relay->up != nullptr,
+             "split proxy relay must own both connection halves");
+  MCS_ASSERT(relay->down.get() != relay->up.get(),
+             "split proxy halves must be distinct connections");
   // TcpSocket::send buffers until established, so both directions can start
   // relaying immediately. The relay shared_ptr keeps both halves alive until
   // each socket fires its final callback.

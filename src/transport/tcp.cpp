@@ -1,14 +1,57 @@
 #include "transport/tcp.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "sim/contract.h"
 #include "sim/logging.h"
 
 namespace mcs::transport {
 
 using sim::LogLevel;
 using sim::Time;
+
+const char* to_string(TcpSocket::State s) {
+  switch (s) {
+    case TcpSocket::State::kClosed: return "CLOSED";
+    case TcpSocket::State::kSynSent: return "SYN_SENT";
+    case TcpSocket::State::kSynReceived: return "SYN_RECEIVED";
+    case TcpSocket::State::kEstablished: return "ESTABLISHED";
+    case TcpSocket::State::kFinWait: return "FIN_WAIT";
+    case TcpSocket::State::kCloseWait: return "CLOSE_WAIT";
+    case TcpSocket::State::kLastAck: return "LAST_ACK";
+  }
+  MCS_UNREACHABLE("unknown TcpSocket::State value");
+}
+
+bool tcp_state_transition_valid(TcpSocket::State from, TcpSocket::State to) {
+  using S = TcpSocket::State;
+  if (to == S::kClosed) return true;  // RST / teardown from anywhere
+  switch (from) {
+    case S::kClosed:
+      return to == S::kSynSent || to == S::kSynReceived;
+    case S::kSynSent:
+    case S::kSynReceived:
+      return to == S::kEstablished;
+    case S::kEstablished:
+      return to == S::kFinWait || to == S::kCloseWait;
+    case S::kCloseWait:
+      return to == S::kLastAck;
+    case S::kFinWait:
+    case S::kLastAck:
+      return false;  // only kClosed leaves these, handled above
+  }
+  MCS_UNREACHABLE("unknown TcpSocket::State value");
+}
+
+void require_valid_tcp_transition(TcpSocket::State from, TcpSocket::State to) {
+  MCS_ASSERT(tcp_state_transition_valid(from, to),
+             "invalid TCP state transition");
+}
+
+void TcpSocket::set_state(State next) {
+  require_valid_tcp_transition(state_, next);
+  state_ = next;
+}
 
 // ---------------------------------------------------------------------------
 // TcpSocket
@@ -27,14 +70,14 @@ TcpSocket::TcpSocket(TcpStack& stack, net::Endpoint local, net::Endpoint remote,
 TcpSocket::~TcpSocket() { cancel_rto(); }
 
 void TcpSocket::start_connect() {
-  state_ = State::kSynSent;
+  set_state(State::kSynSent);
   send_flags(net::kTcpSyn, 0);
   arm_rto();
 }
 
 void TcpSocket::start_accept(const net::PacketPtr& /*syn*/) {
   passive_ = true;
-  state_ = State::kSynReceived;
+  set_state(State::kSynReceived);
   rcv_nxt_ = 1;
   send_flags(net::kTcpSyn | net::kTcpAck, 0);
   arm_rto();
@@ -141,7 +184,7 @@ void TcpSocket::fire_connected() {
 }
 
 void TcpSocket::enter_established() {
-  state_ = State::kEstablished;
+  set_state(State::kEstablished);
   snd_una_ = 1;
   snd_nxt_ = 1;
   cancel_rto();
@@ -276,6 +319,8 @@ void TcpSocket::handle_data(const net::PacketPtr& p) {
     }
     out_of_order_.erase(it);
   }
+  MCS_INVARIANT(out_of_order_.empty() || out_of_order_.begin()->first > rcv_nxt_,
+                "reassembly queue retains a segment at or below rcv_nxt");
 
   if (peer_fin_received_ && peer_fin_seq_ == rcv_nxt_) {
     process_pending_fin();
@@ -304,7 +349,7 @@ void TcpSocket::process_pending_fin() {
   if (on_remote_close) on_remote_close();
   switch (state_) {
     case State::kEstablished:
-      state_ = State::kCloseWait;
+      set_state(State::kCloseWait);
       break;
     case State::kFinWait:
       if (fin_sent_ && snd_una_ > fin_seq_) {
@@ -340,7 +385,8 @@ void TcpSocket::try_send() {
     if (!fin_sent_) {
       fin_sent_ = true;
       fin_seq_ = send_buffer_end_;
-      state_ = state_ == State::kCloseWait ? State::kLastAck : State::kFinWait;
+      set_state(state_ == State::kCloseWait ? State::kLastAck
+                                               : State::kFinWait);
     }
     if (snd_nxt_ == fin_seq_) {
       send_flags(net::kTcpFin | net::kTcpAck, fin_seq_);
@@ -354,7 +400,8 @@ void TcpSocket::try_send() {
 void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len,
                              bool is_rtx) {
   auto p = make_segment(net::kTcpAck, seq);
-  assert(seq >= send_buffer_base_);
+  MCS_ASSERT(seq >= send_buffer_base_,
+             "segment seq points below the retained send buffer");
   p->payload = send_buffer_.substr(seq - send_buffer_base_, len);
   ++counters_.segments_sent;
   if (is_rtx) {
@@ -486,7 +533,7 @@ void TcpSocket::update_rtt(Time sample) {
 
 void TcpSocket::finish_close() {
   if (state_ == State::kClosed) return;
-  state_ = State::kClosed;
+  set_state(State::kClosed);
   cancel_rto();
   // Detach every callback before firing the last one: callbacks commonly
   // capture this socket (or a relay holding it) by shared_ptr, and clearing
@@ -504,6 +551,16 @@ void TcpSocket::finish_close() {
 // ---------------------------------------------------------------------------
 // TcpStack
 // ---------------------------------------------------------------------------
+
+TcpStack::~TcpStack() {
+  for (auto& [key, sock] : connections_) {
+    sock->cancel_rto();
+    sock->on_data = nullptr;
+    sock->on_connected = nullptr;
+    sock->on_remote_close = nullptr;
+    sock->on_closed = nullptr;
+  }
+}
 
 TcpStack::TcpStack(net::Node& node, TcpConfig default_config)
     : node_{node}, default_config_{default_config} {

@@ -125,6 +125,10 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   void send_ack();
   net::PacketPtr make_segment(std::uint8_t flags, std::uint64_t seq) const;
 
+  // All state changes funnel through here; contract-checks the transition
+  // against tcp_state_transition_valid().
+  void set_state(State next);
+
   // Timers.
   void arm_rto();
   void cancel_rto();
@@ -183,6 +187,18 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   TcpCounters counters_;
 };
 
+const char* to_string(TcpSocket::State s);
+
+// The connection state machine's legal edges. kClosed is reachable from any
+// state (RST / teardown); everything else follows the half-close diagram in
+// the TcpSocket::State comments.
+bool tcp_state_transition_valid(TcpSocket::State from, TcpSocket::State to);
+
+// Contract wrapper around tcp_state_transition_valid(): aborts (under
+// MCS_CONTRACTS) on an illegal edge. TcpSocket::set_state() routes through
+// this, and death tests exercise it directly.
+void require_valid_tcp_transition(TcpSocket::State from, TcpSocket::State to);
+
 // Per-node TCP: demultiplexes connections, owns listening ports.
 class TcpStack {
  public:
@@ -191,6 +207,11 @@ class TcpStack {
   TcpStack(net::Node& node, TcpConfig default_config = {});
   TcpStack(const TcpStack&) = delete;
   TcpStack& operator=(const TcpStack&) = delete;
+  // Detaches callbacks on every still-open connection. Application code
+  // routinely captures a socket's own shared_ptr in its callbacks (the relay
+  // pattern); finish_close() breaks that cycle on orderly teardown, but
+  // connections left established when a run ends would otherwise leak.
+  ~TcpStack();
 
   // Accept connections on `port`; the callback fires once per established
   // connection.
@@ -211,7 +232,7 @@ class TcpStack {
  private:
   friend class TcpSocket;
   struct ConnKey {
-    std::uint16_t local_port;
+    std::uint16_t local_port = 0;
     net::Endpoint remote;
     bool operator==(const ConnKey&) const = default;
   };

@@ -1,7 +1,9 @@
 #include "wireless/handoff.h"
 
+#include <algorithm>
 #include <limits>
 
+#include "sim/contract.h"
 #include "sim/logging.h"
 
 namespace mcs::wireless {
@@ -14,7 +16,16 @@ HandoffManager::HandoffManager(sim::Simulator& sim, net::Interface* station,
       station_{station},
       mobility_{mobility},
       cells_{std::move(cells)},
-      cfg_{cfg} {}
+      cfg_{cfg} {
+  MCS_ASSERT(station_ != nullptr, "handoff manager needs a station interface");
+  MCS_ASSERT(mobility_ != nullptr, "handoff manager needs a mobility model");
+  MCS_ASSERT(cfg_.hysteresis_m >= 0.0, "handoff hysteresis must be >= 0");
+  MCS_ASSERT(cfg_.check_interval > sim::Time::zero(),
+             "handoff check interval must be positive");
+  for (const WirelessMedium* cell : cells_) {
+    MCS_ASSERT(cell != nullptr, "handoff cell list contains a null cell");
+  }
+}
 
 HandoffManager::~HandoffManager() { stop(); }
 
@@ -63,6 +74,11 @@ void HandoffManager::check() {
 }
 
 void HandoffManager::switch_to(WirelessMedium* target) {
+  MCS_ASSERT(target != current_, "switch_to() must change the associated cell");
+  MCS_INVARIANT(target == nullptr ||
+                    std::find(cells_.begin(), cells_.end(), target) !=
+                        cells_.end(),
+                "handoff target is not one of the managed cells");
   WirelessMedium* old = current_;
   if (old != nullptr) old->disassociate(station_);
   current_ = target;

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 
+#include "sim/contract.h"
+
 namespace mcs::wireless {
 
 RandomWaypointMobility::RandomWaypointMobility(sim::Simulator& sim,
                                                Position start, Config cfg,
                                                sim::Rng rng)
     : sim_{sim}, cfg_{cfg}, rng_{rng}, from_{start}, to_{start} {
+  MCS_ASSERT(cfg_.width_m > 0.0 && cfg_.height_m > 0.0,
+             "random waypoint area must have positive extent");
+  MCS_ASSERT(cfg_.min_speed_mps > 0.0 &&
+                 cfg_.min_speed_mps <= cfg_.max_speed_mps,
+             "random waypoint speeds must satisfy 0 < min <= max");
+  MCS_ASSERT(!cfg_.pause.is_negative(),
+             "random waypoint pause must be non-negative");
   leg_start_ = sim_.now();
   leg_end_ = sim_.now();
   pick_next_waypoint();
@@ -25,6 +34,11 @@ void RandomWaypointMobility::pick_next_waypoint() {
   const double dist = from_.distance_to(to_);
   leg_start_ = sim_.now();
   leg_end_ = leg_start_ + sim::Time::seconds(dist / std::max(speed, 1e-6));
+  MCS_INVARIANT(to_.x >= 0.0 && to_.x <= cfg_.width_m && to_.y >= 0.0 &&
+                    to_.y <= cfg_.height_m,
+                "random waypoint left the configured bounding box");
+  MCS_INVARIANT(leg_end_ >= leg_start_,
+                "random waypoint leg must not end before it starts");
   timer_ = sim_.at(leg_end_ + cfg_.pause, [this] { pick_next_waypoint(); });
 }
 

@@ -61,8 +61,8 @@ class LinearMobility final : public MobilityModel {
   sim::Simulator& sim_;
   Position start_;
   sim::Time t0_;
-  double vx_;
-  double vy_;
+  double vx_ = 0.0;
+  double vy_ = 0.0;
 };
 
 // Random waypoint: pick a uniform destination in the bounding box, move to

@@ -75,9 +75,9 @@ TEST_P(McAppParamTest, TransactionSucceedsOverWapSystem) {
 
 INSTANTIATE_TEST_SUITE_P(AllApps, McAppParamTest,
                          ::testing::Range<std::size_t>(0, 8),
-                         [](const auto& info) {
+                         [](const auto& tinfo) {
                            std::string n =
-                               make_all_applications()[info.param]->name();
+                               make_all_applications()[tinfo.param]->name();
                            for (char& c : n) {
                              if (c == '-') c = '_';
                            }
@@ -105,9 +105,9 @@ TEST_P(EcAppParamTest, TransactionSucceedsOverEcSystem) {
 
 INSTANTIATE_TEST_SUITE_P(AllApps, EcAppParamTest,
                          ::testing::Range<std::size_t>(0, 8),
-                         [](const auto& info) {
+                         [](const auto& tinfo) {
                            std::string n =
-                               make_all_applications()[info.param]->name();
+                               make_all_applications()[tinfo.param]->name();
                            for (char& c : n) {
                              if (c == '-') c = '_';
                            }

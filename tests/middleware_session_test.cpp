@@ -107,8 +107,8 @@ TEST_P(GatewaySessionTest, GatewayPlaysCookiesPerPhone) {
 INSTANTIATE_TEST_SUITE_P(BothMiddlewares, GatewaySessionTest,
                          ::testing::Values(station::BrowserMode::kWap,
                                            station::BrowserMode::kImode),
-                         [](const auto& info) {
-                           return info.param == station::BrowserMode::kWap
+                         [](const auto& tinfo) {
+                           return tinfo.param == station::BrowserMode::kWap
                                       ? "wap"
                                       : "imode";
                          });

@@ -12,7 +12,7 @@ namespace mcs::station {
 namespace {
 
 struct WtlsFixture : public ::testing::Test {
-  void build(bool secure, int mobiles = 1) {
+  void build(bool secure, int phone_count = 1) {
     core::McSystemConfig cfg;
     cfg.num_mobiles = 0;  // built manually so we control browser config
     sys = std::make_unique<core::McSystem>(sim, cfg);
@@ -20,7 +20,7 @@ struct WtlsFixture : public ::testing::Test {
         "/account", "text/html",
         "<html><head><title>Bank</title></head><body>"
         "<p>BALANCE 1234.56</p></body></html>");
-    for (int i = 0; i < mobiles; ++i) add_mobile(secure, i);
+    for (int i = 0; i < phone_count; ++i) add_mobile(secure, i);
   }
 
   void add_mobile(bool secure, int index) {

@@ -52,10 +52,10 @@ INSTANTIATE_TEST_SUITE_P(
                       LossCase{0.05, 4}, LossCase{0.08, 5},
                       LossCase{0.03, 11}, LossCase{0.05, 12},
                       LossCase{0.08, 13}),
-    [](const auto& info) {
+    [](const auto& tinfo) {
       return sim::strf("loss%d_seed%d",
-                       static_cast<int>(info.param.loss * 100),
-                       static_cast<int>(info.param.seed));
+                       static_cast<int>(tinfo.param.loss * 100),
+                       static_cast<int>(tinfo.param.seed));
     });
 
 // --- Regression: late ACK after an RTO reset (snd_una > snd_nxt) -------------

@@ -118,8 +118,8 @@ TEST_P(PhySweep, EffectiveRateIsRespected) {
 
 INSTANTIATE_TEST_SUITE_P(AllPhys, PhySweep,
                          ::testing::Range<std::size_t>(0, 14),
-                         [](const auto& info) {
-                           std::string n = all_profiles()[info.param].name;
+                         [](const auto& tinfo) {
+                           std::string n = all_profiles()[tinfo.param].name;
                            for (char& c : n) {
                              if (!std::isalnum(static_cast<unsigned char>(c))) {
                                c = '_';
