@@ -3,13 +3,20 @@
 // Shared helpers for the paper-reproduction benchmarks: an aligned table
 // printer (each bench prints the paper-shaped table after the benchmark
 // run) and a transaction-workload driver over Application/ClientDriver.
+//
+// Set MCS_BENCH_JSON=<dir> to also write each printed table as
+// <dir>/<slug-of-title>.json, so the text tables stay human-first while
+// tooling gets a machine-readable copy for the perf trajectory.
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/apps.h"
+#include "sim/json.h"
 #include "sim/util.h"
 #include "sim/stats.h"
 
@@ -51,6 +58,50 @@ class TablePrinter {
     std::printf("\n");
     for (const auto& r : rows_) print_row(r);
     std::printf("\n");
+    if (const char* dir = std::getenv("MCS_BENCH_JSON")) {
+      write_json(std::string{dir} + "/" + slug() + ".json");
+    }
+  }
+
+  // "Figure 2 -- MC system: ..." -> "figure-2-mc-system"
+  std::string slug() const {
+    std::string s;
+    for (const char c : title_) {
+      if (s.size() >= 48) break;
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        s += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      } else if (!s.empty() && s.back() != '-') {
+        s += '-';
+      }
+    }
+    while (!s.empty() && s.back() == '-') s.pop_back();
+    return s;
+  }
+
+  void write_json(const std::string& path) const {
+    sim::JsonWriter w;
+    w.begin_object();
+    w.key("title").value(title_);
+    w.key("header").begin_array();
+    for (const auto& h : header_) w.value(h);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& r : rows_) {
+      w.begin_array();
+      for (const auto& cell : r) w.value(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fputs(w.str().c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "MCS_BENCH_JSON: cannot write %s\n", path.c_str());
+    }
   }
 
  private:
@@ -74,6 +125,17 @@ struct WorkloadResult {
   double txn_per_second() const {
     const double s = elapsed.to_seconds();
     return s > 0.0 ? succeeded / s : 0.0;
+  }
+
+  // The result as a StatsRegistry so benches can fold it into a
+  // sim::StatsSnapshot and export JSON alongside the text table.
+  sim::StatsRegistry to_registry() const {
+    sim::StatsRegistry reg;
+    reg.counter("attempted").add(static_cast<std::uint64_t>(attempted));
+    reg.counter("succeeded").add(static_cast<std::uint64_t>(succeeded));
+    reg.counter("air_bytes").add(air_bytes);
+    reg.histogram("latency_ms").merge(latency_ms);
+    return reg;
   }
 };
 

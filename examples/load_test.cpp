@@ -1,0 +1,89 @@
+// Quickstart for the workload engine: how much commerce traffic does the
+// six-component WAP/802.11b system sustain under a latency SLO? Runs a
+// small open-loop capacity search and prints the machine-readable JSON
+// report (search trajectory + component stats at capacity) to stdout.
+//
+//   ./load_test            # defaults: 4 mobiles, p95 <= 4 s, ok >= 99%
+
+#include <cstdio>
+
+#include "sim/json.h"
+#include "workload/capacity.h"
+#include "workload/driver.h"
+#include "workload/metrics.h"
+
+using namespace mcs;
+
+namespace {
+
+// One probe = one fresh six-component system under open-loop Poisson load.
+workload::DriverReport probe(double target_tps, int probe_index,
+                             sim::StatsSnapshot* snapshot_out) {
+  sim::Simulator sim;
+  core::McSystemConfig cfg;
+  cfg.middleware = station::BrowserMode::kWap;
+  cfg.phy = wireless::wifi_802_11b();
+  cfg.num_mobiles = 4;
+  cfg.seed = 42 + static_cast<std::uint64_t>(probe_index);
+  core::McSystem sys{sim, cfg};
+  core::seed_demo_accounts(sys.bank(), 8, 1e12);
+  auto apps = core::make_all_applications();
+  core::install_all(apps, core::environment_for(sys));
+
+  workload::DriverConfig dcfg;
+  dcfg.duration = sim::Time::seconds(10.0);
+  dcfg.warmup = sim::Time::seconds(2.0);
+  dcfg.timeout = sim::Time::seconds(8.0);
+  dcfg.seed = cfg.seed;
+  workload::LoadDriver driver{sim,  sys.client_drivers(),
+                              apps, workload::commerce_mix(),
+                              sys.web_url(""), dcfg};
+  workload::ArrivalConfig arrivals;
+  arrivals.rate_tps = target_tps;
+  workload::DriverReport report = driver.run_open_loop(arrivals);
+  if (snapshot_out != nullptr) {
+    *snapshot_out = workload::snapshot_system(sys);
+    report.add_to(*snapshot_out, "driver");
+  }
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  workload::Slo slo;
+  slo.percentile = 95.0;
+  slo.latency_ms = 4000.0;
+  slo.min_ok_fraction = 0.99;
+
+  workload::CapacitySearchConfig search;
+  search.min_tps = 0.5;
+  search.max_tps = 32.0;
+  search.max_probes = 8;
+
+  std::printf("searching max sustainable commerce txn/s over WAP/802.11b "
+              "(p95 <= %.0f ms, ok >= %.0f%%)...\n",
+              slo.latency_ms, 100.0 * slo.min_ok_fraction);
+  const workload::CapacityResult result = workload::find_capacity(
+      slo, search,
+      [](double tps, int index) { return probe(tps, index, nullptr); });
+
+  sim::StatsSnapshot at_capacity;
+  if (result.capacity_tps > 0.0) {
+    probe(result.capacity_tps, 999, &at_capacity);
+  }
+
+  sim::JsonWriter w;
+  w.begin_object();
+  w.key("slo");
+  slo.to_json(w);
+  w.key("capacity");
+  result.to_json(w);
+  w.key("at_capacity");
+  at_capacity.to_json(w);
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  std::printf("capacity: %.2f txn/s after %zu probes\n", result.capacity_tps,
+              result.probes.size());
+  return 0;
+}

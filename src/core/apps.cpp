@@ -825,4 +825,28 @@ void seed_demo_accounts(PaymentProcessor& bank, int n, double balance) {
   }
 }
 
+AppEnvironment environment_for(McSystem& sys) {
+  AppEnvironment env;
+  env.sim = &sys.sim();
+  env.web = &sys.web_server();
+  env.programs = &sys.app_server();
+  env.db = &sys.database();
+  env.personalization = &sys.personalization();
+  env.payments = &sys.payments();
+  env.seed = sys.config().seed;
+  return env;
+}
+
+AppEnvironment environment_for(EcSystem& sys) {
+  AppEnvironment env;
+  env.sim = &sys.sim();
+  env.web = &sys.web_server();
+  env.programs = &sys.app_server();
+  env.db = &sys.database();
+  env.personalization = &sys.personalization();
+  env.payments = &sys.payments();
+  env.seed = sys.config().seed;
+  return env;
+}
+
 }  // namespace mcs::core

@@ -66,6 +66,11 @@ std::vector<std::unique_ptr<Application>> make_all_applications();
 void install_all(std::vector<std::unique_ptr<Application>>& apps,
                  const AppEnvironment& env);
 
+// Workload hooks: the standard application wiring for a built system, so
+// drivers and benches need not hand-assemble an AppEnvironment.
+AppEnvironment environment_for(McSystem& sys);
+AppEnvironment environment_for(EcSystem& sys);
+
 // Open the demo accounts ("acct0".."acct<n-1>") the application workloads
 // charge against.
 void seed_demo_accounts(PaymentProcessor& bank, int n = 8,

@@ -39,6 +39,7 @@ class PaymentProcessor {
     return reservations_.size();
   }
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
 
   // Reservations held longer than this are auto-released (coordinator died).
   void set_reservation_timeout(sim::Time t) { reservation_timeout_ = t; }
@@ -86,6 +87,7 @@ class PaymentCoordinator {
               double amount, const std::string& item, Callback cb);
 
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
 
  private:
   host::HttpClient& http_;

@@ -156,6 +156,13 @@ std::string McSystem::web_url(const std::string& path) const {
   return web_->addr().to_string() + ":80" + path;
 }
 
+std::vector<ClientDriver*> McSystem::client_drivers() {
+  std::vector<ClientDriver*> drivers;
+  drivers.reserve(mobiles_.size());
+  for (auto& m : mobiles_) drivers.push_back(m->driver.get());
+  return drivers;
+}
+
 // ---------------------------------------------------------------------------
 // EcSystem
 // ---------------------------------------------------------------------------
@@ -198,6 +205,13 @@ EcSystem::EcSystem(sim::Simulator& sim, EcSystemConfig cfg)
 
 std::string EcSystem::web_url(const std::string& path) const {
   return web_->addr().to_string() + ":80" + path;
+}
+
+std::vector<ClientDriver*> EcSystem::client_drivers() {
+  std::vector<ClientDriver*> drivers;
+  drivers.reserve(clients_.size());
+  for (auto& c : clients_) drivers.push_back(c->driver.get());
+  return drivers;
 }
 
 }  // namespace mcs::core

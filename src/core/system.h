@@ -142,6 +142,9 @@ class McSystem {
   // URL (host:port/path) of the web server, as clients address it.
   std::string web_url(const std::string& path) const;
 
+  // Workload hook: every mobile's ClientDriver, in station order.
+  std::vector<ClientDriver*> client_drivers();
+
  private:
   sim::Simulator& sim_;
   McSystemConfig cfg_;
@@ -208,6 +211,7 @@ class EcSystem {
   EcSystem& operator=(const EcSystem&) = delete;
 
   sim::Simulator& sim() { return sim_; }
+  const EcSystemConfig& config() const { return cfg_; }
   net::Network& network() { return network_; }
   DesktopStation& client(std::size_t i) { return *clients_[i]; }
   std::size_t client_count() const { return clients_.size(); }
@@ -219,7 +223,14 @@ class EcSystem {
   PaymentCoordinator& payments() { return *payments_; }
   PaymentProcessor& bank() { return *bank_; }
 
+  net::Node* router_node() { return router_; }
+  net::Node* web_node() { return web_; }
+  net::Node* db_node() { return db_host_; }
+
   std::string web_url(const std::string& path) const;
+
+  // Workload hook: every desktop client's ClientDriver.
+  std::vector<ClientDriver*> client_drivers();
 
  private:
   sim::Simulator& sim_;

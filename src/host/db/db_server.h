@@ -55,6 +55,7 @@ class DbServer {
   DbServer& operator=(const DbServer&) = delete;
 
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
   Database& database() { return db_; }
 
  private:
@@ -130,6 +131,7 @@ class DbClient {
   void scan(const std::string& table, Callback cb);
 
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
 
  private:
   void send_command(std::string line, Callback cb);

@@ -48,6 +48,7 @@ class HttpServer {
   void set_processing_delay(sim::Time d) { processing_delay_ = d; }
 
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
 
  private:
   struct Route {
@@ -106,6 +107,7 @@ class HttpClient {
   std::size_t pooled_connections() const { return pool_.size(); }
 
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
 
  private:
   struct PooledConn {

@@ -25,6 +25,7 @@ class SyncServer {
   SyncServer& operator=(const SyncServer&) = delete;
 
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
 
  private:
   struct Session {

@@ -274,4 +274,27 @@ void IModeGateway::handle(const host::HttpRequest& req,
   });
 }
 
+void WapGateway::export_stats(sim::StatsSnapshot& snap,
+                              const std::string& prefix) const {
+  sim::StatsRegistry reg;
+  reg.counter("requests").add(stats_.requests);
+  reg.counter("upstream_failures").add(stats_.upstream_failures);
+  reg.counter("html_bytes_in").add(stats_.html_bytes_in);
+  reg.counter("wml_bytes_out").add(stats_.wml_bytes_out);
+  reg.counter("air_bytes_out").add(stats_.air_bytes_out);
+  reg.counter("translations").add(stats_.translations);
+  reg.counter("wtls_sessions").add(wtls_sessions_);
+  snap.add(prefix, reg);
+}
+
+void IModeGateway::export_stats(sim::StatsSnapshot& snap,
+                                const std::string& prefix) const {
+  sim::StatsRegistry reg;
+  reg.counter("requests").add(stats_.requests);
+  reg.counter("upstream_failures").add(stats_.upstream_failures);
+  reg.counter("html_bytes_in").add(stats_.html_bytes_in);
+  reg.counter("chtml_bytes_out").add(stats_.chtml_bytes_out);
+  snap.add(prefix, reg);
+}
+
 }  // namespace mcs::middleware

@@ -76,6 +76,10 @@ class WapGateway {
     std::uint64_t translations = 0;
   };
   const Stats& stats() const { return stats_; }
+  // Export the gateway counters into a system-wide snapshot under `prefix`
+  // ("middleware.wap"), for the workload metrics layer.
+  void export_stats(sim::StatsSnapshot& snap,
+                    const std::string& prefix) const;
   WtpEndpoint& wtp() { return wtp_; }
   // WAP-era phones cannot store cookies; the gateway keeps one jar per
   // phone (keyed by its WDP endpoint) and plays the cookies toward origin
@@ -129,6 +133,9 @@ class IModeGateway {
     std::uint64_t chtml_bytes_out = 0;
   };
   const Stats& stats() const { return stats_; }
+  // As WapGateway::export_stats, under e.g. "middleware.imode".
+  void export_stats(sim::StatsSnapshot& snap,
+                    const std::string& prefix) const;
 
  private:
   void handle(const host::HttpRequest& req,

@@ -48,6 +48,7 @@ class WtpEndpoint {
   void invoke(net::Endpoint responder, std::string payload, ResultCallback cb);
 
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
   std::uint16_t port() const { return port_; }
 
  private:

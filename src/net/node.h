@@ -107,6 +107,7 @@ class Node {
   }
 
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
 
  private:
   void deliver_local(const PacketPtr& p, Interface* in);

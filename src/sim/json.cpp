@@ -1,0 +1,140 @@
+#include "sim/json.h"
+
+#include <cmath>
+
+#include "sim/contract.h"
+#include "sim/util.h"
+
+namespace mcs::sim {
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Level& top = stack_.back();
+  if (!top.first) out_ += ',';
+  top.first = false;
+  if (pretty_) {
+    out_ += '\n';
+    out_.append(stack_.size() * 2, ' ');
+  }
+}
+
+void JsonWriter::open(char c, bool is_object) {
+  pre_value();
+  out_ += c;
+  stack_.push_back(Level{is_object, true});
+}
+
+void JsonWriter::close(char c) {
+  MCS_ASSERT(!stack_.empty(), "JsonWriter: close without matching open");
+  MCS_ASSERT(!after_key_, "JsonWriter: container closed with a dangling key");
+  const bool had_members = !stack_.back().first;
+  stack_.pop_back();
+  if (pretty_ && had_members) {
+    out_ += '\n';
+    out_.append(stack_.size() * 2, ' ');
+  }
+  out_ += c;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open('{', true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open('[', false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  MCS_ASSERT(!stack_.empty() && stack_.back().is_object,
+             "JsonWriter: key() outside an object");
+  MCS_ASSERT(!after_key_, "JsonWriter: two keys in a row");
+  pre_value();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  pre_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string{v});
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  out_ += number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ += strf("%llu", static_cast<unsigned long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ += strf("%lld", static_cast<long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::number(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return strf("%.0f", v);
+  }
+  return strf("%.10g", v);
+}
+
+}  // namespace mcs::sim

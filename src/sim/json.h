@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcs::sim {
+
+// Minimal streaming JSON emitter for metrics export. Keys are written in
+// caller order and doubles render through one fixed format, so two runs of
+// the same seeded scenario produce byte-identical documents (the workload
+// determinism tests assert on exact string equality). No parsing, no DOM:
+// snapshots are produced once and written out.
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty = true) : pretty_{pretty} {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  // Must be called inside an object, immediately before the value.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  // The document so far; complete once every container is closed.
+  const std::string& str() const { return out_; }
+
+  static std::string escape(const std::string& s);
+  // Deterministic double rendering: integral values print without a decimal
+  // point, non-finite values map to null (JSON has no NaN/Inf).
+  static std::string number(double v);
+
+ private:
+  struct Level {
+    bool is_object = false;
+    bool first = true;
+  };
+
+  // Emits the separator/indent owed before the next key or value.
+  void pre_value();
+  void open(char c, bool is_object);
+  void close(char c);
+
+  bool pretty_ = true;
+  bool after_key_ = false;
+  std::string out_;
+  std::vector<Level> stack_;
+};
+
+}  // namespace mcs::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/json.h"
 #include "sim/util.h"
 
 namespace mcs::sim {
@@ -67,6 +68,33 @@ void Histogram::clear() {
   sorted_ = true;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (const double v : other.samples_) {
+    if (samples_.size() >= max_samples_) break;
+    samples_.push_back(v);
+  }
+  sorted_ = false;
+}
+
+void Histogram::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("count").value(count_);
+  w.key("mean").value(mean());
+  w.key("stddev").value(stddev());
+  w.key("min").value(min());
+  w.key("max").value(max());
+  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
+    w.key(strf("p%.0f", p)).value(percentile(p));
+  }
+  w.end_object();
+}
+
 std::string Histogram::summary(const char* unit) const {
   if (count_ == 0) return "n=0";
   return strf("n=%llu mean=%.3f%s p50=%.3f%s p95=%.3f%s p99=%.3f%s max=%.3f%s",
@@ -90,6 +118,69 @@ std::string StatsRegistry::report(const std::string& prefix) const {
 void StatsRegistry::clear() {
   counters_.clear();
   histograms_.clear();
+}
+
+void StatsRegistry::merge(const StatsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].add(c.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].merge(h);
+  }
+}
+
+void StatsRegistry::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name).value(c.value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    h.to_json(w);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string StatsRegistry::to_json_string() const {
+  JsonWriter w;
+  to_json(w);
+  return w.str();
+}
+
+void StatsSnapshot::add(const std::string& path,
+                        const StatsRegistry& registry) {
+  registries_[path].merge(registry);
+}
+
+void StatsSnapshot::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("meta").begin_object();
+  for (const auto& [path, text] : texts_) {
+    w.key(path).value(text);
+  }
+  w.end_object();
+  w.key("values").begin_object();
+  for (const auto& [path, v] : values_) {
+    w.key(path).value(v);
+  }
+  w.end_object();
+  w.key("components").begin_object();
+  for (const auto& [path, reg] : registries_) {
+    w.key(path);
+    reg.to_json(w);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string StatsSnapshot::to_json_string() const {
+  JsonWriter w;
+  to_json(w);
+  return w.str();
 }
 
 }  // namespace mcs::sim

@@ -10,6 +10,8 @@
 
 namespace mcs::sim {
 
+class JsonWriter;
+
 // Streaming summary of scalar samples: count/mean/min/max/stddev plus exact
 // percentiles from retained samples (capped via uniform reservoir sampling
 // so memory stays bounded on long runs).
@@ -31,8 +33,16 @@ class Histogram {
 
   void clear();
 
+  // Fold another histogram into this one. Count/sum/min/max stay exact;
+  // retained samples are concatenated up to the cap, so merged percentiles
+  // are approximate once either side overflowed its reservoir.
+  void merge(const Histogram& other);
+
   // "n=100 mean=1.2 p50=1.1 p95=2.0 max=3.4"
   std::string summary(const char* unit = "") const;
+
+  // {"count":..,"mean":..,"stddev":..,"min":..,"max":..,"p50":..,...}
+  void to_json(JsonWriter& w) const;
 
  private:
   std::size_t max_samples_ = 0;
@@ -78,9 +88,52 @@ class StatsRegistry {
   std::string report(const std::string& prefix = "") const;
   void clear();
 
+  // Fold another registry into this one: counters add, histograms merge.
+  // Used to aggregate per-entity registries (e.g. every mobile's browser)
+  // into one component-level view.
+  void merge(const StatsRegistry& other);
+
+  // {"counters":{...},"histograms":{...}}; keys in sorted (map) order so
+  // serialization is deterministic.
+  void to_json(JsonWriter& w) const;
+  std::string to_json_string() const;
+
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Histogram> histograms_;
+};
+
+// System-wide aggregation helper: named point-in-time copies of component
+// registries plus scalar/text metadata, exported as one deterministic JSON
+// document. The workload metrics layer fills one of these per run; benches
+// write it next to their human-readable tables.
+class StatsSnapshot {
+ public:
+  // Copies `registry` under `path` ("host.web_server", "net.gateway", ...).
+  // Adding the same path twice merges into the earlier copy.
+  void add(const std::string& path, const StatsRegistry& registry);
+  void set_value(const std::string& path, double v) { values_[path] = v; }
+  void set_text(const std::string& path, std::string v) {
+    texts_[path] = std::move(v);
+  }
+
+  bool empty() const {
+    return registries_.empty() && values_.empty() && texts_.empty();
+  }
+  const std::map<std::string, StatsRegistry>& registries() const {
+    return registries_;
+  }
+  const std::map<std::string, double>& values() const { return values_; }
+  const std::map<std::string, std::string>& texts() const { return texts_; }
+
+  // {"meta":{texts},"values":{...},"components":{path:registry,...}}
+  void to_json(JsonWriter& w) const;
+  std::string to_json_string() const;
+
+ private:
+  std::map<std::string, StatsRegistry> registries_;
+  std::map<std::string, double> values_;
+  std::map<std::string, std::string> texts_;
 };
 
 }  // namespace mcs::sim

@@ -60,6 +60,7 @@ class MicroBrowser {
   const DeviceProfile& device() const { return device_; }
   LruCache<PageResult>& cache() { return cache_; }
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
   bool wtls_established() const { return wtls_channel_.has_value(); }
 
  private:

@@ -76,6 +76,7 @@ class WirelessMedium : public net::Channel {
   std::vector<Edge> edges() const override;
 
   sim::StatsRegistry& stats() { return stats_; }
+  const sim::StatsRegistry& stats() const { return stats_; }
 
  private:
   struct PendingTx {

@@ -1,0 +1,107 @@
+#include "workload/capacity.h"
+
+#include <algorithm>
+
+#include "sim/contract.h"
+#include "sim/json.h"
+
+namespace mcs::workload {
+
+bool Slo::pass(const DriverReport& r) const {
+  if (r.attempted == 0) return false;
+  if (r.ok_fraction() < min_ok_fraction) return false;
+  return r.latency_ms.percentile(percentile) <= latency_ms;
+}
+
+void Slo::to_json(sim::JsonWriter& w) const {
+  w.begin_object();
+  w.key("percentile").value(percentile);
+  w.key("latency_ms").value(latency_ms);
+  w.key("min_ok_fraction").value(min_ok_fraction);
+  w.end_object();
+}
+
+void CapacityResult::to_json(sim::JsonWriter& w) const {
+  w.begin_object();
+  w.key("capacity_tps").value(capacity_tps);
+  w.key("saturated").value(saturated);
+  w.key("ceiling_reached").value(ceiling_reached);
+  w.key("probes").begin_array();
+  for (const ProbePoint& p : probes) {
+    w.begin_object();
+    w.key("target_tps").value(p.target_tps);
+    w.key("offered_tps").value(p.offered_tps);
+    w.key("delivered_tps").value(p.delivered_tps);
+    w.key("goodput_tps").value(p.goodput_tps);
+    w.key("latency_ms").value(p.latency_ms);
+    w.key("ok_fraction").value(p.ok_fraction);
+    w.key("pass").value(p.pass);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+namespace {
+
+ProbePoint run_probe(const Slo& slo, const ProbeFn& probe, double target,
+                     int index) {
+  const DriverReport r = probe(target, index);
+  ProbePoint p;
+  p.target_tps = target;
+  p.offered_tps = r.offered_tps;
+  p.delivered_tps = r.delivered_tps;
+  p.goodput_tps = r.goodput_tps;
+  p.latency_ms = r.latency_ms.percentile(slo.percentile);
+  p.ok_fraction = r.ok_fraction();
+  p.pass = slo.pass(r);
+  return p;
+}
+
+}  // namespace
+
+CapacityResult find_capacity(const Slo& slo, const CapacitySearchConfig& cfg,
+                             const ProbeFn& probe) {
+  MCS_ASSERT(cfg.min_tps > 0.0 && cfg.max_tps >= cfg.min_tps,
+             "capacity search needs 0 < min_tps <= max_tps");
+  MCS_ASSERT(cfg.max_probes >= 2, "capacity search needs >= 2 probes");
+  CapacityResult result;
+  int index = 0;
+
+  // Floor probe: if the minimum load already violates the SLO the system
+  // is saturated for this workload and the search reports capacity 0.
+  ProbePoint floor = run_probe(slo, probe, cfg.min_tps, index++);
+  result.probes.push_back(floor);
+  if (!floor.pass) {
+    result.saturated = true;
+    return result;
+  }
+
+  double lo = cfg.min_tps;  // highest load known to pass
+  double hi = 0.0;          // lowest load known to fail (0 = none yet)
+  while (index < cfg.max_probes) {
+    double x = 0.0;
+    if (hi == 0.0) {
+      if (lo >= cfg.max_tps) {
+        result.ceiling_reached = true;
+        break;
+      }
+      x = std::min(lo * 2.0, cfg.max_tps);  // bracket by doubling
+    } else {
+      if (hi - lo <= cfg.rel_tolerance * lo) break;
+      x = 0.5 * (lo + hi);  // bisect
+    }
+    const ProbePoint p = run_probe(slo, probe, x, index++);
+    result.probes.push_back(p);
+    if (p.pass) {
+      lo = x;
+    } else {
+      hi = x;
+    }
+  }
+  result.capacity_tps = lo;
+  if (hi == 0.0 && lo >= cfg.max_tps) result.ceiling_reached = true;
+  return result;
+}
+
+}  // namespace mcs::workload

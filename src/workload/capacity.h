@@ -1,0 +1,66 @@
+#pragma once
+
+// SLO capacity search: what is the maximum sustainable offered load? A
+// probe function runs one open-loop experiment at a given rate on a fresh
+// system; the search brackets the pass/fail boundary by doubling from the
+// minimum and then bisects until the bracket is tight. Every probe is
+// recorded so the exported JSON shows the whole search trajectory, not
+// just the answer.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workload/driver.h"
+
+namespace mcs::workload {
+
+// A probe passes when its tail latency meets the bound AND enough of the
+// offered requests finished ok (timeouts and errors both count against the
+// ok fraction, so "fast but failing" cannot pass).
+struct Slo {
+  double percentile = 95.0;      // which latency percentile is bounded
+  double latency_ms = 2000.0;    // bound on that percentile
+  double min_ok_fraction = 0.99;
+
+  bool pass(const DriverReport& r) const;
+  void to_json(sim::JsonWriter& w) const;
+};
+
+struct CapacitySearchConfig {
+  double min_tps = 0.25;   // search floor; failing here means "saturated"
+  double max_tps = 64.0;   // search ceiling
+  double rel_tolerance = 0.15;  // stop when (hi - lo) <= rel_tolerance * lo
+  int max_probes = 16;
+};
+
+struct ProbePoint {
+  double target_tps = 0.0;     // requested offered load
+  double offered_tps = 0.0;    // realized arrivals/s in the window
+  double delivered_tps = 0.0;
+  double goodput_tps = 0.0;
+  double latency_ms = 0.0;     // the SLO percentile's value
+  double ok_fraction = 0.0;
+  bool pass = false;
+};
+
+struct CapacityResult {
+  // Highest probed offered load that met the SLO (0 when saturated).
+  double capacity_tps = 0.0;
+  bool saturated = false;        // even min_tps failed the SLO
+  bool ceiling_reached = false;  // max_tps passed; capacity >= max_tps
+  std::vector<ProbePoint> probes;  // in probe order
+
+  void to_json(sim::JsonWriter& w) const;
+};
+
+// Runs one open-loop experiment at `target_tps` on a fresh system;
+// `probe_index` lets callers derive per-probe seeds deterministically.
+using ProbeFn =
+    std::function<DriverReport(double target_tps, int probe_index)>;
+
+CapacityResult find_capacity(const Slo& slo, const CapacitySearchConfig& cfg,
+                             const ProbeFn& probe);
+
+}  // namespace mcs::workload

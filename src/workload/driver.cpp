@@ -1,0 +1,239 @@
+#include "workload/driver.h"
+
+#include <utility>
+
+#include "sim/contract.h"
+#include "sim/json.h"
+
+namespace mcs::workload {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kOk: return "ok";
+    case Outcome::kError: return "error";
+    case Outcome::kTimeout: return "timeout";
+  }
+  MCS_UNREACHABLE("unknown Outcome");
+}
+
+void DriverReport::add_to(sim::StatsSnapshot& snap,
+                          const std::string& prefix) const {
+  snap.set_text(prefix + ".driver", driver);
+  snap.set_text(prefix + ".mix", mix);
+  if (!arrivals.empty()) snap.set_text(prefix + ".arrivals", arrivals);
+  snap.set_value(prefix + ".target_tps", target_tps);
+  snap.set_value(prefix + ".offered_tps", offered_tps);
+  snap.set_value(prefix + ".delivered_tps", delivered_tps);
+  snap.set_value(prefix + ".goodput_tps", goodput_tps);
+  snap.set_value(prefix + ".attempted", static_cast<double>(attempted));
+  snap.set_value(prefix + ".ok", static_cast<double>(ok));
+  snap.set_value(prefix + ".error", static_cast<double>(error));
+  snap.set_value(prefix + ".timeout", static_cast<double>(timeout));
+  snap.set_value(prefix + ".clients", static_cast<double>(clients));
+  snap.set_value(prefix + ".ok_fraction", ok_fraction());
+  snap.set_value(prefix + ".window_s", window.to_seconds());
+  sim::StatsRegistry reg;
+  reg.histogram("latency_ms").merge(latency_ms);
+  snap.add(prefix, reg);
+}
+
+std::string DriverReport::to_json_string() const {
+  sim::StatsSnapshot snap;
+  add_to(snap, "driver");
+  return snap.to_json_string();
+}
+
+LoadDriver::LoadDriver(
+    sim::Simulator& sim, std::vector<core::ClientDriver*> clients,
+    const std::vector<std::unique_ptr<core::Application>>& apps,
+    WorkloadMix mix, std::string host, DriverConfig cfg)
+    : sim_{sim},
+      clients_{std::move(clients)},
+      apps_{apps},
+      mix_{std::move(mix)},
+      host_{std::move(host)},
+      cfg_{cfg},
+      rng_{cfg.seed} {
+  MCS_ASSERT(!clients_.empty(), "LoadDriver needs at least one client");
+  MCS_ASSERT(!apps_.empty(), "LoadDriver needs at least one application");
+  MCS_ASSERT(cfg_.duration > cfg_.warmup,
+             "driver duration must exceed the warmup");
+  MCS_ASSERT(cfg_.timeout > sim::Time::zero(),
+             "driver timeout must be positive");
+  MCS_ASSERT(mix_.app_weights.size() == apps_.size(),
+             "mix weights must parallel the application list");
+}
+
+LoadDriver::Request& LoadDriver::new_request(std::size_t client,
+                                             std::size_t app_index) {
+  auto owned = std::make_unique<Request>();
+  Request& req = *owned;
+  requests_.push_back(std::move(owned));
+  req.id = requests_.size();
+  req.client = client;
+  req.app_index = app_index;
+  req.arrival = sim_.now();
+  const sim::Time rel = req.arrival - start_;
+  req.measured = rel >= cfg_.warmup && rel < cfg_.duration;
+  if (req.measured) ++report_.attempted;
+  arm_timeout(req);
+  return req;
+}
+
+void LoadDriver::arm_timeout(Request& req) {
+  Request* reqp = &req;
+  sim_.at(req.arrival + cfg_.timeout, [this, reqp] {
+    if (reqp->done || reqp->timed_out) return;
+    reqp->timed_out = true;
+    // Still queued: drop it so an overloaded client never burns service
+    // time on a request whose deadline already passed.
+    if (!reqp->issued) reqp->dropped = true;
+    if (reqp->measured) ++report_.timeout;
+  });
+}
+
+void LoadDriver::complete(Request& req, bool ok) {
+  MCS_ASSERT(!req.done, "request completed twice");
+  MCS_ASSERT(sim_.now() >= req.arrival,
+             "completion before its request arrived");
+  req.done = true;
+  if (!req.measured) return;
+  if (ok) {
+    ++report_.ok;
+  } else {
+    ++report_.error;
+  }
+  report_.latency_ms.record((sim_.now() - req.arrival).to_millis());
+}
+
+void LoadDriver::enqueue(Request& req) {
+  queues_[req.client].push_back(&req);
+  if (!busy_[req.client]) issue_next(req.client);
+}
+
+void LoadDriver::issue_next(std::size_t client) {
+  auto& queue = queues_[client];
+  while (!queue.empty()) {
+    Request* reqp = queue.front();
+    queue.pop_front();
+    if (reqp->dropped) continue;
+    MCS_ASSERT(!reqp->issued, "queued request already issued");
+    reqp->issued = true;
+    reqp->issued_at = sim_.now();
+    MCS_ASSERT(reqp->issued_at >= reqp->arrival,
+               "request issued before it arrived");
+    busy_[client] = true;
+    const std::uint64_t seq = (cfg_.seed << 32) + ++next_seq_;
+    apps_[reqp->app_index]->run_transaction(
+        *clients_[client], host_, seq,
+        [this, reqp](core::Application::TxnResult r) {
+          MCS_INVARIANT(sim_.now() >= reqp->issued_at,
+                        "completion before its request was issued");
+          busy_[reqp->client] = false;
+          // A late completion of a timed-out request frees the client but
+          // is not recorded; the timeout already classified it.
+          if (!reqp->timed_out) complete(*reqp, r.ok);
+          issue_next(reqp->client);
+        });
+    return;
+  }
+}
+
+void LoadDriver::finish_report(DriverReport& report) {
+  report.window = cfg_.duration - cfg_.warmup;
+  report.clients = clients_.size();
+  const double w = report.window.to_seconds();
+  report.offered_tps = static_cast<double>(report.attempted) / w;
+  report.delivered_tps =
+      static_cast<double>(report.ok + report.error) / w;
+  report.goodput_tps = static_cast<double>(report.ok) / w;
+}
+
+DriverReport LoadDriver::run_open_loop(const ArrivalConfig& arrivals) {
+  report_ = DriverReport{};
+  report_.driver = "open-loop";
+  report_.mix = mix_.name;
+  report_.arrivals = arrival_kind_name(arrivals.kind);
+  report_.target_tps = arrivals.rate_tps;
+  requests_.clear();
+  queues_.assign(clients_.size(), {});
+  busy_.assign(clients_.size(), false);
+  start_ = sim_.now();
+
+  std::shared_ptr<ArrivalProcess> process{
+      ArrivalProcess::make(arrivals).release()};
+  auto arrival_rng = std::make_shared<sim::Rng>(rng_.fork());
+  auto mix_rng = std::make_shared<sim::Rng>(rng_.fork());
+  auto rr = std::make_shared<std::size_t>(0);
+
+  // Arrival chain: each arrival event schedules its successor from the
+  // process. The self-capturing shared function is released after the run.
+  auto chain = std::make_shared<std::function<void(sim::Time)>>();
+  *chain = [this, process, arrival_rng, mix_rng, rr, chain](sim::Time t) {
+    const sim::Time next = process->next_arrival(t, *arrival_rng);
+    if (next - start_ >= cfg_.duration) return;
+    sim_.at(next, [this, next, mix_rng, rr, chain] {
+      const std::size_t client = (*rr)++ % clients_.size();
+      Request& req = new_request(client, mix_.pick_app(*mix_rng));
+      enqueue(req);
+      (*chain)(next);
+    });
+  };
+  (*chain)(start_);
+
+  sim_.run();
+  *chain = nullptr;  // break the shared_ptr self-cycle
+
+  DriverReport report = report_;
+  finish_report(report);
+  return report;
+}
+
+DriverReport LoadDriver::run_closed_loop() {
+  report_ = DriverReport{};
+  report_.driver = "closed-loop";
+  report_.mix = mix_.name;
+  requests_.clear();
+  queues_.assign(clients_.size(), {});
+  busy_.assign(clients_.size(), false);
+  start_ = sim_.now();
+
+  auto think_rng = std::make_shared<sim::Rng>(rng_.fork());
+  auto mix_rng = std::make_shared<sim::Rng>(rng_.fork());
+
+  auto chain = std::make_shared<std::function<void(std::size_t)>>();
+  *chain = [this, think_rng, mix_rng, chain](std::size_t client) {
+    if (sim_.now() - start_ >= cfg_.duration) return;
+    Request& req = new_request(client, mix_.pick_app(*mix_rng));
+    Request* reqp = &req;
+    reqp->issued = true;
+    reqp->issued_at = sim_.now();
+    const std::uint64_t seq = (cfg_.seed << 32) + ++next_seq_;
+    apps_[reqp->app_index]->run_transaction(
+        *clients_[client], host_, seq,
+        [this, reqp, client, think_rng,
+         chain](core::Application::TxnResult r) {
+          MCS_INVARIANT(sim_.now() >= reqp->issued_at,
+                        "completion before its request was issued");
+          if (!reqp->timed_out) complete(*reqp, r.ok);
+          const double mean = mix_.mean_think.to_seconds();
+          const sim::Time think =
+              mean > 0.0
+                  ? sim::Time::seconds(think_rng->exponential(mean))
+                  : sim::Time::zero();
+          sim_.after(think, [chain, client] { (*chain)(client); });
+        });
+  };
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    (*chain)(c);
+  }
+
+  sim_.run();
+  *chain = nullptr;
+
+  DriverReport report = report_;
+  finish_report(report);
+  return report;
+}
+
+}  // namespace mcs::workload

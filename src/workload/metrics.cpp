@@ -1,0 +1,79 @@
+#include "workload/metrics.h"
+
+namespace mcs::workload {
+
+namespace {
+
+// Host-side components shared by both system shapes.
+void add_host_side(sim::StatsSnapshot& snap, host::HttpServer& web,
+                   host::db::DbServer& db, core::PaymentCoordinator& payments,
+                   core::PaymentProcessor& bank) {
+  snap.add("host.web_server", web.stats());
+  snap.add("host.db_server", db.stats());
+  snap.add("core.payments", payments.stats());
+  snap.add("core.bank", bank.stats());
+}
+
+}  // namespace
+
+sim::StatsSnapshot snapshot_system(core::McSystem& sys) {
+  sim::StatsSnapshot snap;
+  snap.set_text("system", "mc");
+  snap.set_text("phy", sys.config().phy.name);
+  snap.set_text("middleware", sys.config().middleware ==
+                                      station::BrowserMode::kWap
+                                  ? "WAP"
+                                  : "i-mode");
+  snap.set_value("mobiles", static_cast<double>(sys.mobile_count()));
+  snap.set_value("sim.executed", static_cast<double>(sys.sim().executed()));
+  snap.set_value("sim.now_s", sys.sim().now().to_seconds());
+
+  snap.add("net.gateway", sys.gateway_node()->stats());
+  snap.add("net.web", sys.web_node()->stats());
+  snap.add("net.db", sys.db_node()->stats());
+  if (net::Link* backbone = sys.backbone_link()) {
+    snap.add("net.backbone", backbone->stats());
+  }
+  snap.add("wireless.cell", sys.cell().stats());
+  sys.wap_gateway().export_stats(snap, "middleware.wap");
+  sys.imode_gateway().export_stats(snap, "middleware.imode");
+  snap.add("middleware.wtp", sys.wap_gateway().wtp().stats());
+
+  // Stations: one aggregate over every mobile (counters add, histograms
+  // merge) so the document size does not grow with the population.
+  sim::StatsRegistry browsers;
+  sim::StatsRegistry station_nodes;
+  for (std::size_t i = 0; i < sys.mobile_count(); ++i) {
+    browsers.merge(sys.mobile(i).browser->stats());
+    station_nodes.merge(sys.mobile(i).node->stats());
+  }
+  snap.add("station.browsers", browsers);
+  snap.add("net.mobiles", station_nodes);
+
+  add_host_side(snap, sys.web_server(), sys.db_server(), sys.payments(),
+                sys.bank());
+  return snap;
+}
+
+sim::StatsSnapshot snapshot_system(core::EcSystem& sys) {
+  sim::StatsSnapshot snap;
+  snap.set_text("system", "ec");
+  snap.set_value("clients", static_cast<double>(sys.client_count()));
+  snap.set_value("sim.executed", static_cast<double>(sys.sim().executed()));
+  snap.set_value("sim.now_s", sys.sim().now().to_seconds());
+
+  sim::StatsRegistry client_nodes;
+  for (std::size_t i = 0; i < sys.client_count(); ++i) {
+    client_nodes.merge(sys.client(i).node->stats());
+  }
+  snap.add("net.clients", client_nodes);
+  snap.add("net.router", sys.router_node()->stats());
+  snap.add("net.web", sys.web_node()->stats());
+  snap.add("net.db", sys.db_node()->stats());
+
+  add_host_side(snap, sys.web_server(), sys.db_server(), sys.payments(),
+                sys.bank());
+  return snap;
+}
+
+}  // namespace mcs::workload

@@ -1,0 +1,21 @@
+#pragma once
+
+// Machine-readable metrics for whole systems: walk every component's
+// StatsRegistry (paper components i–vi) into one sim::StatsSnapshot whose
+// JSON serialization is deterministic for a fixed seed. Drivers add their
+// own report via DriverReport::add_to on the same snapshot.
+
+#include "core/system.h"
+#include "sim/stats.h"
+
+namespace mcs::workload {
+
+// Six-component MC system: nodes, backbone link, radio cell, gateways,
+// WTP layer, browsers (aggregated over all mobiles), web/db servers,
+// payments.
+sim::StatsSnapshot snapshot_system(core::McSystem& sys);
+
+// Four-component EC baseline: nodes, web/db servers, payments.
+sim::StatsSnapshot snapshot_system(core::EcSystem& sys);
+
+}  // namespace mcs::workload

@@ -1,0 +1,55 @@
+#include "workload/session.h"
+
+#include <stdexcept>
+
+namespace mcs::workload {
+
+// Weight order: commerce, education, erp, entertainment, health, inventory,
+// traffic, travel (core::make_all_applications()).
+
+WorkloadMix commerce_mix() {
+  WorkloadMix m;
+  m.name = "commerce";
+  m.app_weights = {1, 0, 0, 0, 0, 0, 0, 0};
+  m.mean_think = sim::Time::seconds(4.0);
+  return m;
+}
+
+WorkloadMix consumer_mix() {
+  WorkloadMix m;
+  m.name = "consumer";
+  m.app_weights = {2, 0, 0, 3, 0, 0, 3, 2};
+  m.mean_think = sim::Time::seconds(8.0);
+  return m;
+}
+
+WorkloadMix enterprise_mix() {
+  WorkloadMix m;
+  m.name = "enterprise";
+  m.app_weights = {0, 0, 3, 0, 2, 3, 0, 0};
+  m.mean_think = sim::Time::seconds(2.0);
+  return m;
+}
+
+WorkloadMix table1_mix() {
+  WorkloadMix m;
+  m.name = "table1";
+  m.app_weights = {1, 1, 1, 1, 1, 1, 1, 1};
+  m.mean_think = sim::Time::seconds(4.0);
+  return m;
+}
+
+const std::vector<WorkloadMix>& standard_mixes() {
+  static const std::vector<WorkloadMix> mixes = {
+      commerce_mix(), consumer_mix(), enterprise_mix(), table1_mix()};
+  return mixes;
+}
+
+WorkloadMix mix_by_name(const std::string& name) {
+  for (const WorkloadMix& m : standard_mixes()) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("unknown workload mix: " + name);
+}
+
+}  // namespace mcs::workload

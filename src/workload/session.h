@@ -1,0 +1,45 @@
+#pragma once
+
+// Session models: which Table 1 application does each arriving transaction
+// run, and how long do closed-loop users think between transactions? A
+// WorkloadMix instantiates one of the paper's application classes as a
+// parameterized client population; weights are parallel to the Table 1 row
+// order of core::make_all_applications().
+
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace mcs::workload {
+
+struct WorkloadMix {
+  std::string name;
+  // One weight per Table 1 row: commerce, education, erp, entertainment,
+  // health care, inventory, traffic, travel. Non-negative, not all zero.
+  std::vector<double> app_weights;
+  // Closed-loop think time between a completion and the next request
+  // (exponentially distributed; zero means back-to-back).
+  sim::Time mean_think = sim::Time::seconds(4.0);
+
+  std::size_t pick_app(sim::Rng& rng) const {
+    return rng.weighted_index(app_weights);
+  }
+};
+
+// Pure purchasing traffic (Table 1 row 1: mobile transactions and payments).
+WorkloadMix commerce_mix();
+// Consumer browsing: entertainment, traffic advisories, travel booking.
+WorkloadMix consumer_mix();
+// Field-force traffic: ERP, health care records, inventory dispatch.
+WorkloadMix enterprise_mix();
+// Every Table 1 row with equal weight.
+WorkloadMix table1_mix();
+
+// The four named mixes above, in that order.
+const std::vector<WorkloadMix>& standard_mixes();
+// Lookup by name; throws std::out_of_range if absent.
+WorkloadMix mix_by_name(const std::string& name);
+
+}  // namespace mcs::workload

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/json.h"
+
 namespace mcs::sim {
 namespace {
 
@@ -89,6 +91,72 @@ TEST(StatsRegistryTest, NamedAccessAndReport) {
   EXPECT_NE(rep.find("node0.lat"), std::string::npos);
   reg.clear();
   EXPECT_EQ(reg.counter("tx").value(), 0u);
+}
+
+TEST(StatsRegistryTest, MergeAddsCountersAndPoolsHistograms) {
+  StatsRegistry a;
+  a.counter("tx").add(3);
+  a.histogram("lat").record(1.0);
+  StatsRegistry b;
+  b.counter("tx").add(4);
+  b.counter("rx").add(1);
+  b.histogram("lat").record(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter("tx").value(), 7u);
+  EXPECT_EQ(a.counter("rx").value(), 1u);
+  EXPECT_EQ(a.histogram("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("lat").mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.histogram("lat").max(), 3.0);
+}
+
+TEST(JsonWriterTest, EscapesAndFormatsNumbers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("text").value("quote\" backslash\\ tab\t");
+  w.key("whole").value(42.0);
+  w.key("frac").value(0.125);
+  w.key("flag").value(true);
+  w.end_object();
+  const std::string json = w.str();
+  EXPECT_NE(json.find("quote\\\" backslash\\\\ tab\\t"), std::string::npos);
+  EXPECT_NE(json.find("\"whole\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"frac\": 0.125"), std::string::npos);
+  EXPECT_NE(json.find("\"flag\": true"), std::string::npos);
+}
+
+TEST(StatsRegistryTest, ToJsonIsDeterministicAndOrdered) {
+  StatsRegistry reg;
+  reg.counter("zeta").add(1);
+  reg.counter("alpha").add(2);
+  reg.histogram("lat").record(10.0);
+  const std::string a = reg.to_json_string();
+  const std::string b = reg.to_json_string();
+  EXPECT_EQ(a, b);
+  // Ordered map: alpha serializes before zeta regardless of insert order.
+  EXPECT_LT(a.find("\"alpha\""), a.find("\"zeta\""));
+  EXPECT_NE(a.find("\"counters\""), std::string::npos);
+  EXPECT_NE(a.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(a.find("\"p95\""), std::string::npos);
+}
+
+TEST(StatsSnapshotTest, AggregatesComponentsValuesAndTexts) {
+  StatsRegistry reg;
+  reg.counter("tx").add(5);
+  StatsSnapshot snap;
+  snap.add("net.node0", reg);
+  snap.add("net.node0", reg);  // second add merges, not replaces
+  snap.set_value("sim.now_s", 1.5);
+  snap.set_text("system", "mc");
+  const std::string json = snap.to_json_string();
+  EXPECT_NE(json.find("\"net.node0\""), std::string::npos);
+  EXPECT_NE(json.find("\"tx\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"sim.now_s\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"system\": \"mc\""), std::string::npos);
+  const auto meta = json.find("\"meta\"");
+  const auto values = json.find("\"values\"");
+  const auto components = json.find("\"components\"");
+  EXPECT_LT(meta, values);
+  EXPECT_LT(values, components);
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// Arrival processes: every model must realize its configured long-run mean
+// rate, replay exactly for a fixed seed, and keep time non-decreasing.
+
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcs::workload {
+namespace {
+
+// Mean arrival rate over `horizon` seconds by counting generated arrivals.
+double measured_rate(const ArrivalConfig& cfg, double horizon,
+                     std::uint64_t seed) {
+  auto process = ArrivalProcess::make(cfg);
+  sim::Rng rng{seed};
+  sim::Time t;
+  const sim::Time end = sim::Time::seconds(horizon);
+  int n = 0;
+  for (;;) {
+    t = process->next_arrival(t, rng);
+    if (t >= end) break;
+    ++n;
+  }
+  return n / horizon;
+}
+
+TEST(ArrivalTest, PoissonRealizesConfiguredRate) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kPoisson;
+  cfg.rate_tps = 20.0;
+  const double rate = measured_rate(cfg, 500.0, 1);
+  EXPECT_NEAR(rate, cfg.rate_tps, 0.05 * cfg.rate_tps);
+}
+
+TEST(ArrivalTest, OnOffPreservesMeanRateWhileBursting) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kOnOff;
+  cfg.rate_tps = 10.0;
+  cfg.burst_factor = 3.0;
+  const double rate = measured_rate(cfg, 2000.0, 2);
+  EXPECT_NEAR(rate, cfg.rate_tps, 0.10 * cfg.rate_tps);
+}
+
+TEST(ArrivalTest, OnOffIsActuallyBursty) {
+  // Interarrival variance of the burst model must exceed Poisson's at the
+  // same mean rate (that is its whole point).
+  ArrivalConfig poisson;
+  poisson.kind = ArrivalKind::kPoisson;
+  poisson.rate_tps = 10.0;
+  ArrivalConfig onoff = poisson;
+  onoff.kind = ArrivalKind::kOnOff;
+  onoff.burst_factor = 4.0;
+
+  auto variance = [](const ArrivalConfig& cfg) {
+    auto process = ArrivalProcess::make(cfg);
+    sim::Rng rng{3};
+    sim::Time t;
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      const sim::Time next = process->next_arrival(t, rng);
+      const double gap = (next - t).to_seconds();
+      sum += gap;
+      sum_sq += gap * gap;
+      t = next;
+    }
+    const double mean = sum / n;
+    return sum_sq / n - mean * mean;
+  };
+  EXPECT_GT(variance(onoff), 1.5 * variance(poisson));
+}
+
+TEST(ArrivalTest, DiurnalPreservesMeanOverWholePeriods) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kDiurnal;
+  cfg.rate_tps = 10.0;
+  cfg.period = sim::Time::seconds(50.0);
+  cfg.amplitude = 0.8;
+  // 40 whole periods: the sinusoid integrates out.
+  const double rate = measured_rate(cfg, 2000.0, 4);
+  EXPECT_NEAR(rate, cfg.rate_tps, 0.08 * cfg.rate_tps);
+}
+
+TEST(ArrivalTest, DiurnalModulatesRateAcrossTheDay) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kDiurnal;
+  cfg.rate_tps = 20.0;
+  cfg.period = sim::Time::seconds(100.0);
+  cfg.amplitude = 0.9;
+  auto process = ArrivalProcess::make(cfg);
+  sim::Rng rng{5};
+  // Count arrivals in the peak quarter vs the trough quarter of each day.
+  double peak = 0.0, trough = 0.0;
+  sim::Time t;
+  const sim::Time end = sim::Time::seconds(2000.0);
+  for (;;) {
+    t = process->next_arrival(t, rng);
+    if (t >= end) break;
+    const double phase =
+        std::fmod(t.to_seconds(), 100.0) / 100.0;  // [0,1) within a day
+    if (phase >= 0.125 && phase < 0.375) ++peak;     // sin near +1
+    if (phase >= 0.625 && phase < 0.875) ++trough;   // sin near -1
+  }
+  EXPECT_GT(peak, 3.0 * trough);
+}
+
+TEST(ArrivalTest, SameSeedReplaysDifferentSeedDiverges) {
+  ArrivalConfig cfg;
+  cfg.kind = ArrivalKind::kOnOff;
+  cfg.rate_tps = 5.0;
+  auto run = [&cfg](std::uint64_t seed) {
+    auto process = ArrivalProcess::make(cfg);
+    sim::Rng rng{seed};
+    std::vector<std::int64_t> times;
+    sim::Time t;
+    for (int i = 0; i < 200; ++i) {
+      t = process->next_arrival(t, rng);
+      times.push_back(t.to_millis());
+    }
+    return times;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(ArrivalTest, TimeIsStrictlyIncreasing) {
+  for (const ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kOnOff, ArrivalKind::kDiurnal}) {
+    ArrivalConfig cfg;
+    cfg.kind = kind;
+    cfg.rate_tps = 50.0;
+    auto process = ArrivalProcess::make(cfg);
+    sim::Rng rng{9};
+    sim::Time t;
+    for (int i = 0; i < 5000; ++i) {
+      const sim::Time next = process->next_arrival(t, rng);
+      ASSERT_GT(next, t) << arrival_kind_name(kind);
+      t = next;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs::workload

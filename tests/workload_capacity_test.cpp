@@ -1,0 +1,141 @@
+// Capacity search against synthetic probe functions with a known knee:
+// convergence within tolerance, the saturated floor case, and the
+// max-throughput ceiling case.
+
+#include "workload/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcs::workload {
+namespace {
+
+// Synthetic M/M/1-ish probe: latency blows past the SLO once target_tps
+// crosses `knee`, and ok_fraction collapses with it.
+ProbeFn synthetic_knee(double knee) {
+  return [knee](double target_tps, int /*probe_index*/) {
+    DriverReport report;
+    report.driver = "synthetic";
+    report.target_tps = target_tps;
+    report.offered_tps = target_tps;
+    report.attempted = 1000;
+    const bool over = target_tps > knee;
+    report.ok = over ? 500 : 1000;
+    report.timeout = report.attempted - report.ok;
+    report.delivered_tps = std::min(target_tps, knee);
+    report.goodput_tps = over ? knee * 0.5 : target_tps;
+    const double latency = over ? 10000.0 : 100.0;
+    for (int i = 0; i < 100; ++i) report.latency_ms.record(latency);
+    report.window = sim::Time::seconds(10.0);
+    return report;
+  };
+}
+
+Slo default_slo() {
+  Slo slo;
+  slo.percentile = 95.0;
+  slo.latency_ms = 2000.0;
+  slo.min_ok_fraction = 0.99;
+  return slo;
+}
+
+TEST(CapacityTest, ConvergesToKneeWithinTolerance) {
+  CapacitySearchConfig search;
+  search.min_tps = 0.25;
+  search.max_tps = 64.0;
+  search.rel_tolerance = 0.10;
+  search.max_probes = 24;
+  const double knee = 7.3;
+  const CapacityResult result =
+      find_capacity(default_slo(), search, synthetic_knee(knee));
+
+  EXPECT_FALSE(result.saturated);
+  EXPECT_FALSE(result.ceiling_reached);
+  EXPECT_LE(result.capacity_tps, knee + 1e-9);
+  EXPECT_GE(result.capacity_tps, knee * (1.0 - search.rel_tolerance) - 1e-9);
+}
+
+TEST(CapacityTest, SaturatedWhenFloorProbeFails) {
+  CapacitySearchConfig search;
+  search.min_tps = 1.0;
+  search.max_tps = 64.0;
+  const CapacityResult result =
+      find_capacity(default_slo(), search, synthetic_knee(0.1));
+  EXPECT_TRUE(result.saturated);
+  EXPECT_DOUBLE_EQ(result.capacity_tps, 0.0);
+  EXPECT_EQ(result.probes.size(), 1u);
+  EXPECT_FALSE(result.probes.front().pass);
+}
+
+TEST(CapacityTest, CeilingReachedWhenSloNeverBreaks) {
+  CapacitySearchConfig search;
+  search.min_tps = 0.5;
+  search.max_tps = 16.0;
+  const CapacityResult result =
+      find_capacity(default_slo(), search, synthetic_knee(1e9));
+  EXPECT_TRUE(result.ceiling_reached);
+  EXPECT_FALSE(result.saturated);
+  EXPECT_DOUBLE_EQ(result.capacity_tps, search.max_tps);
+}
+
+TEST(CapacityTest, ProbeBudgetIsRespected) {
+  CapacitySearchConfig search;
+  search.min_tps = 0.25;
+  search.max_tps = 4096.0;
+  search.rel_tolerance = 1e-6;  // unreachably tight: budget must stop us
+  search.max_probes = 9;
+  const CapacityResult result =
+      find_capacity(default_slo(), search, synthetic_knee(33.0));
+  EXPECT_LE(result.probes.size(), 9u);
+  EXPECT_GT(result.capacity_tps, 0.0);
+  EXPECT_LE(result.capacity_tps, 33.0 + 1e-9);
+}
+
+TEST(CapacityTest, ProbesRecordPassFailConsistentWithSlo) {
+  const Slo slo = default_slo();
+  CapacitySearchConfig search;
+  search.min_tps = 0.25;
+  search.max_tps = 64.0;
+  const CapacityResult result = find_capacity(slo, search, synthetic_knee(5.0));
+  ASSERT_FALSE(result.probes.empty());
+  for (const ProbePoint& p : result.probes) {
+    const bool should_pass = p.latency_ms <= slo.latency_ms &&
+                             p.ok_fraction >= slo.min_ok_fraction;
+    EXPECT_EQ(p.pass, should_pass) << "target " << p.target_tps;
+  }
+  // The reported capacity must correspond to a passing probe.
+  const bool capacity_passed =
+      std::any_of(result.probes.begin(), result.probes.end(),
+                  [&](const ProbePoint& p) {
+                    return p.pass &&
+                           std::abs(p.target_tps - result.capacity_tps) < 1e-9;
+                  });
+  EXPECT_TRUE(capacity_passed);
+}
+
+TEST(CapacityTest, SloPassChecksEveryClause) {
+  const Slo slo = default_slo();
+  DriverReport report = synthetic_knee(100.0)(1.0, 0);
+  EXPECT_TRUE(slo.pass(report));
+
+  // Latency clause.
+  DriverReport slow = report;
+  slow.latency_ms = sim::Histogram{};
+  for (int i = 0; i < 100; ++i) slow.latency_ms.record(9000.0);
+  EXPECT_FALSE(slo.pass(slow));
+
+  // ok-fraction clause.
+  DriverReport flaky = report;
+  flaky.ok = flaky.attempted / 2;
+  flaky.error = flaky.attempted - flaky.ok;
+  EXPECT_FALSE(slo.pass(flaky));
+
+  // Empty-window clause.
+  DriverReport empty;
+  EXPECT_FALSE(slo.pass(empty));
+}
+
+}  // namespace
+}  // namespace mcs::workload

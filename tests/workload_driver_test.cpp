@@ -1,0 +1,178 @@
+// LoadDriver semantics: closed-loop concurrency obeys Little's law, open-loop
+// offered load tracks the configured arrival rate, and the ok/error/timeout
+// outcome classification is exhaustive and mutually exclusive.
+
+#include "workload/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/apps.h"
+#include "core/system.h"
+#include "workload/session.h"
+
+namespace mcs::workload {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  core::McSystem sys;
+  std::vector<std::unique_ptr<core::Application>> apps;
+
+  explicit Fixture(std::uint64_t seed, int mobiles = 4,
+                   station::BrowserMode mode = station::BrowserMode::kWap)
+      : sys{sim, make_config(seed, mobiles, mode)} {
+    core::seed_demo_accounts(sys.bank(), 16, 1e12);
+    apps = core::make_all_applications();
+    core::install_all(apps, core::environment_for(sys));
+  }
+
+  static core::McSystemConfig make_config(std::uint64_t seed, int mobiles,
+                                          station::BrowserMode mode) {
+    core::McSystemConfig cfg;
+    cfg.middleware = mode;
+    cfg.phy = wireless::wifi_802_11b();
+    cfg.num_mobiles = mobiles;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  LoadDriver make_driver(const DriverConfig& dcfg) {
+    return LoadDriver{sim,  sys.client_drivers(), apps,
+                      commerce_mix(), sys.web_url(""), dcfg};
+  }
+};
+
+DriverConfig quick_config(std::uint64_t seed) {
+  DriverConfig dcfg;
+  dcfg.duration = sim::Time::seconds(20.0);
+  dcfg.warmup = sim::Time::seconds(4.0);
+  dcfg.timeout = sim::Time::seconds(10.0);
+  dcfg.seed = seed;
+  return dcfg;
+}
+
+TEST(DriverTest, ClosedLoopSatisfiesLittlesLaw) {
+  // N clients, zero think time: concurrency is exactly N, so Little's law
+  // N = X * R must hold between measured throughput and mean latency.
+  constexpr int kClients = 4;
+  Fixture fx{11, kClients};
+  DriverConfig dcfg = quick_config(11);
+  LoadDriver driver = fx.make_driver(dcfg);
+  WorkloadMix mix = commerce_mix();
+  mix.mean_think = sim::Time{};  // no think: clients always busy
+  const DriverReport report =
+      LoadDriver{fx.sim, fx.sys.client_drivers(), fx.apps, mix,
+                 fx.sys.web_url(""), dcfg}
+          .run_closed_loop();
+
+  ASSERT_GT(report.ok, 0u);
+  ASSERT_GT(report.latency_ms.count(), 0u);
+  const double throughput = report.delivered_tps;            // X (txn/s)
+  const double response_s = report.latency_ms.mean() / 1e3;  // R (s)
+  const double n_effective = throughput * response_s;
+  // Edge effects (in-flight at window boundaries) allow some slack.
+  EXPECT_NEAR(n_effective, static_cast<double>(kClients),
+              0.25 * kClients);
+  (void)driver;
+}
+
+TEST(DriverTest, ClosedLoopThinkTimeReducesThroughput) {
+  Fixture fx_busy{12};
+  Fixture fx_idle{12};
+  DriverConfig dcfg = quick_config(12);
+
+  WorkloadMix busy = commerce_mix();
+  busy.mean_think = sim::Time{};
+  WorkloadMix idle = commerce_mix();
+  idle.mean_think = sim::Time::seconds(5.0);
+
+  const DriverReport fast =
+      LoadDriver{fx_busy.sim, fx_busy.sys.client_drivers(), fx_busy.apps,
+                 busy, fx_busy.sys.web_url(""), dcfg}
+          .run_closed_loop();
+  const DriverReport slow =
+      LoadDriver{fx_idle.sim, fx_idle.sys.client_drivers(), fx_idle.apps,
+                 idle, fx_idle.sys.web_url(""), dcfg}
+          .run_closed_loop();
+  EXPECT_GT(fast.delivered_tps, slow.delivered_tps);
+}
+
+TEST(DriverTest, OpenLoopOffersConfiguredRate) {
+  Fixture fx{13, 8};
+  DriverConfig dcfg = quick_config(13);
+  dcfg.duration = sim::Time::seconds(60.0);
+  dcfg.warmup = sim::Time::seconds(5.0);
+  LoadDriver driver = fx.make_driver(dcfg);
+
+  ArrivalConfig arrivals;
+  arrivals.kind = ArrivalKind::kPoisson;
+  arrivals.rate_tps = 2.0;
+  const DriverReport report = driver.run_open_loop(arrivals);
+  EXPECT_NEAR(report.offered_tps, arrivals.rate_tps,
+              0.25 * arrivals.rate_tps);
+  EXPECT_GT(report.ok, 0u);
+}
+
+TEST(DriverTest, OutcomesPartitionAttempted) {
+  Fixture fx{14};
+  DriverConfig dcfg = quick_config(14);
+  LoadDriver driver = fx.make_driver(dcfg);
+
+  ArrivalConfig arrivals;
+  arrivals.rate_tps = 1.0;
+  const DriverReport report = driver.run_open_loop(arrivals);
+  EXPECT_EQ(report.attempted, report.ok + report.error + report.timeout);
+}
+
+TEST(DriverTest, TinyTimeoutClassifiesEverythingAsTimeout) {
+  // A 1 ms budget is far below any wireless round trip, so every attempted
+  // request must land in the timeout bucket and none may count as ok.
+  Fixture fx{15};
+  DriverConfig dcfg = quick_config(15);
+  dcfg.timeout = sim::Time::millis(1);
+  LoadDriver driver = fx.make_driver(dcfg);
+
+  ArrivalConfig arrivals;
+  arrivals.rate_tps = 1.0;
+  const DriverReport report = driver.run_open_loop(arrivals);
+  ASSERT_GT(report.attempted, 0u);
+  EXPECT_EQ(report.ok, 0u);
+  EXPECT_EQ(report.timeout, report.attempted - report.error);
+  EXPECT_DOUBLE_EQ(report.ok_fraction(), 0.0);
+}
+
+TEST(DriverTest, OverloadDegradesSloNotCrash) {
+  // Offer far more load than four WAP phones can serve: the driver must
+  // survive and report a visibly degraded SLO (timeouts or lower goodput
+  // than offered), never ok == attempted.
+  Fixture fx{16};
+  DriverConfig dcfg = quick_config(16);
+  dcfg.timeout = sim::Time::seconds(4.0);
+  LoadDriver driver = fx.make_driver(dcfg);
+
+  ArrivalConfig arrivals;
+  arrivals.rate_tps = 400.0;
+  const DriverReport report = driver.run_open_loop(arrivals);
+  ASSERT_GT(report.attempted, 0u);
+  EXPECT_LT(report.goodput_tps, 0.9 * report.offered_tps);
+  EXPECT_GT(report.timeout + report.error, 0u);
+}
+
+TEST(DriverTest, ReportJsonIsWellFormedAndDeterministic) {
+  auto run = [] {
+    Fixture fx{17};
+    DriverConfig dcfg = quick_config(17);
+    LoadDriver driver = fx.make_driver(dcfg);
+    ArrivalConfig arrivals;
+    arrivals.rate_tps = 1.5;
+    return driver.run_open_loop(arrivals).to_json_string();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"driver.delivered_tps\""), std::string::npos);
+  EXPECT_NE(a.find("\"latency_ms\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::workload
