@@ -11,6 +11,11 @@
 // repo-root BENCH_capacity.json is this bench's output at the defaults.
 // Set MCS_BENCH_SMOKE=1 (CI) for a fast low-load pass that checks the
 // machinery, not the numbers.
+//
+// The sweep is parallel (workload/sweep.h): cells run concurrently and each
+// cell's capacity search speculatively pre-runs both possible next probes.
+// Probe purity guarantees the emitted JSON is byte-identical to a serial
+// run; MCS_SWEEP_THREADS=1 forces serial, unset uses all cores.
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +29,7 @@
 #include "workload/capacity.h"
 #include "workload/driver.h"
 #include "workload/metrics.h"
+#include "workload/sweep.h"
 
 namespace {
 
@@ -129,41 +135,55 @@ bench::TablePrinter g_table{
     {"middleware", "phy", "capacity txn/s", "p95 ms @cap", "ok% @cap",
      "probes"}};
 
-void BM_Capacity(benchmark::State& state) {
-  const StackConfig& stack = stack_configs()[static_cast<std::size_t>(
-      state.range(0))];
+// One cell = one (middleware x PHY) capacity search plus the confirmation
+// run at the found capacity (probe index 999 tags it). Runs on its own
+// sweep thread; probes land on the shared worker pool.
+StackResult run_cell(workload::ParallelSweep& sweep, std::size_t cell) {
+  const StackConfig& stack = stack_configs()[cell];
+  workload::CapacityResult result = sweep.find_capacity(
+      slo(), search_config(stack), [&stack](double tps, int index) {
+        return run_probe(stack, tps, index, nullptr);
+      });
+  StackResult out{stack, result, {}};
+  if (result.capacity_tps > 0.0) {
+    run_probe(stack, result.capacity_tps, 999, &out.at_capacity);
+  }
+  return out;
+}
+
+// The whole sweep is one benchmark so google-benchmark times the parallel
+// wall clock; per-cell capacities surface as counters. Cell order (and so
+// table, JSON, and counter content) is fixed regardless of thread count.
+void BM_CapacitySweep(benchmark::State& state) {
+  workload::SweepOptions opts;
+  opts.threads = workload::sweep_threads_from_env();
   for (auto _ : state) {
-    workload::CapacityResult result = workload::find_capacity(
-        slo(), search_config(stack),
-        [&stack](double tps, int index) {
-          return run_probe(stack, tps, index, nullptr);
-        });
+    workload::ParallelSweep sweep{opts};
+    std::vector<StackResult> results = sweep.map_cells<StackResult>(
+        stack_configs().size(),
+        [&sweep](std::size_t cell) { return run_cell(sweep, cell); });
 
-    // Re-run at the found capacity to capture the component snapshot the
-    // JSON baseline ships (probe index 999 tags the confirmation run).
-    StackResult out{stack, result, {}};
-    if (result.capacity_tps > 0.0) {
-      run_probe(stack, result.capacity_tps, 999, &out.at_capacity);
-    }
-    state.counters["capacity_tps"] = result.capacity_tps;
+    for (StackResult& out : results) {
+      const workload::CapacityResult& result = out.capacity;
+      state.counters[std::string{out.stack.middleware} + "/" +
+                     out.stack.phy] = result.capacity_tps;
 
-    const workload::ProbePoint* at_cap = nullptr;
-    for (const auto& p : result.probes) {
-      if (p.pass && p.target_tps == result.capacity_tps) at_cap = &p;
+      const workload::ProbePoint* at_cap = nullptr;
+      for (const auto& p : result.probes) {
+        if (p.pass && p.target_tps == result.capacity_tps) at_cap = &p;
+      }
+      g_table.add_row(
+          {out.stack.middleware, out.stack.phy,
+           bench::fmt("%.2f", result.capacity_tps),
+           at_cap ? bench::fmt("%.0f", at_cap->latency_ms) : "-",
+           at_cap ? bench::fmt("%.1f", 100.0 * at_cap->ok_fraction) : "-",
+           std::to_string(result.probes.size())});
+      g_results.push_back(std::move(out));
     }
-    g_table.add_row(
-        {stack.middleware, stack.phy,
-         bench::fmt("%.2f", result.capacity_tps),
-         at_cap ? bench::fmt("%.0f", at_cap->latency_ms) : "-",
-         at_cap ? bench::fmt("%.1f", 100.0 * at_cap->ok_fraction) : "-",
-         std::to_string(result.probes.size())});
-    g_results.push_back(std::move(out));
+    state.counters["sweep_threads"] = opts.resolved_threads();
   }
 }
-BENCHMARK(BM_Capacity)
-    ->DenseRange(0, 3)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CapacitySweep)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void write_baseline(const std::string& path) {
   sim::JsonWriter w;

@@ -1,0 +1,131 @@
+#pragma once
+
+// The seed event kernel, frozen verbatim (modulo renaming) for bench/kernel:
+// std::priority_queue of (time, seq, id) triples plus an unordered_map from
+// EventId to std::function callback, with lazy tombstones for cancellation.
+// bench/kernel.cpp runs the same workloads against this and the indexed-heap
+// sim::Simulator on the same machine, so the committed speedup in
+// BENCH_kernel.json is a like-for-like kernel comparison, not a hardware
+// artifact. Not part of the library: nothing outside bench/ may include it.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/contract.h"
+#include "sim/time.h"
+
+namespace mcs::bench {
+
+class LegacySimulator {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  static constexpr EventId kInvalidEventId = 0;
+
+  LegacySimulator() = default;
+  LegacySimulator(const LegacySimulator&) = delete;
+  LegacySimulator& operator=(const LegacySimulator&) = delete;
+
+  EventId at(sim::Time t, Callback fn) {
+    MCS_ASSERT(t >= now_, "LegacySimulator::at(): schedule into the past");
+    MCS_ASSERT(fn != nullptr, "LegacySimulator::at(): null callback");
+    const EventId id = next_id_++;
+    heap_.push(HeapEntry{t, next_seq_++, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  EventId after(sim::Time delay, Callback fn) {
+    MCS_ASSERT(!delay.is_negative(), "LegacySimulator::after(): negative");
+    return at(now_ + delay, std::move(fn));
+  }
+
+  void cancel(EventId id) { callbacks_.erase(id); }
+
+  sim::Time now() const { return now_; }
+
+  void run() {
+    stopped_ = false;
+    while (!stopped_ && pop_and_run_next()) {
+    }
+  }
+
+  void run_until(sim::Time t) {
+    MCS_ASSERT(t >= now_, "LegacySimulator::run_until(): target before now");
+    stopped_ = false;
+    while (!stopped_) {
+      purge_cancelled_head();
+      if (heap_.empty() || heap_.top().t > t) break;
+      pop_and_run_next();
+    }
+    if (t > now_) now_ = t;
+  }
+
+  void stop() { stopped_ = true; }
+
+  std::size_t pending() const { return callbacks_.size(); }
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t trace_hash() const { return trace_hash_; }
+
+ private:
+  struct HeapEntry {
+    sim::Time t;
+    std::uint64_t seq = 0;
+    EventId id = kInvalidEventId;
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  static constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+  static constexpr std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ (v & 0xff)) * kFnvPrime;
+      v >>= 8;
+    }
+    return h;
+  }
+
+  bool pop_and_run_next() {
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.top();
+      heap_.pop();
+      auto it = callbacks_.find(top.id);
+      if (it == callbacks_.end()) continue;  // cancelled tombstone
+      Callback fn = std::move(it->second);
+      callbacks_.erase(it);
+      MCS_INVARIANT(top.t >= now_, "legacy heap yielded a past timestamp");
+      now_ = top.t;
+      ++executed_;
+      trace_hash_ = fnv1a_mix(
+          fnv1a_mix(trace_hash_, static_cast<std::uint64_t>(top.t.ns())),
+          top.seq);
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  void purge_cancelled_head() {
+    while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+      heap_.pop();
+    }
+  }
+
+  sim::Time now_;
+  bool stopped_ = false;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t trace_hash_ = 14695981039346656037ull;
+  std::priority_queue<HeapEntry> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace mcs::bench

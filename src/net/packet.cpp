@@ -1,13 +1,48 @@
 #include "net/packet.h"
 
-#include <atomic>
-
+#include "sim/pool.h"
 #include "sim/util.h"
 
 namespace mcs::net {
 namespace {
-std::uint64_t g_next_uid = 1;
+
+// Per-thread uid stream: uids only need to be unique within a simulation,
+// and every simulator instance is confined to one thread (parallel sweeps
+// run one simulation per worker), so a thread_local counter keeps uid
+// assignment deterministic per run with no cross-thread synchronization.
+thread_local std::uint64_t t_next_uid = 1;
+
+sim::RecyclingPool<Packet>& pool() {
+  static thread_local sim::RecyclingPool<Packet> p;
+  return p;
 }
+
+// Returns a recycled packet to fresh-equivalent state. payload.clear()
+// keeps the string's capacity — the whole point of recycling — and inner
+// MUST drop here so a pooled packet can never alias a previous tunnel's
+// payload into its next life (pinned by PacketTest.RecycledPacketDoes
+// NotAliasTunnelPayload).
+void reset_for_reuse(Packet& p) {
+  p.uid = 0;
+  p.src = IpAddress{};
+  p.dst = IpAddress{};
+  p.proto = Protocol::kUdp;
+  p.ttl = 64;
+  p.tcp = TcpHeader{};
+  p.udp = UdpHeader{};
+  p.payload.clear();
+  p.inner.reset();
+  p.created_at = sim::Time{};
+}
+
+struct PoolDeleter {
+  void operator()(Packet* p) const {
+    reset_for_reuse(*p);
+    pool().release(p);
+  }
+};
+
+}  // namespace
 
 const char* protocol_name(Protocol p) {
   switch (p) {
@@ -39,8 +74,13 @@ std::uint32_t Packet::payload_bytes() const {
 }
 
 PacketPtr Packet::clone() const {
-  auto p = std::make_shared<Packet>(*this);
-  p->uid = g_next_uid++;
+  PacketPtr p = make_packet();
+  const std::uint64_t fresh_uid = p->uid;
+  *p = *this;
+  p->uid = fresh_uid;
+  // Deep-copy the tunnelled packet: a shared `inner` would let a clone's
+  // consumer (or the pool recycling the clone) see mutations of — or alias
+  // storage with — the original's encapsulated payload.
   if (inner) p->inner = inner->clone();
   return p;
 }
@@ -65,9 +105,19 @@ std::string Packet::describe() const {
 }
 
 PacketPtr make_packet() {
-  auto p = std::make_shared<Packet>();
-  p->uid = g_next_uid++;
+  // Both the Packet object and the shared_ptr control block come off
+  // per-thread free lists: after warmup a packet "allocation" on the
+  // forwarding path is two pointer bumps and zero mallocs, and a recycled
+  // payload keeps its capacity.
+  Packet* raw = pool().acquire();
+  PacketPtr p{raw, PoolDeleter{}, sim::PoolAllocator<Packet>{}};
+  p->uid = t_next_uid++;
   return p;
+}
+
+PacketPoolStats packet_pool_stats() {
+  return PacketPoolStats{pool().fresh_allocations(), pool().reuses(),
+                         pool().free_count()};
 }
 
 }  // namespace mcs::net

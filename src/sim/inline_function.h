@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace mcs::sim {
+
+// Move-only `void()` callable with small-buffer storage, built for the event
+// kernel's hot path: storing a lambda whose captures fit kInlineSize costs
+// zero heap allocations (std::function allocates once per oversized callback
+// and, worse, requires copyability). Larger or throwing-move callables fall
+// back to one heap cell, so correctness never depends on capture size.
+//
+// The dispatch table carries an explicit `relocate` op (move-construct into a
+// new buffer + destroy the source) so InlineFunction can live inside vectors
+// and pool slots that shuffle storage around.
+class InlineFunction {
+ public:
+  // 48 bytes holds a captured `this` plus several pointers/ints — every
+  // callback the simulation's forwarding path schedules today. Measured via
+  // static_asserts in the scheduler's callers, not enforced here.
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { steal(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() {
+    MCS_ASSERT(vt_ != nullptr, "InlineFunction: calling an empty function");
+    vt_->call(buf_);
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  // Destroy the current callable (if any) and construct `f` directly in this
+  // object's buffer. The scheduler's hot path uses this to build the callback
+  // in its slot, skipping the temporary + relocate a move-assign would cost.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& f) {
+    reset();
+    construct(std::forward<F>(f));
+  }
+
+ private:
+  struct VTable {
+    void (*call)(void* self);
+    // Move-construct `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable{
+      [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* self) { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); },
+  };
+
+  // Heap fallback stores a single owning Fn* in the buffer; the pointer
+  // itself is trivially destructible, so relocate is a pointer copy.
+  template <typename Fn>
+  static constexpr VTable heap_vtable{
+      [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* self) { delete *std::launder(reinterpret_cast<Fn**>(self)); },
+  };
+
+  template <typename F>
+  void construct(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &inline_vtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &heap_vtable<Fn>;
+    }
+  }
+
+  void steal(InlineFunction& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  // Deliberately not zero-initialized: the buffer is only ever read through
+  // vt_, which is null until a callable has been placement-constructed here.
+  // Zero-filling 48 bytes per schedule() is measurable in bench/kernel.
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace mcs::sim

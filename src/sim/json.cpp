@@ -60,28 +60,24 @@ JsonWriter& JsonWriter::end_array() {
   return *this;
 }
 
-JsonWriter& JsonWriter::key(const std::string& k) {
+JsonWriter& JsonWriter::key(std::string_view k) {
   MCS_ASSERT(!stack_.empty() && stack_.back().is_object,
              "JsonWriter: key() outside an object");
   MCS_ASSERT(!after_key_, "JsonWriter: two keys in a row");
   pre_value();
   out_ += '"';
-  out_ += escape(k);
+  escape_to(out_, k);
   out_ += "\": ";
   after_key_ = true;
   return *this;
 }
 
-JsonWriter& JsonWriter::value(const std::string& v) {
+JsonWriter& JsonWriter::value(std::string_view v) {
   pre_value();
   out_ += '"';
-  out_ += escape(v);
+  escape_to(out_, v);
   out_ += '"';
   return *this;
-}
-
-JsonWriter& JsonWriter::value(const char* v) {
-  return value(std::string{v});
 }
 
 JsonWriter& JsonWriter::value(double v) {
@@ -108,9 +104,14 @@ JsonWriter& JsonWriter::value(bool v) {
   return *this;
 }
 
-std::string JsonWriter::escape(const std::string& s) {
+std::string JsonWriter::escape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
+  escape_to(out, s);
+  return out;
+}
+
+void JsonWriter::escape_to(std::string& out, std::string_view s) {
   for (const char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -126,7 +127,6 @@ std::string JsonWriter::escape(const std::string& s) {
         }
     }
   }
-  return out;
 }
 
 std::string JsonWriter::number(double v) {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mcs::sim {
@@ -11,19 +12,27 @@ namespace mcs::sim {
 // the same seeded scenario produce byte-identical documents (the workload
 // determinism tests assert on exact string equality). No parsing, no DOM:
 // snapshots are produced once and written out.
+//
+// Hot-path notes: keys/strings pass through as string_views and escape
+// straight into the output buffer (no per-value temporaries), and the
+// buffer starts with a reserve so typical snapshots grow O(log) times
+// instead of once per append. Finished documents should be moved out with
+// take().
 class JsonWriter {
  public:
-  explicit JsonWriter(bool pretty = true) : pretty_{pretty} {}
+  explicit JsonWriter(bool pretty = true) : pretty_{pretty} {
+    out_.reserve(kInitialCapacity);
+  }
 
   JsonWriter& begin_object();
   JsonWriter& end_object();
   JsonWriter& begin_array();
   JsonWriter& end_array();
   // Must be called inside an object, immediately before the value.
-  JsonWriter& key(const std::string& k);
+  JsonWriter& key(std::string_view k);
 
-  JsonWriter& value(const std::string& v);
-  JsonWriter& value(const char* v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
   JsonWriter& value(double v);
   JsonWriter& value(std::uint64_t v);
   JsonWriter& value(std::int64_t v);
@@ -32,17 +41,24 @@ class JsonWriter {
 
   // The document so far; complete once every container is closed.
   const std::string& str() const { return out_; }
+  // Moves the document out of the writer (which is then spent); callers
+  // exporting snapshots use this instead of copying str().
+  std::string take() { return std::move(out_); }
 
-  static std::string escape(const std::string& s);
+  static std::string escape(std::string_view s);
   // Deterministic double rendering: integral values print without a decimal
   // point, non-finite values map to null (JSON has no NaN/Inf).
   static std::string number(double v);
 
  private:
+  static constexpr std::size_t kInitialCapacity = 4096;
+
   struct Level {
     bool is_object = false;
     bool first = true;
   };
+
+  static void escape_to(std::string& out, std::string_view s);
 
   // Emits the separator/indent owed before the next key or value.
   void pre_value();

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace mcs::sim {
+
+// Free-list building blocks for hot-path object recycling (see DESIGN.md §8).
+// Both pools are thread_local-friendly by construction: every simulator
+// instance is confined to one thread (the parallel sweep runner pins one
+// simulation per task), so acquire/release never contend on a lock and the
+// pools add no cross-thread ordering that could perturb replay.
+
+// Pool of fully-constructed T objects. acquire() pops a recycled object (or
+// default-constructs one); release() pushes it back without running ~T, so
+// internal buffers (e.g. a packet payload's string capacity) survive reuse.
+// The caller owns resetting recycled objects to a fresh-equivalent state.
+// Objects still in the pool are destroyed with the pool itself.
+template <typename T>
+class RecyclingPool {
+ public:
+  RecyclingPool() = default;
+  RecyclingPool(const RecyclingPool&) = delete;
+  RecyclingPool& operator=(const RecyclingPool&) = delete;
+  ~RecyclingPool() {
+    for (T* obj : free_) delete obj;
+  }
+
+  // Pops a recycled object, or default-constructs when the pool is dry.
+  T* acquire() {
+    if (free_.empty()) {
+      ++fresh_;
+      return new T();
+    }
+    ++reused_;
+    T* obj = free_.back();
+    free_.pop_back();
+    return obj;
+  }
+
+  void release(T* obj) { free_.push_back(obj); }
+
+  std::size_t free_count() const { return free_.size(); }
+  std::uint64_t fresh_allocations() const { return fresh_; }
+  std::uint64_t reuses() const { return reused_; }
+
+ private:
+  std::vector<T*> free_;
+  std::uint64_t fresh_ = 0;
+  std::uint64_t reused_ = 0;
+};
+
+// Rebindable allocator backed by a per-type, per-thread free list of
+// fixed-size chunks. Built for std::allocate_shared / shared_ptr control
+// blocks: after warmup, allocating one is a pointer bump off the free list
+// instead of a malloc. Chunks are returned to the releasing thread's list
+// (safe either way: chunks are plain operator-new memory) and freed at
+// thread exit.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    if (n != 1) {
+      return static_cast<T*>(::operator new(n * sizeof(T)));
+    }
+    ChunkList& list = chunks();
+    if (list.head == nullptr) {
+      return static_cast<T*>(::operator new(chunk_size()));
+    }
+    Chunk* c = list.head;
+    list.head = c->next;
+    return reinterpret_cast<T*>(c);
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    if (n != 1) {
+      ::operator delete(p);
+      return;
+    }
+    auto* c = reinterpret_cast<Chunk*>(p);
+    ChunkList& list = chunks();
+    c->next = list.head;
+    list.head = c;
+  }
+
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const PoolAllocator&, const PoolAllocator&) {
+    return false;
+  }
+
+ private:
+  struct Chunk {
+    Chunk* next = nullptr;
+  };
+
+  static constexpr std::size_t chunk_size() {
+    return sizeof(T) > sizeof(Chunk) ? sizeof(T) : sizeof(Chunk);
+  }
+
+  struct ChunkList {
+    Chunk* head = nullptr;
+    ~ChunkList() {
+      while (head != nullptr) {
+        Chunk* next = head->next;
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  };
+
+  static ChunkList& chunks() {
+    static thread_local ChunkList list;
+    return list;
+  }
+};
+
+}  // namespace mcs::sim

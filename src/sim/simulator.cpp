@@ -16,44 +16,141 @@ constexpr std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
   }
   return h;
 }
+
+constexpr std::size_t kArity = 4;
 }  // namespace
 
-EventId Simulator::at(Time t, Callback fn) {
-  MCS_ASSERT(t >= now_, "Simulator::at(): cannot schedule into the past");
-  MCS_ASSERT(fn != nullptr, "Simulator::at(): null callback");
-  const EventId id = next_id_++;
-  heap_.push(HeapEntry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoIndex) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoIndex;
+    return slot;
+  }
+  MCS_ASSERT(slots_.size() < kNoIndex, "Simulator: slot table overflow");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-EventId Simulator::after(Time delay, Callback fn) {
-  MCS_ASSERT(!delay.is_negative(), "Simulator::after(): negative delay");
-  return at(now_ + delay, std::move(fn));
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.heap_index = kNoIndex;
+  // Bumping the generation on release invalidates every outstanding EventId
+  // for this slot immediately, before any reuse.
+  ++s.gen;
+  s.next_free = free_head_;
+  free_head_ = slot;
 }
 
-void Simulator::cancel(EventId id) { callbacks_.erase(id); }
+// Writes `node` at `index` and records the new position in its slot.
+void Simulator::place(std::size_t index, HeapNode node) {
+  slots_[node.slot].heap_index = static_cast<std::uint32_t>(index);
+  heap_[index] = node;
+}
+
+std::size_t Simulator::sift_up(std::size_t index, const HeapNode& node) {
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kArity;
+    if (!before(node, heap_[parent])) break;
+    place(index, heap_[parent]);
+    index = parent;
+  }
+  return index;
+}
+
+std::size_t Simulator::sift_down(std::size_t index, const HeapNode& node) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = index * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], node)) break;
+    place(index, heap_[best]);
+    index = best;
+  }
+  return index;
+}
+
+// at() has already parked the callback in `slot`; link it into the heap.
+EventId Simulator::finish_schedule(Time t, std::uint32_t slot) {
+  const HeapNode node{t, next_seq_++, slot};
+  heap_.push_back(node);
+  place(sift_up(heap_.size() - 1, node), node);
+  return (static_cast<EventId>(slot) << 32) | slots_[slot].gen;
+}
+
+void Simulator::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  // Fired, already-cancelled, and recycled handles all fail this check:
+  // release_slot() bumped the generation the moment the slot emptied.
+  if (s.gen != gen || s.heap_index == kNoIndex) return;
+  remove_heap_index(s.heap_index);
+  release_slot(slot);
+}
+
+// Removes the heap node at `index`, preserving the heap invariant: the last
+// node fills the hole and sifts whichever direction restores order.
+void Simulator::remove_heap_index(std::uint32_t index) {
+  const HeapNode last = heap_.back();
+  heap_.pop_back();
+  if (index == heap_.size()) return;  // removed the tail node itself
+  const std::size_t up = sift_up(index, last);
+  place(up == index ? sift_down(index, last) : up, last);
+}
+
+// Root removal, Floyd-style: walk the hole down to a leaf along minimum
+// children (3 compares per level), then drop the tail node in and sift it
+// up (expected O(1) — the tail is almost always leaf-sized). The plain
+// sift_down in remove_heap_index() pays an extra compare against the moved
+// node at every level; on the pop-heavy steady state that shows up in
+// bench/kernel.
+void Simulator::pop_root() {
+  const HeapNode last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first_child = hole * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    place(hole, heap_[best]);
+    hole = best;
+  }
+  place(sift_up(hole, last), last);
+}
 
 bool Simulator::pop_and_run_next() {
-  while (!heap_.empty()) {
-    const HeapEntry top = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    // The heap must deliver events in nondecreasing time: a violation here
-    // means the (time, schedule-order) replay contract is already broken.
-    MCS_INVARIANT(top.t >= now_, "event heap yielded a timestamp before now()");
-    now_ = top.t;
-    ++executed_;
-    trace_hash_ = fnv1a_mix(fnv1a_mix(trace_hash_,
-                                      static_cast<std::uint64_t>(top.t.ns())),
-                            top.seq);
-    fn();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const HeapNode top = heap_[0];
+  // The heap must deliver events in nondecreasing time: a violation here
+  // means the (time, schedule-order) replay contract is already broken.
+  MCS_INVARIANT(top.t >= now_, "event heap yielded a timestamp before now()");
+  // Move the callback out and retire the slot *before* invoking it, so a
+  // callback cancelling its own id (or scheduling into this slot's reuse)
+  // sees consistent state — same semantics as the seed kernel's erase-first.
+  InlineFunction fn = std::move(slots_[top.slot].fn);
+  pop_root();
+  release_slot(top.slot);
+  now_ = top.t;
+  ++executed_;
+  trace_hash_ = fnv1a_mix(fnv1a_mix(trace_hash_,
+                                    static_cast<std::uint64_t>(top.t.ns())),
+                          top.seq);
+  fn();
+  return true;
 }
 
 void Simulator::run() {
@@ -62,21 +159,12 @@ void Simulator::run() {
   }
 }
 
-void Simulator::purge_cancelled_head() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
-    heap_.pop();
-  }
-}
-
 void Simulator::run_until(Time t) {
   MCS_ASSERT(t >= now_, "Simulator::run_until(): target before now()");
   stopped_ = false;
-  while (!stopped_) {
-    // Cancelled entries must not gate the boundary check: a stale head with
-    // a small timestamp would otherwise let pop_and_run_next() skip ahead to
-    // a live event beyond t.
-    purge_cancelled_head();
-    if (heap_.empty() || heap_.top().t > t) break;
+  // Unlike the seed kernel there are no tombstones: heap_[0] is always a
+  // live event, so the boundary check needs no cancelled-head purge.
+  while (!stopped_ && !heap_.empty() && heap_[0].t <= t) {
     pop_and_run_next();
   }
   if (t > now_) now_ = t;

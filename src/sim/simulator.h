@@ -2,20 +2,31 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "sim/inline_function.h"
 #include "sim/time.h"
 
 namespace mcs::sim {
 
+// Opaque handle: (slot << 32) | generation. Generations start at 1, so no
+// live event ever encodes to 0.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
 // Deterministic discrete-event scheduler. Single-threaded: callbacks run to
 // completion in (time, schedule-order) order, so equal-timestamp events fire
 // FIFO and whole-system runs replay exactly for a fixed seed.
+//
+// Internals (see DESIGN.md §8): a single indexed 4-ary min-heap keyed on
+// (time, seq). Heap nodes are 24 bytes and point at a slot table that holds
+// each pending callback in an InlineFunction (no per-event heap allocation
+// for captures <= 48B, unlike the previous std::function + unordered_map
+// kernel). Slots carry a generation counter, so cancel() is an O(log n)
+// remove-at-index — stale or double cancels fail the generation check and
+// no tombstones ever sit in the heap. The visible schedule (and therefore
+// trace_hash()) is byte-identical to the seed kernel's.
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -24,10 +35,25 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  // Schedule `fn` at absolute time `t` (must be >= now()).
-  EventId at(Time t, Callback fn);
+  // Schedule `fn` at absolute time `t` (must be >= now()). Accepts any
+  // void() callable; captures up to InlineFunction::kInlineSize bytes are
+  // stored inline in the slot table.
+  template <typename F>
+  EventId at(Time t, F&& fn) {
+    MCS_ASSERT(callable_not_null(fn), "Simulator::at(): null callback");
+    MCS_ASSERT(t >= now_, "Simulator::at(): cannot schedule into the past");
+    // Construct the callback directly in its slot: no InlineFunction
+    // temporary, no relocate through the dispatch table.
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].fn.emplace(std::forward<F>(fn));
+    return finish_schedule(t, slot);
+  }
   // Schedule `fn` after `delay` (must be >= 0) from now().
-  EventId after(Time delay, Callback fn);
+  template <typename F>
+  EventId after(Time delay, F&& fn) {
+    MCS_ASSERT(!delay.is_negative(), "Simulator::after(): negative delay");
+    return at(now_ + delay, std::forward<F>(fn));
+  }
   // Cancel a pending event; no-op if it already ran or was cancelled.
   void cancel(EventId id);
 
@@ -42,38 +68,80 @@ class Simulator {
   // Stop the current run() after the in-flight callback returns.
   void stop() { stopped_ = true; }
 
-  std::size_t pending() const { return callbacks_.size(); }
+  std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
   // FNV-1a hash over the (time, sequence) pairs of every executed event.
   // Two runs of the same scenario with the same seed must produce identical
-  // hashes; the determinism tests (and future scaling refactors) assert on
+  // hashes; the determinism tests (and the kernel rewrite itself) assert on
   // this instead of diffing full event logs.
   std::uint64_t trace_hash() const { return trace_hash_; }
 
  private:
-  struct HeapEntry {
+  static constexpr std::uint32_t kNoIndex = 0xffffffffu;
+
+  // Empty std::functions / null function pointers must trip the contract
+  // check; plain lambdas are never null.
+  template <typename F>
+  static constexpr bool callable_not_null(const F& f) {
+    if constexpr (std::is_constructible_v<bool, const F&>) {
+      return static_cast<bool>(f);
+    } else {
+      return true;
+    }
+  }
+
+  struct HeapNode {
     Time t;
     std::uint64_t seq = 0;
-    EventId id = kInvalidEventId;
-    // Min-heap on (t, seq): std::priority_queue is a max-heap, so invert.
-    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+    std::uint32_t slot = kNoIndex;
   };
 
+  struct Slot {
+    InlineFunction fn;
+    std::uint32_t gen = 1;
+    // Position of this slot's node in heap_, or kNoIndex when free.
+    std::uint32_t heap_index = kNoIndex;
+    std::uint32_t next_free = kNoIndex;
+  };
+
+  static bool before(const HeapNode& a, const HeapNode& b) {
+#ifdef __SIZEOF_INT128__
+    // Branchless composite-key compare. Timestamps are non-negative (at()
+    // rejects scheduling into the past and now() starts at zero), so the
+    // unsigned reinterpretation preserves order; sift loops on large heaps
+    // mispredict the two-field form badly enough to show in bench/kernel.
+    const auto key = [](const HeapNode& n) {
+      return (static_cast<unsigned __int128>(
+                  static_cast<std::uint64_t>(n.t.ns()))
+              << 64) |
+             n.seq;
+    };
+    return key(a) < key(b);
+#else
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+#endif
+  }
+
+  EventId finish_schedule(Time t, std::uint32_t slot);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void place(std::size_t index, HeapNode node);
+  std::size_t sift_up(std::size_t index, const HeapNode& node);
+  std::size_t sift_down(std::size_t index, const HeapNode& node);
+  void remove_heap_index(std::uint32_t index);
+  void pop_root();
   bool pop_and_run_next();
-  void purge_cancelled_head();
 
   Time now_;
   bool stopped_ = false;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t trace_hash_ = 14695981039346656037ull;  // FNV-1a offset basis
-  std::priority_queue<HeapEntry> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::vector<HeapNode> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoIndex;
 };
 
 }  // namespace mcs::sim

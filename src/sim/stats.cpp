@@ -89,9 +89,12 @@ void Histogram::to_json(JsonWriter& w) const {
   w.key("stddev").value(stddev());
   w.key("min").value(min());
   w.key("max").value(max());
-  for (const double p : {50.0, 90.0, 95.0, 99.0}) {
-    w.key(strf("p%.0f", p)).value(percentile(p));
-  }
+  // Fixed key strings: the old strf("p%.0f") formatted four temporary
+  // strings per histogram, which dominated snapshot-export allocations.
+  w.key("p50").value(percentile(50.0));
+  w.key("p90").value(percentile(90.0));
+  w.key("p95").value(percentile(95.0));
+  w.key("p99").value(percentile(99.0));
   w.end_object();
 }
 
@@ -105,6 +108,7 @@ std::string Histogram::summary(const char* unit) const {
 
 std::string StatsRegistry::report(const std::string& prefix) const {
   std::string out;
+  out.reserve(64 * (counters_.size() + histograms_.size()));
   for (const auto& [name, c] : counters_) {
     out += strf("%s%s = %llu\n", prefix.c_str(), name.c_str(),
                 static_cast<unsigned long long>(c.value()));
@@ -148,7 +152,7 @@ void StatsRegistry::to_json(JsonWriter& w) const {
 std::string StatsRegistry::to_json_string() const {
   JsonWriter w;
   to_json(w);
-  return w.str();
+  return w.take();
 }
 
 void StatsSnapshot::add(const std::string& path,
@@ -180,7 +184,7 @@ void StatsSnapshot::to_json(JsonWriter& w) const {
 std::string StatsSnapshot::to_json_string() const {
   JsonWriter w;
   to_json(w);
-  return w.str();
+  return w.take();
 }
 
 }  // namespace mcs::sim

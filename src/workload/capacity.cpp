@@ -42,11 +42,8 @@ void CapacityResult::to_json(sim::JsonWriter& w) const {
   w.end_object();
 }
 
-namespace {
-
-ProbePoint run_probe(const Slo& slo, const ProbeFn& probe, double target,
-                     int index) {
-  const DriverReport r = probe(target, index);
+ProbePoint classify_probe(const Slo& slo, double target,
+                          const DriverReport& r) {
   ProbePoint p;
   p.target_tps = target;
   p.offered_tps = r.offered_tps;
@@ -58,50 +55,75 @@ ProbePoint run_probe(const Slo& slo, const ProbeFn& probe, double target,
   return p;
 }
 
-}  // namespace
+CapacitySearchStepper::CapacitySearchStepper(Slo slo, CapacitySearchConfig cfg)
+    : slo_{slo}, cfg_{cfg} {
+  MCS_ASSERT(cfg_.min_tps > 0.0 && cfg_.max_tps >= cfg_.min_tps,
+             "capacity search needs 0 < min_tps <= max_tps");
+  MCS_ASSERT(cfg_.max_probes >= 2, "capacity search needs >= 2 probes");
+}
+
+std::optional<double> CapacitySearchStepper::next_target() const {
+  // Floor probe first: if the minimum load already violates the SLO the
+  // system is saturated for this workload and the search reports capacity 0.
+  if (probes_.empty()) return cfg_.min_tps;
+  if (saturated_) return std::nullopt;
+  if (next_index() >= cfg_.max_probes) return std::nullopt;
+  if (hi_ == 0.0) {
+    if (lo_ >= cfg_.max_tps) return std::nullopt;  // ceiling reached
+    return std::min(lo_ * 2.0, cfg_.max_tps);      // bracket by doubling
+  }
+  if (hi_ - lo_ <= cfg_.rel_tolerance * lo_) return std::nullopt;
+  return 0.5 * (lo_ + hi_);  // bisect
+}
+
+void CapacitySearchStepper::advance(const ProbePoint& p) {
+  const std::optional<double> expected = next_target();
+  MCS_ASSERT(expected.has_value(), "capacity search advanced past the end");
+  MCS_ASSERT(p.target_tps == *expected,
+             "capacity search fed a probe it did not ask for");
+  const bool is_floor = probes_.empty();
+  probes_.push_back(p);
+  if (is_floor && !p.pass) {
+    saturated_ = true;
+    return;
+  }
+  if (p.pass) {
+    lo_ = p.target_tps;
+  } else {
+    hi_ = p.target_tps;
+  }
+}
+
+CapacitySearchStepper CapacitySearchStepper::after_hypothetical(
+    bool pass) const {
+  CapacitySearchStepper copy = *this;
+  const std::optional<double> target = next_target();
+  MCS_ASSERT(target.has_value(),
+             "hypothetical advance on a finished capacity search");
+  ProbePoint p;
+  p.target_tps = *target;
+  p.pass = pass;
+  copy.advance(p);
+  return copy;
+}
+
+CapacityResult CapacitySearchStepper::result() const {
+  CapacityResult r;
+  r.probes = probes_;
+  r.saturated = saturated_;
+  r.capacity_tps = saturated_ ? 0.0 : lo_;
+  r.ceiling_reached = !saturated_ && hi_ == 0.0 && lo_ >= cfg_.max_tps;
+  return r;
+}
 
 CapacityResult find_capacity(const Slo& slo, const CapacitySearchConfig& cfg,
                              const ProbeFn& probe) {
-  MCS_ASSERT(cfg.min_tps > 0.0 && cfg.max_tps >= cfg.min_tps,
-             "capacity search needs 0 < min_tps <= max_tps");
-  MCS_ASSERT(cfg.max_probes >= 2, "capacity search needs >= 2 probes");
-  CapacityResult result;
-  int index = 0;
-
-  // Floor probe: if the minimum load already violates the SLO the system
-  // is saturated for this workload and the search reports capacity 0.
-  ProbePoint floor = run_probe(slo, probe, cfg.min_tps, index++);
-  result.probes.push_back(floor);
-  if (!floor.pass) {
-    result.saturated = true;
-    return result;
+  CapacitySearchStepper stepper{slo, cfg};
+  while (const std::optional<double> target = stepper.next_target()) {
+    stepper.advance(classify_probe(
+        slo, *target, probe(*target, stepper.next_index())));
   }
-
-  double lo = cfg.min_tps;  // highest load known to pass
-  double hi = 0.0;          // lowest load known to fail (0 = none yet)
-  while (index < cfg.max_probes) {
-    double x = 0.0;
-    if (hi == 0.0) {
-      if (lo >= cfg.max_tps) {
-        result.ceiling_reached = true;
-        break;
-      }
-      x = std::min(lo * 2.0, cfg.max_tps);  // bracket by doubling
-    } else {
-      if (hi - lo <= cfg.rel_tolerance * lo) break;
-      x = 0.5 * (lo + hi);  // bisect
-    }
-    const ProbePoint p = run_probe(slo, probe, x, index++);
-    result.probes.push_back(p);
-    if (p.pass) {
-      lo = x;
-    } else {
-      hi = x;
-    }
-  }
-  result.capacity_tps = lo;
-  if (hi == 0.0 && lo >= cfg.max_tps) result.ceiling_reached = true;
-  return result;
+  return stepper.result();
 }
 
 }  // namespace mcs::workload

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,8 +58,52 @@ struct CapacityResult {
 
 // Runs one open-loop experiment at `target_tps` on a fresh system;
 // `probe_index` lets callers derive per-probe seeds deterministically.
+// MUST be a pure function of (target_tps, probe_index): the parallel sweep
+// runner exploits this to execute probes speculatively on worker threads
+// while guaranteeing results identical to the serial search.
 using ProbeFn =
     std::function<DriverReport(double target_tps, int probe_index)>;
+
+// The capacity search as an explicit, copyable state machine: next_target()
+// names the probe the serial algorithm would run next, advance() feeds its
+// outcome. Extracted from find_capacity() so the speculative executor in
+// workload/sweep.h can fork the state down the pass and fail branches and
+// pre-submit both follow-up probes — probe identity (target, index) is all
+// it needs, and copies are a few doubles.
+class CapacitySearchStepper {
+ public:
+  CapacitySearchStepper(Slo slo, CapacitySearchConfig cfg);
+
+  // Target of the next probe the search needs, or nullopt when finished.
+  std::optional<double> next_target() const;
+  // Index of the next probe (== number of probes consumed so far).
+  int next_index() const { return static_cast<int>(probes_.size()); }
+  bool finished() const { return !next_target().has_value(); }
+
+  // Feed the outcome of the probe at next_target()/next_index().
+  void advance(const ProbePoint& p);
+  // The search state after a hypothetical pass/fail outcome at the current
+  // target; used for speculation, never for real results (the fabricated
+  // probe record never leaves the copy).
+  CapacitySearchStepper after_hypothetical(bool pass) const;
+
+  const Slo& slo() const { return slo_; }
+  // The accumulated result; complete once finished().
+  CapacityResult result() const;
+
+ private:
+  Slo slo_;
+  CapacitySearchConfig cfg_;
+  std::vector<ProbePoint> probes_;
+  double lo_ = 0.0;  // highest load known to pass (0 = floor not probed yet)
+  double hi_ = 0.0;  // lowest load known to fail (0 = none yet)
+  bool saturated_ = false;
+};
+
+// Classifies a driver report against the SLO at `target`; shared by the
+// serial and speculative executors so their ProbePoints match bit-for-bit.
+ProbePoint classify_probe(const Slo& slo, double target,
+                          const DriverReport& r);
 
 CapacityResult find_capacity(const Slo& slo, const CapacitySearchConfig& cfg,
                              const ProbeFn& probe);

@@ -150,7 +150,7 @@ void LoadDriver::finish_report(DriverReport& report) {
 }
 
 DriverReport LoadDriver::run_open_loop(const ArrivalConfig& arrivals) {
-  report_ = DriverReport{};
+  report_ = DriverReport();
   report_.driver = "open-loop";
   report_.mix = mix_.name;
   report_.arrivals = arrival_kind_name(arrivals.kind);
@@ -190,7 +190,7 @@ DriverReport LoadDriver::run_open_loop(const ArrivalConfig& arrivals) {
 }
 
 DriverReport LoadDriver::run_closed_loop() {
-  report_ = DriverReport{};
+  report_ = DriverReport();
   report_.driver = "closed-loop";
   report_.mix = mix_.name;
   requests_.clear();

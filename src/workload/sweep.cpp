@@ -1,0 +1,129 @@
+#include "workload/sweep.h"
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace mcs::workload {
+
+ThreadPool::ThreadPool(int threads) {
+  MCS_ASSERT(threads >= 1, "ThreadPool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Jobs still queued at shutdown are dropped unrun. By then every sweep
+  // cell has joined, so anything left is an unrealized speculative probe
+  // whose future nobody holds.
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    MCS_ASSERT(!stopping_, "ThreadPool::submit() after shutdown began");
+    queue_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+  }
+}
+
+int SweepOptions::resolved_threads() const {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int sweep_threads_from_env() {
+  if (const char* env = std::getenv("MCS_SWEEP_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return SweepOptions{}.resolved_threads();
+}
+
+ParallelSweep::ParallelSweep(SweepOptions opts)
+    : threads_{opts.resolved_threads()}, lookahead_{opts.lookahead} {
+  if (threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads_);
+  }
+}
+
+ParallelSweep::~ParallelSweep() = default;
+
+CapacityResult ParallelSweep::find_capacity(const Slo& slo,
+                                            const CapacitySearchConfig& cfg,
+                                            const ProbeFn& probe) {
+  if (serial()) {
+    return workload::find_capacity(slo, cfg, probe);
+  }
+
+  // Memoizes every probe this cell has submitted, keyed by the probe's full
+  // identity. ProbeFn purity makes memoized speculation sound: whichever
+  // branch the search actually takes gets exactly the report the serial
+  // executor would have computed. Only this cell's thread touches the map;
+  // workers touch only the packaged tasks inside.
+  std::map<std::pair<int, double>, std::shared_future<DriverReport>> inflight;
+  const auto ensure_submitted =
+      [&](int index, double target) -> std::shared_future<DriverReport> {
+    const auto key = std::make_pair(index, target);
+    auto it = inflight.find(key);
+    if (it == inflight.end()) {
+      it = inflight
+               .emplace(key, pool_->submit_task([probe, target, index] {
+                 return probe(target, index);
+               }))
+               .first;
+    }
+    return it->second;
+  };
+
+  // Pre-submit the probes that would follow the pending one down both the
+  // pass and fail branches, `depth` levels deep.
+  const std::function<void(const CapacitySearchStepper&, int)> speculate =
+      [&](const CapacitySearchStepper& state, int depth) {
+        if (depth <= 0 || state.finished()) return;
+        for (const bool pass : {true, false}) {
+          const CapacitySearchStepper branch =
+              state.after_hypothetical(pass);
+          if (const std::optional<double> t = branch.next_target()) {
+            ensure_submitted(branch.next_index(), *t);
+            speculate(branch, depth - 1);
+          }
+        }
+      };
+
+  CapacitySearchStepper stepper{slo, cfg};
+  while (const std::optional<double> target = stepper.next_target()) {
+    const std::shared_future<DriverReport> pending =
+        ensure_submitted(stepper.next_index(), *target);
+    speculate(stepper, lookahead_);
+    stepper.advance(classify_probe(slo, *target, pending.get()));
+  }
+  return stepper.result();
+}
+
+}  // namespace mcs::workload

@@ -1,0 +1,134 @@
+#pragma once
+
+// Parallel scenario sweeps. A sweep runs many *independent* simulator
+// instances — one per (middleware x PHY) cell, one per capacity probe — and
+// merges their results in deterministic cell order, so an N-core run emits
+// byte-identical output to the serial run (pinned by
+// tests/workload_sweep_test.cpp, raced under TSan in CI).
+//
+// Two levels of parallelism, both trading only wasted idle cores (never
+// determinism) for wall clock:
+//
+//   1. Cells are embarrassingly parallel: each runs on its own thread and
+//      results land in a slot indexed by cell, not by completion order.
+//   2. Within a cell, the capacity search is inherently sequential (probe
+//      k+1's target depends on probe k's outcome) — but ProbeFn is pure, so
+//      the speculative executor forks the CapacitySearchStepper down both
+//      the pass and fail branches and pre-submits both possible next probes
+//      to the shared worker pool. Whichever branch reality takes, its probe
+//      is already running (or done); the other is wasted work on an
+//      otherwise idle core. The realized probe sequence is exactly the
+//      serial one.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "workload/capacity.h"
+
+namespace mcs::workload {
+
+// Fixed-size worker pool; submitted jobs run in submission order (per
+// worker availability). Destruction drains the queue before joining.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  void submit(std::function<void()> job);
+
+  // Convenience: run `fn` on the pool, observable through a shared_future
+  // (speculative probes may be awaited by nobody).
+  template <typename Fn>
+  auto submit_task(Fn&& fn) -> std::shared_future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::shared_future<R> future = task->get_future().share();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+struct SweepOptions {
+  // Worker threads for cells and probes. 0 = hardware concurrency;
+  // 1 = fully serial (no threads spawned at all).
+  int threads = 0;
+  // Speculation depth for capacity searches: how many branch levels of
+  // future probes to pre-submit (0 = none, 1 = both children of the
+  // pending probe, ...). Wasted work grows ~2^lookahead per step, so keep
+  // small; 1 already overlaps every bisection step with its successor.
+  int lookahead = 1;
+
+  // `threads` resolved against the host (never 0).
+  int resolved_threads() const;
+};
+
+// Reads MCS_SWEEP_THREADS (unset/0 = hardware concurrency). Benches use
+// this so CI and developers can force serial or N-way runs.
+int sweep_threads_from_env();
+
+// Runs `n` independent cells, each on its own thread (cells block waiting
+// on probe futures, so they must not occupy pool workers), sharing one
+// probe pool. Results are collected in cell order.
+class ParallelSweep {
+ public:
+  explicit ParallelSweep(SweepOptions opts = {});
+  ~ParallelSweep();
+
+  int threads() const { return threads_; }
+  bool serial() const { return threads_ <= 1; }
+  // The shared probe pool; null in serial mode.
+  ThreadPool* pool() { return pool_.get(); }
+
+  // fn(cell_index) -> T; returns {fn(0), ..., fn(n-1)} in cell order.
+  template <typename T, typename Fn>
+  std::vector<T> map_cells(std::size_t n, Fn&& fn) {
+    std::vector<T> results(n);
+    if (serial()) {
+      for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+      return results;
+    }
+    std::vector<std::thread> cell_threads;
+    cell_threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cell_threads.emplace_back(
+          [&results, &fn, i] { results[i] = fn(i); });
+    }
+    for (std::thread& t : cell_threads) t.join();
+    return results;
+  }
+
+  // The speculative capacity search for one cell: byte-identical results to
+  // find_capacity(slo, cfg, probe), overlapping probe execution via this
+  // sweep's pool. Serial mode degrades to exactly find_capacity.
+  CapacityResult find_capacity(const Slo& slo,
+                               const CapacitySearchConfig& cfg,
+                               const ProbeFn& probe);
+
+ private:
+  int threads_ = 1;
+  int lookahead_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace mcs::workload

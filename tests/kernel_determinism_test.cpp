@@ -1,0 +1,93 @@
+// Replay-identity tests for the event kernel rewrite: the indexed 4-ary-heap
+// Simulator must reproduce, bit for bit, the trace hashes the seed kernel
+// (std::priority_queue + unordered_map tombstones) produced on the canonical
+// fixture workload. A kernel that schedules faster but replays differently
+// is a different simulator, not an optimization — see DESIGN.md §8.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "kernel_fixture.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace mcs::sim {
+namespace {
+
+struct SeedKernelFixture {
+  std::uint64_t seed;
+  int initial_events;
+  std::uint64_t trace_hash;  // captured from the seed kernel, pre-rewrite
+  std::uint64_t executed;
+  std::int64_t final_now_ns;
+};
+
+// Captured by running tests/kernel_fixture.h against the seed kernel at
+// commit 0ed679a (the last commit before the indexed-heap rewrite). Do not
+// regenerate these with the current kernel: their whole value is that they
+// were produced by the old one.
+constexpr SeedKernelFixture kSeedFixtures[] = {
+    {1ull, 64, 5262180127867000722ull, 558ull, 5400000ll},
+    {42ull, 256, 5294055621558796620ull, 2187ull, 5400000ll},
+    {7777ull, 1024, 3331881494264144212ull, 8761ull, 4211000ll},
+};
+
+TEST(KernelDeterminismTest, ReproducesSeedKernelTraceHashes) {
+  for (const SeedKernelFixture& f : kSeedFixtures) {
+    const KernelFixtureResult got = run_kernel_fixture(f.seed,
+                                                       f.initial_events);
+    EXPECT_EQ(got.trace_hash, f.trace_hash)
+        << "seed=" << f.seed << " initial=" << f.initial_events;
+    EXPECT_EQ(got.executed, f.executed) << "seed=" << f.seed;
+    EXPECT_EQ(got.final_now_ns, f.final_now_ns) << "seed=" << f.seed;
+  }
+}
+
+TEST(KernelDeterminismTest, RepeatedRunsAreBitIdentical) {
+  const KernelFixtureResult a = run_kernel_fixture(99, 128);
+  const KernelFixtureResult b = run_kernel_fixture(99, 128);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.final_now_ns, b.final_now_ns);
+}
+
+// The slot-generation scheme must reject every form of stale handle the
+// tombstone kernel silently absorbed.
+TEST(KernelDeterminismTest, StaleCancelsAreNoOps) {
+  Simulator sim;
+  int fired = 0;
+  const EventId a = sim.at(Time::micros(1), [&] { ++fired; });
+  const EventId b = sim.at(Time::micros(2), [&] { ++fired; });
+
+  sim.cancel(b);
+  sim.cancel(b);                // double cancel
+  sim.cancel(kInvalidEventId);  // null handle
+  sim.cancel(a + (1ull << 32) * 1000);  // slot far out of range
+  sim.run();
+  EXPECT_EQ(fired, 1);
+
+  // a's handle is stale now (fired); its slot may be recycled by the next
+  // schedule. Cancelling it must not kill the new occupant.
+  const EventId c = sim.at(sim.now() + Time::micros(1), [&] { ++fired; });
+  EXPECT_NE(a, c);  // generation bump makes recycled ids distinct
+  sim.cancel(a);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(KernelDeterminismTest, CancelInsideOwnCallbackIsSafe) {
+  Simulator sim;
+  int fired = 0;
+  EventId self = kInvalidEventId;
+  self = sim.at(Time::micros(1), [&] {
+    ++fired;
+    sim.cancel(self);  // already popped: generation check rejects it
+  });
+  sim.at(Time::micros(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace mcs::sim

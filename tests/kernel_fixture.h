@@ -1,0 +1,73 @@
+#pragma once
+
+// A canonical event-kernel workout whose trace hash pins the scheduler's
+// externally observable behaviour: (time, schedule-order) execution order
+// under interleaved scheduling, same-timestamp bursts, cancellation of
+// live/fired/cancelled events, and run()/run_until() boundary handling.
+//
+// The hashes in tests/kernel_determinism_test.cpp were captured from the
+// seed kernel (std::priority_queue + unordered_map tombstones) before the
+// indexed-heap rewrite; any kernel replacement must reproduce them exactly
+// or it has changed replay semantics, not just performance.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace mcs::sim {
+
+struct KernelFixtureResult {
+  std::uint64_t trace_hash = 0;
+  std::uint64_t executed = 0;
+  std::int64_t final_now_ns = 0;
+};
+
+inline KernelFixtureResult run_kernel_fixture(std::uint64_t seed,
+                                              int initial_events) {
+  Simulator sim;
+  Rng rng{seed};
+  std::vector<EventId> ids;  // every id ever issued; most will have fired
+  int budget = initial_events * 8;
+
+  // Self-scheduling workload: each event may spawn children, cancel an
+  // arbitrary earlier event (live or not), and occasionally cancel itself
+  // a second time. All randomness flows through `rng`, whose draw order is
+  // itself pinned by the execution order under test.
+  std::function<void()> body = [&] {
+    const int spawn = static_cast<int>(rng.uniform_int(0, 2));
+    for (int s = 0; s < spawn && budget > 0; ++s, --budget) {
+      const Time delay = Time::micros(rng.uniform_int(0, 500));
+      ids.push_back(sim.after(delay, body));
+    }
+    if (!ids.empty() && rng.bernoulli(0.3)) {
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+      sim.cancel(ids[victim]);
+    }
+  };
+
+  for (int i = 0; i < initial_events; ++i) {
+    ids.push_back(sim.at(Time::micros(rng.uniform_int(0, 200)), body));
+  }
+  // Same-timestamp burst: FIFO order among equal times must hold.
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(sim.at(Time::micros(100), body));
+  }
+
+  // Mixed run_until()/run() driving, with a cancelled head straddling a
+  // boundary (the seed kernel had a dedicated regression test for this).
+  sim.run_until(Time::micros(50));
+  if (!ids.empty()) sim.cancel(ids.front());
+  sim.run_until(Time::micros(400));
+  ids.push_back(sim.after(Time::millis(5), body));
+  sim.run();
+
+  return KernelFixtureResult{sim.trace_hash(), sim.executed(),
+                             sim.now().ns()};
+}
+
+}  // namespace mcs::sim

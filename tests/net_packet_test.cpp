@@ -83,6 +83,85 @@ TEST(PacketTest, TcpFlagHelpers) {
   EXPECT_FALSE(h.has(kTcpFin));
 }
 
+TEST(PacketPoolTest, ReleasedPacketsAreRecycled) {
+  const PacketPoolStats before = packet_pool_stats();
+  { auto p = make_packet(); }  // released to the pool, not freed
+  const PacketPoolStats drained = packet_pool_stats();
+  EXPECT_GE(drained.free_now, 1u);
+
+  auto q = make_packet();
+  ASSERT_NE(q, nullptr);
+  const PacketPoolStats after = packet_pool_stats();
+  EXPECT_GT(after.reuses, before.reuses);
+  EXPECT_EQ(after.free_now, drained.free_now - 1);
+}
+
+TEST(PacketPoolTest, RecycledPacketLooksFresh) {
+  std::uint64_t old_uid = 0;
+  {
+    auto p = make_packet();
+    old_uid = p->uid;
+    p->proto = Protocol::kTcp;
+    p->ttl = 3;
+    p->src = IpAddress{10, 0, 0, 1};
+    p->tcp.flags = kTcpSyn;
+    p->payload = std::string(2000, 'z');
+    p->created_at = sim::Time::millis(5);
+  }
+  auto q = make_packet();  // recycles p's storage
+  EXPECT_NE(q->uid, old_uid);
+  EXPECT_EQ(q->proto, Protocol::kUdp);
+  EXPECT_EQ(q->ttl, 64);
+  EXPECT_TRUE(q->src.is_unspecified());
+  EXPECT_EQ(q->tcp.flags, 0);
+  EXPECT_TRUE(q->payload.empty());
+  EXPECT_EQ(q->inner, nullptr);
+  EXPECT_TRUE(q->created_at.is_zero());
+}
+
+TEST(PacketPoolTest, RecycledPacketDoesNotAliasTunnelPayload) {
+  // Regression for pooled recycling vs Mobile IP tunnels: releasing a
+  // kIpInIp clone and immediately allocating again must hand back storage
+  // whose `inner` is gone — a stale shared_ptr here would let a recycled
+  // packet silently alias (and mutate) a tunnelled payload still in flight.
+  auto inner = make_packet();
+  inner->payload = "registration-request";
+  auto tunnel = make_packet();
+  tunnel->proto = Protocol::kIpInIp;
+  tunnel->inner = inner;
+
+  auto clone = tunnel->clone();
+  ASSERT_NE(clone->inner, nullptr);
+  EXPECT_NE(clone->inner.get(), inner.get());  // deep copy, not shared
+  Packet* const clone_inner = clone->inner.get();
+  clone.reset();  // clone and its inner return to the pool
+
+  auto recycled = make_packet();
+  EXPECT_EQ(recycled->inner, nullptr);
+  recycled->payload = "fresh-payload";
+  // The original tunnel must be untouched by the recycling above.
+  EXPECT_EQ(tunnel->inner->payload, "registration-request");
+  EXPECT_EQ(inner->payload, "registration-request");
+  // recycled may legitimately reuse clone_inner's storage; what must never
+  // happen is both being alive at once. clone released it, so this is just
+  // documentation that the address may match:
+  (void)clone_inner;
+}
+
+TEST(PacketPoolTest, PayloadCapacitySurvivesRecycling) {
+  std::size_t warm_capacity = 0;
+  {
+    auto p = make_packet();
+    p->payload.assign(4096, 'a');
+    warm_capacity = p->payload.capacity();
+  }
+  auto q = make_packet();
+  EXPECT_TRUE(q->payload.empty());
+  // The whole point of recycling without running ~Packet: the payload
+  // buffer stays allocated, so steady-state forwarding never mallocs.
+  EXPECT_GE(q->payload.capacity(), warm_capacity);
+}
+
 TEST(PacketTest, DescribeMentionsProtocolAndFlags) {
   auto p = make_packet();
   p->proto = Protocol::kTcp;

@@ -1,0 +1,213 @@
+// Parallel-sweep determinism: a ParallelSweep over N threads must produce
+// results byte-identical to the serial capacity search, because it only
+// *overlaps* probe execution (cells on their own threads, speculative
+// probes on a shared pool) and never reorders or re-derives outcomes. This
+// suite is the one CI races under TSan (-DMCS_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "sim/json.h"
+#include "workload/capacity.h"
+#include "workload/sweep.h"
+
+namespace mcs::workload {
+namespace {
+
+// A pure, deterministic stand-in for a simulator-backed probe: latency grows
+// smoothly with offered load, with a per-index wobble mimicking seed
+// variation. Pure in (target, index) as ProbeFn requires.
+DriverReport synthetic_probe(double knee_tps, double target, int index) {
+  DriverReport r;
+  r.driver = "open-loop";
+  r.mix = "synthetic";
+  r.target_tps = target;
+  r.offered_tps = target;
+  const double load = target / knee_tps;
+  const double latency =
+      120.0 * (1.0 + load * load * 9.0) + 3.0 * ((index * 7) % 5);
+  r.attempted = 1000;
+  r.ok = load > 1.5 ? 600 : 1000;  // deep saturation also fails ok-fraction
+  r.delivered_tps = target * (load > 1.5 ? 0.6 : 1.0);
+  r.goodput_tps = r.delivered_tps;
+  for (int i = 0; i < 100; ++i) {
+    r.latency_ms.record(latency * (0.5 + 0.01 * i));
+  }
+  r.window = sim::Time::seconds(60);
+  return r;
+}
+
+std::string result_json(const CapacityResult& r) {
+  sim::JsonWriter w;
+  r.to_json(w);
+  return w.take();
+}
+
+Slo test_slo() {
+  Slo slo;
+  slo.percentile = 95.0;
+  slo.latency_ms = 400.0;
+  slo.min_ok_fraction = 0.99;
+  return slo;
+}
+
+CapacitySearchConfig test_cfg() {
+  CapacitySearchConfig cfg;
+  cfg.min_tps = 0.25;
+  cfg.max_tps = 64.0;
+  cfg.rel_tolerance = 0.10;
+  cfg.max_probes = 24;
+  return cfg;
+}
+
+TEST(CapacityStepperTest, ReplaysFindCapacityExactly) {
+  // The stepper must be find_capacity(), refactored — same probes in the
+  // same order, same result — across qualitatively different regimes:
+  // saturated (knee below the floor), mid-range, and ceiling-limited.
+  for (const double knee : {0.1, 1.0, 7.3, 1000.0}) {
+    const ProbeFn probe = [knee](double target, int index) {
+      return synthetic_probe(knee, target, index);
+    };
+    const CapacityResult direct = find_capacity(test_slo(), test_cfg(), probe);
+
+    CapacitySearchStepper stepper{test_slo(), test_cfg()};
+    while (const auto target = stepper.next_target()) {
+      stepper.advance(classify_probe(test_slo(), *target,
+                                     probe(*target, stepper.next_index())));
+    }
+    EXPECT_EQ(result_json(stepper.result()), result_json(direct))
+        << "knee=" << knee;
+  }
+}
+
+TEST(CapacityStepperTest, HypotheticalBranchesNameRealFollowUps) {
+  // Whatever outcome a probe has, the follow-up probe the speculative
+  // executor pre-submitted (from after_hypothetical) must be the probe the
+  // real search asks for next.
+  const ProbeFn probe = [](double target, int index) {
+    return synthetic_probe(7.3, target, index);
+  };
+  CapacitySearchStepper stepper{test_slo(), test_cfg()};
+  while (const auto target = stepper.next_target()) {
+    const ProbePoint p = classify_probe(test_slo(), *target,
+                                        probe(*target, stepper.next_index()));
+    const CapacitySearchStepper branch = stepper.after_hypothetical(p.pass);
+    stepper.advance(p);
+    EXPECT_EQ(branch.next_target().has_value(),
+              stepper.next_target().has_value());
+    if (branch.next_target() && stepper.next_target()) {
+      EXPECT_DOUBLE_EQ(*branch.next_target(), *stepper.next_target());
+      EXPECT_EQ(branch.next_index(), stepper.next_index());
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool{4};
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 1; i <= 100; ++i) {
+      pool.submit([&sum, i] { sum.fetch_add(i); });
+    }
+    std::vector<std::shared_future<int>> futures;
+    futures.reserve(10);
+    for (int i = 0; i < 10; ++i) {
+      futures.push_back(pool.submit_task([i] { return i * i; }));
+    }
+    int squares = 0;
+    for (auto& f : futures) squares += f.get();
+    EXPECT_EQ(squares, 285);
+  }  // pool drains naturally: all futures were awaited above
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(SweepTest, MapCellsPreservesCellOrder) {
+  ParallelSweep serial{SweepOptions{1, 1}};
+  ParallelSweep parallel{SweepOptions{4, 1}};
+  const auto cell_fn = [](std::size_t i) {
+    return static_cast<int>(i * i + 1);
+  };
+  const std::vector<int> a = serial.map_cells<int>(8, cell_fn);
+  const std::vector<int> b = parallel.map_cells<int>(8, cell_fn);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a[3], 10);
+  EXPECT_TRUE(serial.serial());
+  EXPECT_FALSE(parallel.serial());
+}
+
+TEST(SweepTest, ParallelCapacitySearchIsByteIdenticalToSerial) {
+  // The tentpole guarantee: 4 threads with speculation, 2 threads, and
+  // serial all emit byte-identical capacity JSON for every cell of a sweep.
+  const std::vector<double> knees = {0.1, 1.0, 3.7, 7.3, 29.0, 1000.0};
+  const auto run_sweep = [&](int threads, int lookahead) {
+    ParallelSweep sweep{SweepOptions{threads, lookahead}};
+    return sweep.map_cells<std::string>(knees.size(), [&](std::size_t cell) {
+      const double knee = knees[cell];
+      const ProbeFn probe = [knee](double target, int index) {
+        return synthetic_probe(knee, target, index);
+      };
+      return result_json(sweep.find_capacity(test_slo(), test_cfg(), probe));
+    });
+  };
+
+  const std::vector<std::string> serial = run_sweep(1, 1);
+  ASSERT_EQ(serial.size(), knees.size());
+  EXPECT_EQ(run_sweep(4, 1), serial);
+  EXPECT_EQ(run_sweep(2, 1), serial);
+  EXPECT_EQ(run_sweep(4, 2), serial);  // deeper speculation changes nothing
+}
+
+TEST(SweepTest, ProbeCallsUseSerialIdentities) {
+  // Speculation may evaluate *extra* (target, index) pairs, but every pair
+  // the serial search evaluates must be evaluated with the same identity —
+  // that is what makes memoized speculation sound.
+  const ProbeFn pure = [](double target, int index) {
+    return synthetic_probe(7.3, target, index);
+  };
+  std::vector<std::pair<double, int>> serial_calls;
+  {
+    CapacitySearchStepper stepper{test_slo(), test_cfg()};
+    while (const auto target = stepper.next_target()) {
+      serial_calls.emplace_back(*target, stepper.next_index());
+      stepper.advance(classify_probe(test_slo(), *target,
+                                     pure(*target, stepper.next_index())));
+    }
+  }
+
+  std::mutex mu;
+  std::vector<std::pair<double, int>> parallel_calls;
+  ParallelSweep sweep{SweepOptions{4, 1}};
+  const ProbeFn recording = [&](double target, int index) {
+    {
+      std::lock_guard<std::mutex> lock{mu};
+      parallel_calls.emplace_back(target, index);
+    }
+    return pure(target, index);
+  };
+  sweep.find_capacity(test_slo(), test_cfg(), recording);
+
+  for (const auto& call : serial_calls) {
+    EXPECT_NE(std::find(parallel_calls.begin(), parallel_calls.end(), call),
+              parallel_calls.end())
+        << "serial probe (target=" << call.first << ", index=" << call.second
+        << ") was never executed by the parallel search";
+  }
+}
+
+TEST(SweepTest, EnvThreadOverrideFallsBackToHardware) {
+  // Not much can be asserted portably, but the resolution rules must hold:
+  // explicit threads win, 0 resolves to >= 1.
+  EXPECT_GE((SweepOptions{0, 1}.resolved_threads()), 1);
+  EXPECT_EQ((SweepOptions{3, 1}.resolved_threads()), 3);
+  EXPECT_GE(sweep_threads_from_env(), 1);
+}
+
+}  // namespace
+}  // namespace mcs::workload

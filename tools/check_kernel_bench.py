@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""check_kernel_bench: gate CI on event-kernel throughput.
+
+Compares a fresh bench/kernel run (its JSON output) against the committed
+baseline BENCH_kernel.json and fails when either:
+
+  * any workload's ops_per_sec regressed more than --tolerance (default 20%)
+    below the baseline — catches "someone made schedule()/cancel() slower";
+  * any workload's speedup over the frozen legacy kernel fell below
+    --min-speedup (default 1.0) — the speedup ratio is measured on a single
+    machine within one process, so unlike raw ops/sec it is robust to the
+    runner being a different (or merely busy) box. A collapse to <1x means
+    the rewrite's advantage is gone even if absolute numbers look fine.
+
+The absolute comparison is skipped (with a notice) when the fresh run is a
+smoke run or used a different event count than the baseline: ops/sec at
+different scales are not comparable, but the speedup check still applies.
+
+Usage:
+  check_kernel_bench.py --baseline BENCH_kernel.json --current fresh.json \
+      [--tolerance 0.20] [--min-speedup 1.0]
+
+Exit status: 0 ok, 1 regression, 2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_kernel_bench: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if data.get("bench") != "kernel" or "workloads" not in data:
+        print(f"check_kernel_bench: {path} is not a bench/kernel JSON",
+              file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--current", required=True, type=Path)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional ops/sec drop (default 0.20)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="minimum new/legacy speedup per workload")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    comparable = (not current.get("smoke", False)
+                  and current.get("total_events") == baseline.get("total_events"))
+    if not comparable:
+        print("check_kernel_bench: scales differ (smoke run?); "
+              "skipping absolute ops/sec comparison")
+
+    failures = []
+    for name, base in baseline["workloads"].items():
+        cur = current["workloads"].get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if comparable:
+            floor = base["ops_per_sec"] * (1.0 - args.tolerance)
+            if cur["ops_per_sec"] < floor:
+                failures.append(
+                    f"{name}: ops/sec regressed {base['ops_per_sec']:.0f} -> "
+                    f"{cur['ops_per_sec']:.0f} "
+                    f"(floor {floor:.0f} at {args.tolerance:.0%} tolerance)")
+        if cur["speedup"] < args.min_speedup:
+            failures.append(
+                f"{name}: speedup over legacy kernel is {cur['speedup']:.2f}x, "
+                f"below the {args.min_speedup:.2f}x floor")
+        print(f"{name}: {cur['ops_per_sec']:.0f} ops/sec "
+              f"(baseline {base['ops_per_sec']:.0f}), "
+              f"speedup {cur['speedup']:.2f}x")
+
+    if failures:
+        print("\nkernel bench regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_kernel_bench: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
