@@ -1,6 +1,7 @@
 #include "core/payment.h"
 
 #include <cstdlib>
+#include <map>
 
 #include "sim/util.h"
 
@@ -66,11 +67,16 @@ HttpResponse PaymentProcessor::handle_prepare(const HttpRequest& req) {
   }
   const double bal = std::get<double>((*r)[1]);
   // Funds already promised to other in-flight reservations are not
-  // available to this one.
-  double reserved = 0.0;
+  // available to this one. Sum in txn-sorted order, not hash order: float
+  // addition is not bit-for-bit commutative, so accumulating straight off
+  // the unordered_map would make the reserved total (and thus a borderline
+  // vote) depend on hash layout. Surfaced by mcs-analyze float-accum.
+  std::map<std::string, double> held;
   for (const auto& [t, res] : reservations_) {
-    if (res.account == account) reserved += res.amount;
+    if (res.account == account) held.emplace(t, res.amount);
   }
+  double reserved = 0.0;
+  for (const auto& [t, amount] : held) reserved += amount;
   if (bal - reserved < amount) {
     stats_.counter("votes_no").add();
     return HttpResponse::make(200, "text/plain", "VOTE-NO:insufficient");

@@ -6,6 +6,8 @@
 #include <new>
 #include <vector>
 
+#include "sim/threading.h"
+
 namespace mcs::sim {
 
 // Free-list building blocks for hot-path object recycling (see DESIGN.md §8).
@@ -13,6 +15,13 @@ namespace mcs::sim {
 // instance is confined to one thread (the parallel sweep runner pins one
 // simulation per task), so acquire/release never contend on a lock and the
 // pools add no cross-thread ordering that could perturb replay.
+//
+// That confinement is the concurrency contract (DESIGN.md §9): RecyclingPool
+// binds to the first thread that touches it and asserts every later
+// acquire/release comes from the same thread; PoolAllocator's free lists are
+// `static thread_local`, confined by the language itself. Neither carries an
+// MCS_GUARDED_BY annotation because there is deliberately no lock — a pool
+// reached from two threads is a bug the checker aborts on, not contention.
 
 // Pool of fully-constructed T objects. acquire() pops a recycled object (or
 // default-constructs one); release() pushes it back without running ~T, so
@@ -31,6 +40,7 @@ class RecyclingPool {
 
   // Pops a recycled object, or default-constructs when the pool is dry.
   T* acquire() {
+    confinement_.assert_confined("RecyclingPool::acquire() off-thread");
     if (free_.empty()) {
       ++fresh_;
       return new T();
@@ -41,7 +51,10 @@ class RecyclingPool {
     return obj;
   }
 
-  void release(T* obj) { free_.push_back(obj); }
+  void release(T* obj) {
+    confinement_.assert_confined("RecyclingPool::release() off-thread");
+    free_.push_back(obj);
+  }
 
   std::size_t free_count() const { return free_.size(); }
   std::uint64_t fresh_allocations() const { return fresh_; }
@@ -51,6 +64,7 @@ class RecyclingPool {
   std::vector<T*> free_;
   std::uint64_t fresh_ = 0;
   std::uint64_t reused_ = 0;
+  ThreadConfinementChecker confinement_;
 };
 
 // Rebindable allocator backed by a per-type, per-thread free list of

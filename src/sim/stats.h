@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/thread_annotations.h"
 #include "sim/time.h"
 
 namespace mcs::sim {
@@ -36,7 +37,11 @@ class Histogram {
   // Fold another histogram into this one. Count/sum/min/max stay exact;
   // retained samples are concatenated up to the cap, so merged percentiles
   // are approximate once either side overflowed its reservoir.
-  void merge(const Histogram& other);
+  //
+  // Merge order is part of the determinism contract: sums are folded in
+  // cell order after the sweep's threads have joined, never concurrently
+  // (float addition does not commute bit-for-bit across orders).
+  void merge(const Histogram& other) MCS_EXTERNALLY_SERIALIZED;
 
   // "n=100 mean=1.2 p50=1.1 p95=2.0 max=3.4"
   std::string summary(const char* unit = "") const;
@@ -90,8 +95,9 @@ class StatsRegistry {
 
   // Fold another registry into this one: counters add, histograms merge.
   // Used to aggregate per-entity registries (e.g. every mobile's browser)
-  // into one component-level view.
-  void merge(const StatsRegistry& other);
+  // into one component-level view. Caller-serialized, in deterministic
+  // (cell) order, after worker threads join — see Histogram::merge.
+  void merge(const StatsRegistry& other) MCS_EXTERNALLY_SERIALIZED;
 
   // {"counters":{...},"histograms":{...}}; keys in sorted (map) order so
   // serialization is deterministic.
@@ -111,7 +117,9 @@ class StatsSnapshot {
  public:
   // Copies `registry` under `path` ("host.web_server", "net.gateway", ...).
   // Adding the same path twice merges into the earlier copy.
-  void add(const std::string& path, const StatsRegistry& registry);
+  // Caller-serialized like every merge path (see Histogram::merge).
+  void add(const std::string& path,
+           const StatsRegistry& registry) MCS_EXTERNALLY_SERIALIZED;
   void set_value(const std::string& path, double v) { values_[path] = v; }
   void set_text(const std::string& path, std::string v) {
     texts_[path] = std::move(v);

@@ -1,0 +1,64 @@
+#pragma once
+
+// Clang thread-safety analysis annotations (DESIGN.md §9).
+//
+// These macros attach Clang's `-Wthread-safety` capability attributes to the
+// threaded runtime (ThreadPool, ParallelSweep, the recycling pools, stats
+// merge paths) so locking discipline is checked at compile time instead of
+// only observed at runtime by TSan. Under any compiler without the attribute
+// family (GCC included) every macro expands to nothing, so annotated code
+// costs zero and builds everywhere; the checked build is opted into with
+// `-DMCS_THREAD_SAFETY=ON` and a Clang toolchain.
+//
+// The vocabulary is the standard one (see the Clang thread-safety docs and
+// the capability pack used by abseil/LLVM):
+//
+//   MCS_CAPABILITY(name)     class is a lockable capability ("mutex")
+//   MCS_SCOPED_CAPABILITY    RAII class that acquires in ctor, releases in dtor
+//   MCS_GUARDED_BY(mu)       field may only be touched while `mu` is held
+//   MCS_PT_GUARDED_BY(mu)    pointee guarded by `mu` (pointer itself is not)
+//   MCS_REQUIRES(mu...)      caller must hold `mu` across the call
+//   MCS_ACQUIRE(mu...)       function acquires `mu` and does not release it
+//   MCS_RELEASE(mu...)       function releases `mu`
+//   MCS_TRY_ACQUIRE(ok, mu)  acquires `mu` iff the return value equals `ok`
+//   MCS_EXCLUDES(mu...)      caller must NOT hold `mu` (deadlock guard)
+//   MCS_RETURN_CAPABILITY(m) function returns a reference to capability `m`
+//   MCS_NO_THREAD_SAFETY_ANALYSIS  opt a function out (last resort; say why)
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MCS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MCS_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+#define MCS_CAPABILITY(x) MCS_THREAD_ANNOTATION__(capability(x))
+#define MCS_SCOPED_CAPABILITY MCS_THREAD_ANNOTATION__(scoped_lockable)
+#define MCS_GUARDED_BY(x) MCS_THREAD_ANNOTATION__(guarded_by(x))
+#define MCS_PT_GUARDED_BY(x) MCS_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define MCS_REQUIRES(...) \
+  MCS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define MCS_REQUIRES_SHARED(...) \
+  MCS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define MCS_ACQUIRE(...) \
+  MCS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define MCS_RELEASE(...) \
+  MCS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define MCS_TRY_ACQUIRE(...) \
+  MCS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define MCS_EXCLUDES(...) MCS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define MCS_ACQUIRED_BEFORE(...) \
+  MCS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define MCS_ACQUIRED_AFTER(...) \
+  MCS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define MCS_RETURN_CAPABILITY(x) MCS_THREAD_ANNOTATION__(lock_returned(x))
+#define MCS_NO_THREAD_SAFETY_ANALYSIS \
+  MCS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+// Documentation + analyzer annotation with no compiler meaning: the function
+// mutates state without internal locking and relies on the CALLER to
+// serialize all access to the object — in this codebase, the parallel sweep
+// merges per-cell stats only after every cell thread has joined. mcs_analyze
+// (tools/mcs_analyze, DESIGN.md §9) reads this marker and exempts the
+// function's field accesses from the unguarded-field check; without the
+// marker a merge reached from threaded code is reported.
+#define MCS_EXTERNALLY_SERIALIZED

@@ -1,0 +1,105 @@
+#pragma once
+
+// Annotated threading primitives (DESIGN.md §9).
+//
+// Clang's thread-safety analysis only tracks lock/unlock through functions
+// that carry capability attributes, and libstdc++'s std::mutex/lock_guard
+// carry none. These thin wrappers forward to the std primitives and add the
+// attributes, so `MCS_GUARDED_BY(mu_)` fields become statically checkable:
+// touching one outside a MutexLock scope is a compile error under
+// `-DMCS_THREAD_SAFETY=ON` (Clang). Outside Clang the attributes vanish and
+// the wrappers are zero-cost forwarding.
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "sim/contract.h"
+#include "sim/thread_annotations.h"
+
+namespace mcs::sim {
+
+class CondVar;
+class MutexLock;
+
+// std::mutex as a Clang capability.
+class MCS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MCS_ACQUIRE() { mu_.lock(); }
+  void unlock() MCS_RELEASE() { mu_.unlock(); }
+  bool try_lock() MCS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// RAII lock over Mutex; the scoped capability the analysis understands.
+// Wraps std::unique_lock (not lock_guard) so CondVar::wait can release and
+// reacquire the underlying std::mutex while, from the static analysis'
+// point of view, the capability stays held across the wait.
+class MCS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MCS_ACQUIRE(mu) : lock_{mu.mu_} {}
+  ~MutexLock() MCS_RELEASE() {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable awaited through a MutexLock. Callers keep the guarded
+// predicate in their own `while` loop so every guarded read sits in a scope
+// where the analysis can see the capability held:
+//
+//   MutexLock lock{mu_};
+//   while (queue_.empty() && !stopping_) cv_.wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// Runtime check that an object stays confined to one thread — the
+// complement to MCS_GUARDED_BY for lock-free-by-design types (the packet
+// RecyclingPool is thread_local; a pointer leaked across threads would race
+// without TSan necessarily catching the window). First use binds the owner;
+// any use from another thread aborts via the contract machinery. Compiles
+// to an empty struct when contracts are off.
+class ThreadConfinementChecker {
+ public:
+  void assert_confined(const char* what) const {
+#if MCS_CONTRACTS_ENABLED
+    const std::thread::id self = std::this_thread::get_id();
+    if (owner_ == std::thread::id{}) {
+      owner_ = self;
+      return;
+    }
+    MCS_ASSERT(owner_ == self, what);
+#else
+    (void)what;
+#endif
+  }
+
+ private:
+#if MCS_CONTRACTS_ENABLED
+  mutable std::thread::id owner_{};
+#endif
+};
+
+}  // namespace mcs::sim

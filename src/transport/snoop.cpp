@@ -1,5 +1,10 @@
 #include "transport/snoop.h"
 
+#include <algorithm>
+#include <tuple>
+#include <utility>
+#include <vector>
+
 #include "sim/contract.h"
 #include "sim/logging.h"
 
@@ -134,7 +139,22 @@ void SnoopAgent::retransmit(Flow& flow, std::uint64_t seq, bool timeout) {
 
 void SnoopAgent::scan_cache() {
   const sim::Time now = ap_.sim().now();
-  for (auto& [key, flow] : flows_) {
+  // Scan in flow-key order, not hash order: this loop sends packets (via
+  // retransmit), so unordered_map iteration order would become local
+  // retransmission *event* order and replay would depend on hash layout.
+  // Surfaced by mcs-analyze unordered-sink, which follows the call into
+  // retransmit(); the old regex lint could not see the indirect send.
+  std::vector<std::pair<const FlowKey*, Flow*>> order;
+  order.reserve(flows_.size());
+  for (auto& [key, flow] : flows_) order.emplace_back(&key, &flow);
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    const FlowKey& x = *a.first;
+    const FlowKey& y = *b.first;
+    return std::tie(x.fixed.v, x.fixed_port, x.mobile.v, x.mobile_port) <
+           std::tie(y.fixed.v, y.fixed_port, y.mobile.v, y.mobile_port);
+  });
+  for (auto& [key_ptr, flow_ptr] : order) {
+    Flow& flow = *flow_ptr;
     if (flow.cache.empty()) continue;
     // Only the head-of-line segment is timed; later ones follow once the
     // hole is repaired.

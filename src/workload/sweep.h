@@ -20,22 +20,25 @@
 //      otherwise idle core. The realized probe sequence is exactly the
 //      serial one.
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "sim/threading.h"
 #include "workload/capacity.h"
 
 namespace mcs::workload {
 
 // Fixed-size worker pool; submitted jobs run in submission order (per
 // worker availability). Destruction drains the queue before joining.
+//
+// Locking discipline is annotated for Clang's thread-safety analysis
+// (MCS_THREAD_SAFETY=ON): queue_ and stopping_ are only touchable under
+// mu_, and submit()/submit_task() must be called without mu_ held.
 class ThreadPool {
  public:
   explicit ThreadPool(int threads);
@@ -45,7 +48,7 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) MCS_EXCLUDES(mu_);
 
   // Convenience: run `fn` on the pool, observable through a shared_future
   // (speculative probes may be awaited by nobody).
@@ -60,13 +63,13 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop() MCS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  sim::Mutex mu_;
+  sim::CondVar cv_;
+  std::queue<std::function<void()>> queue_ MCS_GUARDED_BY(mu_);
+  bool stopping_ MCS_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written only in the ctor, then joined
 };
 
 struct SweepOptions {
@@ -90,6 +93,11 @@ int sweep_threads_from_env();
 // Runs `n` independent cells, each on its own thread (cells block waiting
 // on probe futures, so they must not occupy pool workers), sharing one
 // probe pool. Results are collected in cell order.
+//
+// Cell threads call find_capacity() on this object concurrently, so every
+// member is const — immutability after construction is the concurrency
+// contract (the ThreadPool behind pool_ does its own locking). The const
+// qualifiers on map_cells/find_capacity make that contract compiler-checked.
 class ParallelSweep {
  public:
   explicit ParallelSweep(SweepOptions opts = {});
@@ -98,11 +106,11 @@ class ParallelSweep {
   int threads() const { return threads_; }
   bool serial() const { return threads_ <= 1; }
   // The shared probe pool; null in serial mode.
-  ThreadPool* pool() { return pool_.get(); }
+  ThreadPool* pool() const { return pool_.get(); }
 
   // fn(cell_index) -> T; returns {fn(0), ..., fn(n-1)} in cell order.
   template <typename T, typename Fn>
-  std::vector<T> map_cells(std::size_t n, Fn&& fn) {
+  std::vector<T> map_cells(std::size_t n, Fn&& fn) const {
     std::vector<T> results(n);
     if (serial()) {
       for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
@@ -123,12 +131,12 @@ class ParallelSweep {
   // sweep's pool. Serial mode degrades to exactly find_capacity.
   CapacityResult find_capacity(const Slo& slo,
                                const CapacitySearchConfig& cfg,
-                               const ProbeFn& probe);
+                               const ProbeFn& probe) const;
 
  private:
-  int threads_ = 1;
-  int lookahead_ = 1;
-  std::unique_ptr<ThreadPool> pool_;
+  const int threads_;
+  const int lookahead_;
+  const std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace mcs::workload

@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <thread>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -126,6 +128,32 @@ TEST(ThreadPoolTest, RunsEverySubmittedTask) {
     EXPECT_EQ(squares, 285);
   }  // pool drains naturally: all futures were awaited above
   EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedJobs) {
+  // Regression for a contract violation surfaced by the -Wthread-safety
+  // annotation audit (PR 4): the header promised "destruction drains the
+  // queue before joining", but worker_loop exited on stopping_ even with
+  // jobs still queued, dropping them — and leaving any submit_task() future
+  // for a dropped job permanently unfulfilled (a .get() would deadlock).
+  // With one worker and a slow first job, the remaining jobs are guaranteed
+  // to still be queued when the destructor runs; all of them must execute.
+  std::atomic<int> ran{0};
+  std::shared_future<int> last;
+  {
+    ThreadPool pool{1};
+    pool.submit([&ran] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      ran.fetch_add(1);
+    });
+    for (int i = 0; i < 63; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    last = pool.submit_task([&ran] { return ran.fetch_add(1); });
+  }  // ~ThreadPool: must run every queued job, then join
+  EXPECT_EQ(ran.load(), 65);
+  ASSERT_TRUE(last.valid());
+  EXPECT_EQ(last.get(), 64);  // the drained future is fulfilled, not abandoned
 }
 
 TEST(SweepTest, MapCellsPreservesCellOrder) {

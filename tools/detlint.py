@@ -1,264 +1,67 @@
 #!/usr/bin/env python3
-"""detlint: static determinism lint for the mcommerce simulation sources.
+"""detlint (deprecated wrapper): forwards to mcs_analyze's determinism
+checks.
 
-The simulation's fidelity contract is exact replay for a fixed seed (see
-DESIGN.md "Verification & invariants"). This lint bans the source-level
-patterns that break that contract:
+detlint's regex heart lived and died by line patterns: it matched inside
+comments and string literals, could not see a send() reached one call away
+from an unordered loop, and guessed member types from indentation.
+mcs_analyze (tools/mcs_analyze/) replaced it with a tokenizer + structural
+model (and a libclang frontend where clang is installed), keeping the same
+rule intent:
 
-  rng            rand()/srand()/random()/drand48(), std::random_device and
-                 raw standard engines (mt19937 etc.) outside src/sim/random.*
-                 — all randomness must flow through the seeded sim::Rng.
-  wallclock      wall-clock / CPU-clock APIs (std::chrono clocks, time(),
-                 gettimeofday, clock_gettime, localtime, ...). Simulated
-                 components must read sim::Simulator::now() only.
-  unordered-sched  range-for iteration over an unordered_{map,set} whose loop
-                 body schedules simulator events or sends packets: the
-                 iteration order is hash-seed dependent, so event order leaks
-                 nondeterminism. Iterate a deterministic container or collect
-                 and sort first.
-  uninit-pod     scalar (int/float/bool/pointer) data members declared
-                 without an initializer. Reading one before assignment makes
-                 replay depend on stack/heap garbage; default-initialize at
-                 the declaration.
+  rng              -> rng
+  wallclock        -> wallclock
+  unordered-sched  -> unordered-sink (now also catches JSON/stats sinks and
+                      follows helper calls one level deep)
+  uninit-pod       -> uninit-pod
 
-Suppression: append "// detlint: allow(<rule>)" to the offending line with
-one of the rule names above, plus a reason in the surrounding code.
+Existing `// detlint: allow(<rule>)` suppressions keep working — the new
+tool honors the legacy spellings as aliases. New code should suppress with
+`// mcs-analyze: allow(<check>)` and run mcs_analyze directly:
 
-Exit status: 0 when clean, 1 when any finding is reported (fails the build
-and the ctest `detlint` test), 2 on usage errors.
+  python3 tools/mcs_analyze --root src
+
+This wrapper preserves detlint's CLI (`--root`, exit 0/1/2) for the ctest
+entry points and any local scripts; it runs without a baseline, exactly as
+detlint always did.
 """
 
 from __future__ import annotations
 
 import argparse
-import re
 import sys
 from pathlib import Path
 
-CXX_SUFFIXES = {".cc", ".cpp", ".cxx", ".h", ".hpp", ".inl"}
+TOOL_DIR = Path(__file__).resolve().parent / "mcs_analyze"
+sys.path.insert(0, str(TOOL_DIR))
 
-ALLOW_RE = re.compile(r"//\s*detlint:\s*allow\(([a-z-]+)\)")
-
-# Files allowed to use the raw <random> machinery: the seeded wrapper itself.
-RNG_EXEMPT = re.compile(r"(^|/)sim/random\.(h|cpp)$")
-
-RNG_PATTERNS = [
-    (re.compile(r"(?<![\w:])(?:std\s*::\s*)?s?rand\s*\("), "rand()/srand()"),
-    (re.compile(r"(?<![\w:])random\s*\(\s*\)"), "random()"),
-    (re.compile(r"(?<![\w:])[dlm]rand48\s*\("), "*rand48()"),
-    (re.compile(r"\brandom_device\b"), "std::random_device"),
-    (re.compile(r"\b(?:mt19937(?:_64)?|minstd_rand0?|ranlux(?:24|48)(?:_base)?|knuth_b|default_random_engine)\b"),
-     "raw <random> engine"),
-]
-
-WALLCLOCK_PATTERNS = [
-    (re.compile(r"\bchrono\s*::\s*(?:system|steady|high_resolution)_clock\b"),
-     "std::chrono wall clock"),
-    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?time\s*\(\s*(?:NULL|nullptr|0|&\w+)?\s*\)"),
-     "time()"),
-    (re.compile(r"\b(?:gettimeofday|clock_gettime|timespec_get|ftime)\s*\("),
-     "OS clock call"),
-    (re.compile(r"(?<![\w:.])(?:std\s*::\s*)?clock\s*\(\s*\)"), "clock()"),
-    (re.compile(r"\b(?:localtime|gmtime|ctime|asctime)(?:_r|_s)?\s*\("),
-     "calendar time"),
-]
-
-# Simulator / network calls that make iteration order observable as event
-# order when issued from inside an unordered container loop.
-SCHEDULING_CALL = re.compile(
-    r"\b(?:after|at|schedule|send|transmit|udp_?\.send|notify_handoff)\s*\(")
-
-UNORDERED_DECL = re.compile(
-    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*>\s*(\w+)\s*[;{=]")
-
-RANGE_FOR = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,&*\s\[\]]+?:\s*([\w_.\->]+)\s*\)")
-
-SCALAR_MEMBER = re.compile(
-    r"""^\s*
-        (?:static\s+|mutable\s+|constexpr\s+|const\s+)*
-        (?P<type>(?:unsigned\s+|signed\s+|long\s+|short\s+)*
-           (?:bool|char|short|int|long|float|double|size_t|ssize_t|
-              std::size_t|std::ptrdiff_t|
-              (?:std::)?u?int(?:8|16|32|64)_t|(?:sim::)?EventId)
-           (?:\s+(?:unsigned|signed|long|short|int))*)
-        \s*(?P<ptr>[*&]*)\s*
-        (?P<name>\w+)\s*;
-    """,
-    re.VERBOSE,
-)
-
-STRUCT_OPEN = re.compile(r"\b(?:struct|class)\s+\w+[^;{]*\{")
-
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments and string/char literals, preserving line structure."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j == -1 else j
-            chunk = text[i : j + 2]
-            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
-            i = j + 2
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            out.append(quote + " " * max(0, j - i - 1) + quote)
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-class Finding:
-    def __init__(self, path: Path, line: int, rule: str, message: str):
-        self.path, self.line, self.rule, self.message = path, line, rule, message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def allows(raw_lines: list[str], lineno: int, rule: str) -> bool:
-    if lineno - 1 >= len(raw_lines):
-        return False
-    m = ALLOW_RE.search(raw_lines[lineno - 1])
-    return bool(m) and m.group(1) == rule
-
-
-def scan_line_patterns(path, raw_lines, clean_lines, findings):
-    rel = path.as_posix()
-    rng_exempt = bool(RNG_EXEMPT.search(rel))
-    for lineno, line in enumerate(clean_lines, start=1):
-        if not rng_exempt:
-            for pat, what in RNG_PATTERNS:
-                if pat.search(line) and not allows(raw_lines, lineno, "rng"):
-                    findings.append(Finding(path, lineno, "rng",
-                        f"{what}: use the seeded sim::Rng instead"))
-        for pat, what in WALLCLOCK_PATTERNS:
-            if pat.search(line) and not allows(raw_lines, lineno, "wallclock"):
-                findings.append(Finding(path, lineno, "wallclock",
-                    f"{what}: simulated code must use Simulator::now()"))
-
-
-def matching_brace_span(text: str, open_idx: int) -> int:
-    """Index one past the brace matching text[open_idx] (which must be '{')."""
-    depth = 0
-    for i in range(open_idx, len(text)):
-        if text[i] == "{":
-            depth += 1
-        elif text[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return len(text)
-
-
-def scan_unordered_scheduling(path, raw_lines, clean_text, findings):
-    unordered_names = set(UNORDERED_DECL.findall(clean_text))
-    if not unordered_names:
-        return
-    for m in RANGE_FOR.finditer(clean_text):
-        target = m.group(1)
-        base = target.split(".")[-1].split("->")[-1]
-        if base not in unordered_names:
-            continue
-        body_open = clean_text.find("{", m.end())
-        paren_stmt_end = clean_text.find(";", m.end())
-        if body_open == -1 or (paren_stmt_end != -1 and paren_stmt_end < body_open):
-            continue
-        body_end = matching_brace_span(clean_text, body_open)
-        body = clean_text[body_open:body_end]
-        call = SCHEDULING_CALL.search(body)
-        if not call:
-            continue
-        lineno = clean_text.count("\n", 0, m.start()) + 1
-        if allows(raw_lines, lineno, "unordered-sched"):
-            continue
-        findings.append(Finding(path, lineno, "unordered-sched",
-            f"iterating unordered container '{base}' while scheduling/sending: "
-            "hash order becomes event order; iterate a deterministic container "
-            "or collect+sort first"))
-
-
-def scan_uninit_pod(path, raw_lines, clean_text, findings):
-    for sm in STRUCT_OPEN.finditer(clean_text):
-        body_open = clean_text.find("{", sm.start())
-        body_end = matching_brace_span(clean_text, body_open)
-        # Only scan top-level member declarations: mask nested braces
-        # (functions, nested types) so locals are not reported.
-        body = clean_text[body_open + 1 : body_end - 1]
-        depth = 0
-        masked = []
-        for ch in body:
-            if ch == "{":
-                depth += 1
-                masked.append(" ")
-            elif ch == "}":
-                depth -= 1
-                masked.append(" ")
-            else:
-                masked.append(ch if depth == 0 or ch == "\n" else " ")
-        start_line = clean_text.count("\n", 0, body_open) + 1
-        for off, line in enumerate("".join(masked).split("\n")):
-            m = SCALAR_MEMBER.match(line)
-            if not m:
-                continue
-            lineno = start_line + off
-            if allows(raw_lines, lineno, "uninit-pod"):
-                continue
-            findings.append(Finding(path, lineno, "uninit-pod",
-                f"scalar member '{m.group('name')}' has no initializer: "
-                "default-initialize at the declaration so replay never reads "
-                "indeterminate memory"))
-
-
-def scan_file(path: Path) -> list[Finding]:
-    raw = path.read_text(encoding="utf-8", errors="replace")
-    raw_lines = raw.split("\n")
-    clean_text = strip_comments_and_strings(raw)
-    clean_lines = clean_text.split("\n")
-    findings: list[Finding] = []
-    scan_line_patterns(path, raw_lines, clean_lines, findings)
-    scan_unordered_scheduling(path, raw_lines, clean_text, findings)
-    scan_uninit_pod(path, raw_lines, clean_text, findings)
-    return findings
+LEGACY_CHECKS = "rng,wallclock,unordered-sink,uninit-pod"
 
 
 def main(argv: list[str]) -> int:
-    ap = argparse.ArgumentParser(description=__doc__,
-                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--root", required=True, type=Path,
                     help="directory tree to scan (e.g. src/)")
-    args = ap.parse_args(argv)
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as e:
+        return 2 if e.code not in (0, None) else 0
     if not args.root.is_dir():
         print(f"detlint: no such directory: {args.root}", file=sys.stderr)
         return 2
 
-    files = sorted(p for p in args.root.rglob("*")
-                   if p.suffix in CXX_SUFFIXES and p.is_file())
-    findings: list[Finding] = []
-    for f in files:
-        findings.extend(scan_file(f))
+    print("detlint: deprecated; forwarding to "
+          "`python3 tools/mcs_analyze --check "
+          f"{LEGACY_CHECKS} --no-baseline`", file=sys.stderr)
 
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"detlint: {len(findings)} finding(s) in {len(files)} file(s)",
-              file=sys.stderr)
-        return 1
-    print(f"detlint: clean ({len(files)} files scanned)")
-    return 0
+    import cli  # tools/mcs_analyze/cli.py
+
+    return cli.main(["--root", str(args.root),
+                     "--check", LEGACY_CHECKS,
+                     "--no-baseline",
+                     "--frontend", "internal"])
 
 
 if __name__ == "__main__":

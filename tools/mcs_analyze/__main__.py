@@ -1,0 +1,15 @@
+"""Entry point: `python3 tools/mcs_analyze <args>`.
+
+The package's modules import each other by bare name so they also run from a
+checkout without installation; bootstrap sys.path accordingly.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import cli  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(cli.main(sys.argv[1:]))

@@ -1,0 +1,622 @@
+"""Check implementations for mcs_analyze.
+
+Every check consumes the shared model (model.py) produced by whichever
+frontend ran, and yields Finding records. Three families:
+
+  determinism  wallclock, rng, getenv, unordered-sink, float-accum,
+               uninit-pod — the patterns that break fixed-seed replay or
+               byte-identical JSON output.
+  concurrency  unguarded-field, sim-escape — fields touched from thread
+               lambdas must be annotated/atomic/thread-local, and no
+               Simulator/Packet may cross a cell-thread boundary.
+  contracts    missing-contract — public mutating methods in the component
+               layers should carry MCS_ASSERT/MCS_INVARIANT coverage.
+
+Suppress a finding with `// mcs-analyze: allow(<check>)` on (or directly
+above) the offending line; legacy `// detlint: allow(<rule>)` spellings are
+honored for the rules detlint had.
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import FileModel, Finding, Project
+
+FAMILIES = {
+    "determinism": ["wallclock", "rng", "getenv", "unordered-sink",
+                    "float-accum", "uninit-pod"],
+    "concurrency": ["unguarded-field", "sim-escape"],
+    "contracts": ["missing-contract"],
+}
+
+ALL_CHECKS = [c for checks in FAMILIES.values() for c in checks]
+
+SEVERITY = {c: "error" for c in ALL_CHECKS}
+SEVERITY["missing-contract"] = "warning"
+SEVERITY["float-accum"] = "warning"
+
+# Files allowed to use the raw <random> machinery: the seeded wrapper itself.
+RNG_EXEMPT = re.compile(r"(^|/)sim/random\.(h|cpp)$")
+
+RAW_ENGINES = frozenset(
+    "mt19937 mt19937_64 minstd_rand minstd_rand0 ranlux24 ranlux48 "
+    "ranlux24_base ranlux48_base knuth_b default_random_engine".split())
+
+RAND_CALLS = frozenset("rand srand random drand48 lrand48 mrand48".split())
+
+CLOCK_MEMBERS = frozenset(
+    "system_clock steady_clock high_resolution_clock".split())
+
+OS_CLOCK_CALLS = frozenset(
+    "gettimeofday clock_gettime timespec_get ftime localtime gmtime ctime "
+    "asctime localtime_r gmtime_r ctime_r asctime_r localtime_s gmtime_s "
+    "ctime_s asctime_s".split())
+
+# Simulator / network / serialization calls that make unordered iteration
+# order observable: as event order (scheduling, sending) or as output byte
+# order (JSON, stats, trace sinks).
+SCHED_SINKS = frozenset(
+    "after at schedule send transmit notify_handoff".split())
+OUTPUT_SINKS = frozenset(
+    "key value begin_object end_object begin_array end_array raw "
+    "to_json record record_time add merge counter histogram set_value "
+    "set_text log trace".split())
+SINK_CALLS = SCHED_SINKS | OUTPUT_SINKS
+
+# Receiver-name heuristic backup: calls through an object whose name says
+# it is a serializer/stats sink, whatever the method is called.
+SINK_RECEIVER = re.compile(
+    r"(^|_)(json|writer|stats|trace|registry|snapshot)s?_?$", re.IGNORECASE)
+
+UNORDERED_TYPES = re.compile(
+    r"\bunordered_(map|set|multimap|multiset)\b")
+
+SCALAR_WORDS = frozenset(
+    "bool char short int long float double size_t ssize_t ptrdiff_t "
+    "int8_t int16_t int32_t int64_t uint8_t uint16_t uint32_t uint64_t "
+    "EventId unsigned signed".split())
+QUALIFIER_WORDS = frozenset(
+    "static mutable constexpr const volatile inline std sim".split())
+
+CONTRACT_MACROS = frozenset(
+    "MCS_ASSERT MCS_INVARIANT MCS_UNREACHABLE MCS_PRECONDITION".split())
+
+# src/ directories whose public mutating methods are expected to carry
+# contract coverage: the six component layers of the paper's system model.
+COMPONENT_DIRS = ("src/net/", "src/wireless/", "src/mobileip/",
+                  "src/transport/", "src/middleware/", "src/host/")
+
+SYNC_TYPE = re.compile(
+    r"\b(Mutex|MutexLock|CondVar|mutex|condition_variable(_any)?|"
+    r"atomic|atomic_\w+|ThreadConfinementChecker|once_flag|barrier|latch|"
+    r"shared_mutex|thread)\b")
+
+ESCAPE_TYPES = re.compile(r"\b(Simulator|Packet)\b")
+
+THREAD_ENTRY_CALLEES = frozenset(
+    "thread submit submit_task async emplace_back push_back".split())
+
+
+def _emit(out, project, fm, line, check, message):
+    f = Finding(path=fm.rel, line=line, check=check,
+                severity=SEVERITY[check], message=message,
+                context=_line_text(fm, line))
+    if project.suppressed(fm, line, check):
+        f.suppressed = True
+    out.append(f)
+
+
+_LINE_CACHE: dict[str, list[str]] = {}
+
+
+def _line_text(fm: FileModel, line: int) -> str:
+    lines = _LINE_CACHE.get(fm.rel)
+    if lines is None:
+        try:
+            lines = fm.path.read_text(encoding="utf-8",
+                                      errors="replace").split("\n")
+        except OSError:
+            lines = []
+        _LINE_CACHE[fm.rel] = lines
+    if 1 <= line <= len(lines):
+        return " ".join(lines[line - 1].split())
+    return ""
+
+
+def _prev_tok(toks, i):
+    return toks[i - 1] if i > 0 else None
+
+
+def _next_tok(toks, i):
+    return toks[i + 1] if i + 1 < len(toks) else None
+
+
+def _is_call(toks, i):
+    nxt = _next_tok(toks, i)
+    return nxt is not None and nxt.kind == "punct" and nxt.text == "("
+
+
+def _is_member_access(toks, i):
+    """True when toks[i] is accessed through `.`/`->` or a non-std `X::`."""
+    prev = _prev_tok(toks, i)
+    if prev is None or prev.kind != "punct":
+        return False
+    if prev.text in (".", "->"):
+        return True
+    if prev.text == "::":
+        qual = toks[i - 2] if i >= 2 else None
+        return not (qual is not None and qual.kind == "id"
+                    and qual.text == "std")
+    return False
+
+
+# ---------------------------------------------------------------------------
+# determinism family
+
+
+def check_wallclock(project: Project, fm: FileModel, out):
+    toks = fm.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        if t.text in CLOCK_MEMBERS:
+            prev = _prev_tok(toks, i)
+            if prev is not None and prev.kind == "punct" \
+                    and prev.text == "::":
+                qual = toks[i - 2] if i >= 2 else None
+                if qual is not None and qual.kind == "id" \
+                        and qual.text == "chrono":
+                    _emit(out, project, fm, t.line, "wallclock",
+                          f"std::chrono::{t.text}: simulated code must use "
+                          "Simulator::now()")
+            continue
+        if t.text in ("time", "clock") and _is_call(toks, i) \
+                and not _is_member_access(toks, i):
+            # time(NULL/nullptr/0/&t/) and clock() only — a member named
+            # `time(...)` or a local call with real args is not the libc API.
+            j = i + 2
+            args = []
+            depth = 1
+            while j < len(toks) and depth > 0:
+                x = toks[j]
+                if x.kind == "punct":
+                    if x.text == "(":
+                        depth += 1
+                    elif x.text == ")":
+                        depth -= 1
+                        j += 1
+                        continue
+                if depth > 0:
+                    args.append(x)
+                j += 1
+            texts = [a.text for a in args]
+            libc_arg = (texts == [] or texts in (["NULL"], ["nullptr"], ["0"])
+                        or (len(texts) == 2 and texts[0] == "&"))
+            if t.text == "clock" and texts != []:
+                libc_arg = False
+            if libc_arg:
+                _emit(out, project, fm, t.line, "wallclock",
+                      f"{t.text}(): simulated code must use Simulator::now()")
+            continue
+        if t.text in OS_CLOCK_CALLS and _is_call(toks, i):
+            _emit(out, project, fm, t.line, "wallclock",
+                  f"{t.text}(): simulated code must use Simulator::now()")
+
+
+def check_rng(project: Project, fm: FileModel, out):
+    if RNG_EXEMPT.search(fm.rel):
+        return
+    toks = fm.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        if t.text == "random_device":
+            _emit(out, project, fm, t.line, "rng",
+                  "std::random_device: use the seeded sim::Rng instead")
+        elif t.text in RAW_ENGINES:
+            _emit(out, project, fm, t.line, "rng",
+                  f"raw <random> engine {t.text}: use the seeded sim::Rng "
+                  "instead")
+        elif t.text in RAND_CALLS and _is_call(toks, i) \
+                and not _is_member_access(toks, i):
+            _emit(out, project, fm, t.line, "rng",
+                  f"{t.text}(): use the seeded sim::Rng instead")
+
+
+def check_getenv(project: Project, fm: FileModel, out):
+    toks = fm.tokens
+    for i, t in enumerate(toks):
+        if t.kind == "id" and t.text in ("getenv", "secure_getenv") \
+                and _is_call(toks, i) and not _is_member_access(toks, i):
+            prev = _prev_tok(toks, i)
+            if prev is not None and prev.kind == "punct" \
+                    and prev.text == "::":
+                qual = toks[i - 2] if i >= 2 else None
+                if qual is not None and qual.kind == "id" \
+                        and qual.text != "std":
+                    continue
+            _emit(out, project, fm, t.line, "getenv",
+                  f"{t.text}(): environment reads make runs "
+                  "host-configuration-dependent; plumb the value through "
+                  "run options instead")
+
+
+def _container_is_unordered(project: Project, fm: FileModel, loop) -> bool:
+    resolved = getattr(loop, "resolved_type", None)
+    if resolved is not None:  # AST frontend resolved the exact type
+        return "unordered_" in resolved
+    toks = loop.container_tokens
+    text = " ".join(t.text for t in toks)
+    if UNORDERED_TYPES.search(text):
+        return True  # inline temporary or decltype spelling
+    # Resolve `name`, `obj.name`, `obj->name`, `name()` to a declared type.
+    ids = [t for t in toks if t.kind == "id"]
+    if not ids:
+        return False
+    base = ids[-1].text
+    ty = None
+    if loop.func is not None:
+        ty = loop.func.locals.get(base)
+        if ty is None and loop.func.cls_name:
+            ci = project.class_index.get(loop.func.cls_name)
+            if ci is not None:
+                mem = ci.member(base)
+                if mem is not None:
+                    ty = mem.type_text
+                else:
+                    # accessor: `for (auto& kv : table())`
+                    for m in ci.method_named(base):
+                        pass  # return types aren't modeled; fall through
+    if ty is None:
+        # last resort: any class in the project with a member of this name
+        for ci in project.class_index.values():
+            mem = ci.member(base)
+            if mem is not None and UNORDERED_TYPES.search(mem.type_text):
+                return True
+        return False
+    return bool(UNORDERED_TYPES.search(ty))
+
+
+def _body_sinks(project: Project, fm: FileModel, body, depth=1):
+    """Scan a token body for sink calls; returns (call_name, line) or None.
+    Expands one level into project-local callees so a loop that serializes
+    via a helper is still caught."""
+    toks = fm.tokens
+    start, end = body
+    for i in range(start + 1, end):
+        t = toks[i]
+        if t.kind != "id" or not _is_call(toks, i):
+            continue
+        if t.text in SINK_CALLS:
+            if t.text in OUTPUT_SINKS:
+                # demand a receiver for the generic output names, so a free
+                # function called add() doesn't trip the check
+                prev = _prev_tok(toks, i)
+                if t.text in ("add", "merge", "log", "trace", "raw",
+                              "key", "value"):
+                    if prev is None or prev.kind != "punct" \
+                            or prev.text not in (".", "->"):
+                        continue
+            return (t.text, t.line)
+        recv = _prev_tok(toks, i)
+        if recv is not None and recv.kind == "punct" \
+                and recv.text in (".", "->") and i >= 2 \
+                and toks[i - 2].kind == "id" \
+                and SINK_RECEIVER.search(toks[i - 2].text):
+            return (t.text, t.line)
+        if depth > 0:
+            for fn in project.function_index.get(t.text, ()):
+                # only expand same-file or same-class helpers; cross-file
+                # name collisions would be guesswork
+                if fn.path == fm.rel:
+                    file_model = project_file(project, fn.path)
+                    if file_model is not None:
+                        hit = _body_sinks(project, file_model, fn.body,
+                                          depth - 1)
+                        if hit is not None:
+                            return (f"{t.text}() -> {hit[0]}", t.line)
+    return None
+
+
+def project_file(project: Project, rel: str):
+    for fm in project.files:
+        if fm.rel == rel:
+            return fm
+    return None
+
+
+def check_unordered_sink(project: Project, fm: FileModel, out):
+    for loop in fm.loops:
+        if not _container_is_unordered(project, fm, loop):
+            continue
+        hit = _body_sinks(project, fm, loop.body)
+        if hit is None:
+            continue
+        call, _ = hit
+        base = next((t.text for t in reversed(loop.container_tokens)
+                     if t.kind == "id"), "<expr>")
+        _emit(out, project, fm, loop.line, "unordered-sink",
+              f"iterating unordered container '{base}' while reaching sink "
+              f"'{call}': hash order becomes event/output order; iterate a "
+              "deterministic container or collect and sort first")
+
+
+def _float_typed(name, loop, project):
+    if loop.func is not None:
+        ty = loop.func.locals.get(name)
+        if ty is not None:
+            return "double" in ty or "float" in ty
+        if loop.func.cls_name:
+            ci = project.class_index.get(loop.func.cls_name)
+            if ci is not None:
+                mem = ci.member(name)
+                if mem is not None:
+                    return ("double" in mem.type_text
+                            or "float" in mem.type_text)
+    return False
+
+
+def check_float_accum(project: Project, fm: FileModel, out):
+    """`sum += x` on a float/double inside an unordered-container loop:
+    accumulation order is hash-seed dependent and float addition does not
+    commute bit-for-bit, so the result is not replayable."""
+    toks = fm.tokens
+    for loop in fm.loops:
+        if not _container_is_unordered(project, fm, loop):
+            continue
+        start, end = loop.body
+        for i in range(start + 1, end):
+            t = toks[i]
+            if t.kind != "punct" or t.text not in ("+=", "-=", "*="):
+                continue
+            lhs = _prev_tok(toks, i)
+            if lhs is None or lhs.kind != "id":
+                continue
+            if _float_typed(lhs.text, loop, project):
+                _emit(out, project, fm, t.line, "float-accum",
+                      f"floating-point accumulation '{lhs.text} {t.text}' "
+                      "inside unordered iteration: sum order is hash-seed "
+                      "dependent; accumulate into a sorted copy instead")
+
+
+def _is_scalar_member(type_text: str) -> bool:
+    words = [w for w in type_text.replace("*", " * ").replace("&", " ")
+             .split() if w != "::"]
+    core = [w for w in words if w not in QUALIFIER_WORDS]
+    if not core:
+        return False
+    for w in core:
+        if w == "*":
+            continue
+        if w not in SCALAR_WORDS:
+            return False
+    return True
+
+
+def check_uninit_pod(project: Project, fm: FileModel, out):
+    for ci in fm.classes:
+        for mem in ci.members.values():
+            if mem.has_init or mem.is_static:
+                continue
+            if mem.is_const:
+                # const members cannot be assigned later; every constructor
+                # must initialize them or the TU does not compile, so they
+                # can never be read indeterminate.
+                continue
+            if not _is_scalar_member(mem.type_text):
+                continue
+            _emit(out, project, fm, mem.line, "uninit-pod",
+                  f"scalar member '{mem.name}' has no initializer: "
+                  "default-initialize at the declaration so replay never "
+                  "reads indeterminate memory")
+
+
+# ---------------------------------------------------------------------------
+# concurrency family
+
+
+def _is_thread_entry(lam) -> bool:
+    if lam.context_callee is None:
+        return False
+    if lam.context_callee == "thread":
+        return True
+    if lam.context_callee in ("submit", "submit_task", "async"):
+        return True
+    if lam.context_callee in ("emplace_back", "push_back"):
+        recv = lam.context_receiver or ""
+        return "worker" in recv or "thread" in recv
+    return False
+
+
+def _member_is_thread_ok(mem) -> bool:
+    if mem.guarded_by is not None:
+        return True  # -Wthread-safety enforces the lock discipline from here
+    if mem.is_thread_local or mem.is_const or mem.is_static:
+        return True  # static: assumed set up before threads start
+    return bool(SYNC_TYPE.search(mem.type_text))
+
+
+def _touched_members(project, fm, ci, body, depth=1, seen=None):
+    """Members of `ci` referenced in a token body, following same-class
+    method calls one level deep (worker entry usually just calls a loop)."""
+    if seen is None:
+        seen = set()
+    toks = fm.tokens
+    start, end = body
+    touched = {}
+    for i in range(start + 1, end):
+        t = toks[i]
+        if t.kind != "id":
+            continue
+        prev = _prev_tok(toks, i)
+        if prev is not None and prev.kind == "punct" \
+                and prev.text in (".", "->", "::"):
+            qual = toks[i - 2] if i >= 2 else None
+            this_access = (prev.text == "->" and qual is not None
+                           and qual.kind == "id" and qual.text == "this")
+            if not this_access:
+                continue  # access through some other object
+        mem = ci.member(t.text)
+        if mem is not None:
+            touched.setdefault(t.text, (mem, t.line))
+            continue
+        if depth > 0 and _is_call(toks, i) and t.text not in seen:
+            for m in ci.method_named(t.text):
+                if m.body is not None:
+                    seen.add(t.text)
+                    sub = _touched_members(project, fm, ci, m.body,
+                                           depth - 1, seen)
+                    for name, v in sub.items():
+                        touched.setdefault(name, v)
+    return touched
+
+
+def check_unguarded_field(project: Project, fm: FileModel, out):
+    for lam in fm.lambdas:
+        if not _is_thread_entry(lam):
+            continue
+        caps = {kind for kind, _ in lam.captures}
+        if "this" not in caps and "default_ref" not in caps \
+                and "default_val" not in caps:
+            continue  # no path to class fields without a this capture
+        if lam.func is None or lam.func.cls_name is None:
+            continue
+        ci = project.class_index.get(lam.func.cls_name)
+        if ci is None:
+            continue
+        for name, (mem, line) in sorted(
+                _touched_members(project, fm, ci, lam.body).items()):
+            if _member_is_thread_ok(mem):
+                continue
+            _emit(out, project, fm, line, "unguarded-field",
+                  f"field '{ci.name}::{name}' is touched from a thread-entry "
+                  "lambda but is not MCS_GUARDED_BY-annotated, atomic, "
+                  "thread_local, or const")
+
+
+def check_sim_escape(project: Project, fm: FileModel, out):
+    for lam in fm.lambdas:
+        if not _is_thread_entry(lam):
+            continue
+        for kind, name in lam.captures:
+            if kind in ("default_ref", "default_val", "this", ""):
+                continue
+            ty = None
+            if lam.func is not None:
+                ty = lam.func.locals.get(name)
+                if ty is None and lam.func.cls_name:
+                    ci = project.class_index.get(lam.func.cls_name)
+                    if ci is not None:
+                        mem = ci.member(name)
+                        if mem is not None:
+                            ty = mem.type_text
+            if ty is not None and ESCAPE_TYPES.search(ty):
+                _emit(out, project, fm, lam.line, "sim-escape",
+                      f"capture '{name}' ({ty}) hands a simulator-owned "
+                      "object to another thread: Simulator and Packet are "
+                      "cell-thread confined by design (DESIGN.md §9)")
+
+
+# ---------------------------------------------------------------------------
+# contracts family
+
+
+def _body_statement_count(fm: FileModel, body) -> int:
+    toks = fm.tokens
+    start, end = body
+    return sum(1 for i in range(start + 1, end)
+               if toks[i].kind == "punct" and toks[i].text == ";")
+
+
+def _body_has_contract(fm: FileModel, body) -> bool:
+    toks = fm.tokens
+    start, end = body
+    return any(toks[i].kind == "id" and toks[i].text in CONTRACT_MACROS
+               for i in range(start + 1, end))
+
+
+def _find_method_body(project: Project, ci, method):
+    """Inline body, else the out-of-class definition from any file."""
+    if method.body is not None:
+        return project_file_for_class(project, ci), method.body
+    for fn in project.function_index.get(method.name, ()):
+        if fn.cls_name == ci.name:
+            return project_file(project, fn.path), fn.body
+    return None, None
+
+
+def project_file_for_class(project: Project, ci):
+    return project_file(project, ci.path)
+
+
+def check_missing_contract(project: Project, fm: FileModel, out):
+    if not any(fm.rel.startswith(d) or ("/" + d) in fm.rel
+               for d in COMPONENT_DIRS):
+        return
+    for ci in fm.classes:
+        for m in ci.methods:
+            if m.access != "public" or m.is_const or m.is_special \
+                    or m.is_static:
+                continue
+            if m.name in ("clear", "reset"):  # trivial by convention here
+                continue
+            body_fm, body = _find_method_body(project, ci, m)
+            if body_fm is None or body is None:
+                continue
+            if _body_statement_count(body_fm, body) < 2:
+                continue  # one-line setters don't need a contract
+            if _body_has_contract(body_fm, body):
+                continue
+            _emit(out, project, fm, m.line, "missing-contract",
+                  f"public mutating method '{ci.name}::{m.name}' has no "
+                  "MCS_ASSERT/MCS_INVARIANT coverage (see DESIGN.md §6)")
+
+
+# ---------------------------------------------------------------------------
+
+CHECK_FNS = {
+    "wallclock": check_wallclock,
+    "rng": check_rng,
+    "getenv": check_getenv,
+    "unordered-sink": check_unordered_sink,
+    "float-accum": check_float_accum,
+    "uninit-pod": check_uninit_pod,
+    "unguarded-field": check_unguarded_field,
+    "sim-escape": check_sim_escape,
+    "missing-contract": check_missing_contract,
+}
+
+
+def run_checks(project: Project, checks) -> list:
+    findings: list[Finding] = []
+    _LINE_CACHE.clear()
+    for fm in project.files:
+        for name in checks:
+            CHECK_FNS[name](project, fm, findings)
+    findings.sort(key=lambda f: f.sort_key())
+    return findings
+
+
+def resolve_check_names(spec: str) -> list:
+    """Expand a comma list of check or family names; '*'/'all' = everything."""
+    if spec in ("*", "all", ""):
+        return list(ALL_CHECKS)
+    out = []
+    for name in spec.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name in FAMILIES:
+            out.extend(FAMILIES[name])
+        elif name in ALL_CHECKS:
+            out.append(name)
+        else:
+            raise ValueError(f"unknown check or family: {name!r}")
+    seen = set()
+    uniq = []
+    for c in out:
+        if c not in seen:
+            seen.add(c)
+            uniq.append(c)
+    return uniq

@@ -1,0 +1,205 @@
+"""mcs_analyze: AST-grounded determinism & concurrency analysis for the
+mcommerce simulation sources.
+
+Usage:
+  python3 tools/mcs_analyze --root src [--root bench] \
+      [--check determinism|concurrency|contracts|<name>[,<name>...]] \
+      [--frontend auto|internal|clang] [--compile-commands build/...] \
+      [--baseline tools/mcs_analyze/baseline.json | --no-baseline] \
+      [--write-baseline] [--json out.json] [--list-checks] [-q]
+
+Exit status: 0 clean (no findings beyond suppressions/baseline), 1 when new
+findings are reported, 2 on usage errors. See DESIGN.md §9 for each check's
+rule, rationale, and suppression syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import baseline as baseline_mod
+import checks as checks_mod
+import frontend_clang
+import frontend_internal
+from model import Project
+
+CXX_SUFFIXES = {".cc", ".cpp", ".cxx", ".h", ".hpp", ".inl"}
+
+TOOL_DIR = Path(__file__).resolve().parent
+DEFAULT_BASELINE = TOOL_DIR / "baseline.json"
+
+
+def _repo_root() -> Path:
+    # tools/mcs_analyze/cli.py -> repo root is two levels up from tools/
+    return TOOL_DIR.parent.parent
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def collect_files(roots) -> list:
+    files = []
+    for root in roots:
+        files.extend(p for p in sorted(root.rglob("*"))
+                     if p.suffix in CXX_SUFFIXES and p.is_file())
+    return files
+
+
+def build_project(files, frontend: str, compile_commands) -> tuple:
+    """-> (Project, frontend_used)"""
+    use_clang = False
+    if frontend == "clang":
+        if not frontend_clang.available():
+            print("mcs-analyze: --frontend clang requested but clang.cindex "
+                  "is unavailable; falling back to internal frontend",
+                  file=sys.stderr)
+        else:
+            use_clang = True
+    elif frontend == "auto":
+        use_clang = frontend_clang.available()
+
+    repo = _repo_root()
+    args_by_src = (frontend_clang.load_compile_args(compile_commands)
+                   if use_clang else {})
+    models = []
+    for path in files:
+        text = path.read_text(encoding="utf-8", errors="replace")
+        rel = _rel(path, repo)
+        if use_clang:
+            args = args_by_src.get(str(path.resolve()))
+            models.append(frontend_clang.build_file_model(
+                path, rel, text, args))
+        else:
+            models.append(frontend_internal.build_file_model(path, rel, text))
+    return Project(models), ("clang" if use_clang else "internal")
+
+
+def emit_json(path: Path, findings, frontend_used: str, checks_run) -> None:
+    doc = {
+        "tool": "mcs-analyze",
+        "frontend": frontend_used,
+        "checks": list(checks_run),
+        "counts": {
+            "total": len(findings),
+            "active": sum(1 for f in findings
+                          if not f.suppressed and not f.baselined),
+            "suppressed": sum(1 for f in findings if f.suppressed),
+            "baselined": sum(1 for f in findings if f.baselined),
+        },
+        "findings": [
+            {
+                "file": f.path,
+                "line": f.line,
+                "check": f.check,
+                "severity": f.severity,
+                "message": f.message,
+                "context": f.context,
+                "suppressed": f.suppressed,
+                "baselined": f.baselined,
+            }
+            for f in findings
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="mcs_analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", action="append", type=Path, default=[],
+                    help="directory tree to scan (repeatable; default src/)")
+    ap.add_argument("--check", default="all",
+                    help="comma list of checks or families "
+                         "(determinism, concurrency, contracts, or names); "
+                         "default all")
+    ap.add_argument("--frontend", choices=("auto", "internal", "clang"),
+                    default="auto",
+                    help="auto uses clang.cindex when importable, else the "
+                         "built-in token/structural frontend")
+    ap.add_argument("--compile-commands", type=Path, default=None,
+                    help="compile_commands.json for the clang frontend")
+    ap.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                    help=f"accepted-findings file (default {DEFAULT_BASELINE})")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline file; report everything")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="accept all current findings into --baseline and "
+                         "exit 0")
+    ap.add_argument("--json", type=Path, default=None, metavar="FILE",
+                    help="also write machine-readable findings JSON")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="print findings only, no summary line")
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as e:
+        return 2 if e.code not in (0, None) else 0
+
+    if args.list_checks:
+        for family, names in checks_mod.FAMILIES.items():
+            print(f"{family}:")
+            for n in names:
+                print(f"  {n} [{checks_mod.SEVERITY[n]}]")
+        return 0
+
+    try:
+        selected = checks_mod.resolve_check_names(args.check)
+    except ValueError as e:
+        print(f"mcs-analyze: {e}", file=sys.stderr)
+        return 2
+
+    roots = args.root or [_repo_root() / "src"]
+    for root in roots:
+        if not root.is_dir():
+            print(f"mcs-analyze: no such directory: {root}", file=sys.stderr)
+            return 2
+
+    files = collect_files(roots)
+    project, frontend_used = build_project(files, args.frontend,
+                                           args.compile_commands)
+    findings = checks_mod.run_checks(project, selected)
+
+    if args.write_baseline:
+        n = baseline_mod.write(args.baseline, findings)
+        print(f"mcs-analyze: baseline written to {args.baseline} "
+              f"({n} accepted finding(s))")
+        if args.json:
+            emit_json(args.json, findings, frontend_used, selected)
+        return 0
+
+    if not args.no_baseline:
+        baseline_mod.apply(findings, baseline_mod.load(args.baseline))
+
+    active = [f for f in findings if not f.suppressed and not f.baselined]
+    for f in active:
+        print(f"{f.path}:{f.line}: [{f.check}] {f.severity}: {f.message}")
+
+    if args.json:
+        emit_json(args.json, findings, frontend_used, selected)
+
+    if active:
+        if not args.quiet:
+            print(f"mcs-analyze: {len(active)} new finding(s) "
+                  f"({len(findings) - len(active)} suppressed/baselined) in "
+                  f"{len(files)} file(s) [frontend={frontend_used}]",
+                  file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"mcs-analyze: clean ({len(files)} files, "
+              f"{len(selected)} checks, frontend={frontend_used}"
+              + (f", {len(findings)} suppressed/baselined" if findings
+                 else "") + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,23 @@
+// Fixture: floating-point accumulation in hash order. Float addition is not
+// bit-for-bit commutative, so the sum depends on the container's layout.
+// The `float-accum` check must flag the += in the loop.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+class Balances {
+ public:
+  double total() {
+    double sum = 0.0;
+    for (const auto& kv : accounts_) {
+      sum += kv.second;  // finding: float-accum
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::string, double> accounts_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: environment reads make runs depend on host configuration; the
+// `getenv` check must flag them.
+#include <cstdlib>
+
+namespace fixture {
+
+int bad_env_knob() {
+  const char* level = std::getenv("FIXTURE_LEVEL");  // finding: getenv
+  if (level == nullptr) return 0;
+  return std::atoi(level);
+}
+
+}  // namespace fixture

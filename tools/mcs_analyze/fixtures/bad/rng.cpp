@@ -1,0 +1,18 @@
+// Fixture: unseeded / raw randomness; the `rng` check must flag each use.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int bad_libc_rand() {
+  std::srand(42);        // finding: rng
+  return std::rand();    // finding: rng
+}
+
+int bad_raw_engine() {
+  std::random_device rd;      // finding: rng (nondeterministic seed source)
+  std::mt19937 engine{rd()};  // finding: rng (raw engine outside sim/random)
+  return static_cast<int>(engine());
+}
+
+}  // namespace fixture

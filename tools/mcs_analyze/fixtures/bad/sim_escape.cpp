@@ -1,0 +1,29 @@
+// Fixture: handing a Simulator (or Packet) to another thread. Simulators
+// and Packets are cell-thread confined by design; capturing one into a
+// thread-entry lambda is an escape. The `sim-escape` check must flag it.
+#include <functional>
+#include <thread>
+
+namespace fixture {
+
+struct Simulator {
+  void step() {}
+};
+
+struct WorkQueue {
+  void submit(std::function<void()> job) { job(); }
+};
+
+void bad_escape(WorkQueue& pool) {
+  Simulator* sim = nullptr;
+  pool.submit([sim] { sim->step(); });  // finding: sim-escape
+}
+
+void bad_thread_escape() {
+  Simulator sim;
+  Simulator& ref = sim;
+  std::thread t{[&ref] { ref.step(); }};  // finding: sim-escape
+  t.join();
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: a public mutating method with real logic and no MCS_ASSERT /
+// MCS_INVARIANT coverage. Lives under a src/net/ path segment because the
+// `missing-contract` check only applies to the component layers.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+class RouteTable {
+ public:
+  void add_route(const std::string& prefix, int interface_index) {
+    prefixes_.push_back(prefix);            // finding: missing-contract
+    interfaces_.push_back(interface_index);
+  }
+
+  int lookups() const { return 0; }  // const: not checked
+
+ private:
+  std::vector<std::string> prefixes_;
+  std::vector<int> interfaces_;
+};
+
+}  // namespace fixture

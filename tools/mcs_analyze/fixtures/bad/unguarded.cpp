@@ -1,0 +1,38 @@
+// Fixture: a worker thread touches plain fields of its owning object. Every
+// field reached from a thread-entry lambda must be MCS_GUARDED_BY-annotated,
+// atomic, thread_local, or const; `jobs_done_` and `last_label_` are none of
+// those. The `unguarded-field` check must flag both (including the one only
+// reached through worker_loop, one call deep).
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fixture {
+
+class Pool {
+ public:
+  Pool() {
+    for (int i = 0; i < 4; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void spin_one_inline() {
+    std::thread t{[this] {
+      jobs_done_ = jobs_done_ + 1;  // finding: unguarded-field (direct)
+    }};
+    t.join();
+  }
+
+ private:
+  void worker_loop() {
+    jobs_done_ = jobs_done_ + 1;  // finding: unguarded-field (via call)
+    last_label_ = "worked";       // finding: unguarded-field
+  }
+
+  std::vector<std::thread> workers_;
+  int jobs_done_ = 0;
+  std::string last_label_;
+};
+
+}  // namespace fixture

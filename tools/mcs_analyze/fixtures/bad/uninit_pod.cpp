@@ -1,0 +1,13 @@
+// Fixture: scalar members without initializers — replay would read stack
+// or heap garbage. The `uninit-pod` check must flag each one.
+
+namespace fixture {
+
+struct PacketHeader {
+  int sequence;        // finding: uninit-pod
+  double sent_at_ms;   // finding: uninit-pod
+  bool retransmitted;  // finding: uninit-pod
+  int initialized_ok = 0;  // not a finding
+};
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Fixture: iterating an unordered container while writing JSON (directly
+// and through a helper one call deep) — hash order becomes output order.
+// The `unordered-sink` check must flag both loops.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct JsonWriter {
+  void key(const std::string&) {}
+  void value(int) {}
+};
+
+class Registry {
+ public:
+  void dump(JsonWriter& w) {
+    for (const auto& kv : table_) {  // finding: unordered-sink (direct)
+      w.key(kv.first);
+      w.value(kv.second);
+    }
+  }
+
+  void dump_indirect(JsonWriter& w) {
+    for (const auto& kv : table_) {  // finding: unordered-sink (via helper)
+      write_one(w, kv.first, kv.second);
+    }
+  }
+
+ private:
+  void write_one(JsonWriter& w, const std::string& k, int v) {
+    w.key(k);
+    w.value(v);
+  }
+
+  std::unordered_map<std::string, int> table_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,95 @@
+// Fixture: deterministic, thread-correct code exercising the patterns each
+// check looks *near* without committing the offense. mcs_analyze must report
+// zero findings for this file (the selftest asserts it).
+//
+// Not real build targets — the fixture only has to parse; MCS_* macros are
+// stubbed so the file is self-contained.
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#define MCS_ASSERT(cond, msg) ((void)(cond))
+#define MCS_GUARDED_BY(x)
+
+namespace fixture {
+
+struct JsonWriter {
+  void key(const std::string&) {}
+  void value(double) {}
+};
+
+// Mentioning std::chrono::system_clock::now(), rand(), or getenv("X") in a
+// comment (or the string below) is not a finding: the lexer sees token
+// boundaries, not raw text.
+const char* docs() { return "never call time(nullptr) or rand() here"; }
+
+class Registry {
+ public:
+  // Unordered iteration is fine when nothing order-sensitive happens in the
+  // body: counting does not leak hash order.
+  int size_nonempty() {
+    int n = 0;
+    for (const auto& kv : table_) {
+      if (kv.second != 0.0) ++n;
+    }
+    return n;
+  }
+
+  // Order-sensitive output from an *ordered* container: deterministic.
+  void dump(JsonWriter& w) {
+    std::map<std::string, double> sorted{table_.begin(), table_.end()};
+    for (const auto& kv : sorted) {
+      w.key(kv.first);
+      w.value(kv.second);
+    }
+  }
+
+  // Integer accumulation commutes exactly; hash order cannot show through.
+  long count_total() {
+    long total = 0;
+    for (const auto& kv : hits_) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<std::string, double> table_;
+  std::unordered_map<std::string, long> hits_;
+};
+
+struct Mutex {
+  void lock() {}
+  void unlock() {}
+};
+
+class Pool {
+ public:
+  Pool() {
+    MCS_ASSERT(true, "fixture pool invariant");
+    for (int i = 0; i < 2; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+ private:
+  void worker_loop() {
+    jobs_done_.fetch_add(1);  // atomic: fine from a worker
+    pending_ = pending_ - 1;  // MCS_GUARDED_BY-annotated: fine
+  }
+
+  std::vector<std::thread> workers_;
+  std::atomic<int> jobs_done_{0};
+  Mutex mu_;
+  int pending_ MCS_GUARDED_BY(mu_) = 0;
+};
+
+struct PacketHeader {
+  int sequence = 0;       // initialized: not a finding
+  double sent_at_ms = 0;  // initialized: not a finding
+};
+
+}  // namespace fixture

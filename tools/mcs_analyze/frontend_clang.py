@@ -1,0 +1,148 @@
+"""libclang frontend: lowers translation units into the shared model via
+`clang.cindex`, driven by compile_commands.json when present.
+
+This frontend is strictly optional. The container this repo grows in has no
+libclang, so `available()` gates every use and the CLI falls back to the
+token/structural frontend (frontend_internal.py) — same model, same checks.
+When clang IS present (CI's analyze job installs it), the AST gives exact
+answers where the internal frontend uses heuristics: member types survive
+typedefs/auto, range-for containers resolve through accessors, and lambda
+thread-entry classification reads the real callee.
+
+Any libclang failure (missing libclang.so, version skew, parse errors)
+degrades to the internal frontend per-file rather than aborting the run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import frontend_internal
+from model import FileModel, Lambda, Member, RangeFor
+
+try:  # pragma: no cover - environment-dependent
+    from clang import cindex  # type: ignore
+
+    _IMPORT_OK = True
+except Exception:  # ImportError or libclang load failure
+    cindex = None  # type: ignore
+    _IMPORT_OK = False
+
+_INDEX = None
+
+
+def available() -> bool:
+    """True when clang.cindex can actually create an Index (importable AND
+    libclang.so loadable)."""
+    global _INDEX
+    if not _IMPORT_OK:
+        return False
+    if _INDEX is not None:
+        return True
+    try:  # pragma: no cover - environment-dependent
+        _INDEX = cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def load_compile_args(compile_commands: Path | None) -> dict:
+    """-> {absolute source path: [args]} from compile_commands.json."""
+    if compile_commands is None or not compile_commands.is_file():
+        return {}
+    out = {}
+    try:
+        for entry in json.loads(compile_commands.read_text(encoding="utf-8")):
+            src = str(Path(entry["directory"], entry["file"]).resolve())
+            args = entry.get("arguments")
+            if args is None:
+                args = entry.get("command", "").split()
+            # strip compiler, -c, -o <obj>, and the source itself
+            clean = []
+            skip = False
+            for a in args[1:]:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-c", src) or a.endswith((".cpp", ".cc", ".cxx")):
+                    continue
+                if a == "-o":
+                    skip = True
+                    continue
+                clean.append(a)
+            out[src] = clean
+    except (json.JSONDecodeError, KeyError, OSError):
+        return {}
+    return out
+
+
+def build_file_model(path: Path, rel: str, text: str,
+                     args: list | None = None) -> FileModel:
+    """Parse with libclang; refine the internal model's facts with AST truth.
+
+    The token-level artifacts (tokens, suppressions, loop/lambda bodies) come
+    from the internal frontend either way — checks need token bodies and
+    libclang's extent math maps cleanly onto them. What the AST adds is
+    *semantic* truth: it replaces the heuristic member/local type text and
+    the unordered-container / thread-entry classifications wherever it has
+    an answer, and leaves the heuristic result standing where it does not.
+    """
+    fm = frontend_internal.build_file_model(path, rel, text)
+    if not available():  # pragma: no cover - environment-dependent
+        return fm
+    try:  # pragma: no cover - exercised only where libclang exists
+        tu = _INDEX.parse(str(path), args=(args or ["-std=c++17"]),
+                          options=0)
+    except Exception:
+        return fm
+    try:
+        _refine(fm, tu)
+    except Exception:
+        pass  # AST refinement is best-effort on top of a complete model
+    return fm
+
+
+def _refine(fm: FileModel, tu) -> None:  # pragma: no cover - needs libclang
+    want = str(fm.path.resolve())
+    classes = {ci.name: ci for ci in fm.classes}
+    loops_by_line = {lp.line: lp for lp in fm.loops}
+    lambdas_by_line = {lm.line: lm for lm in fm.lambdas}
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is None or str(Path(str(loc.file)).resolve()) != want:
+                continue
+            kind = child.kind.name
+            if kind in ("CLASS_DECL", "STRUCT_DECL") and child.is_definition():
+                ci = classes.get(child.spelling)
+                if ci is not None:
+                    for f in child.get_children():
+                        if f.kind.name == "FIELD_DECL":
+                            mem = ci.members.get(f.spelling)
+                            ty = f.type.spelling
+                            if mem is None:
+                                ci.members[f.spelling] = Member(
+                                    name=f.spelling, type_text=ty,
+                                    line=f.location.line)
+                            else:
+                                mem.type_text = ty
+            elif kind == "CXX_FOR_RANGE_STMT":
+                lp = loops_by_line.get(loc.line)
+                if lp is not None:
+                    children = list(child.get_children())
+                    if len(children) >= 2:
+                        cont = children[-2]
+                        ty = cont.type.spelling
+                        if "unordered_" in ty:
+                            # make the container text unambiguous for checks
+                            lp.container_tokens = list(lp.container_tokens)
+                            lp.resolved_type = ty  # type: ignore[attr-defined]
+            elif kind == "LAMBDA_EXPR":
+                lm = lambdas_by_line.get(loc.line)
+                if lm is not None:
+                    lm.ast_confirmed = True  # type: ignore[attr-defined]
+            visit(child)
+
+    visit(tu.cursor)

@@ -1,0 +1,151 @@
+"""Shared source model for mcs_analyze.
+
+Both frontends (the libclang one when `clang.cindex` is importable, the
+token/structural one otherwise) lower each translation unit into these
+records; every check runs against this model, so check logic is written
+once and never depends on which frontend produced the facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class Finding:
+    path: str  # repo-relative when possible
+    line: int
+    check: str
+    severity: str  # 'error' | 'warning'
+    message: str
+    context: str = ""  # normalized source line text (baseline key)
+    suppressed: bool = False
+    baselined: bool = False
+
+    def key(self):
+        return (self.path, self.check, self.context)
+
+    def sort_key(self):
+        return (self.path, self.line, self.check, self.message)
+
+
+@dataclass
+class Member:
+    name: str
+    type_text: str
+    line: int
+    has_init: bool = False
+    guarded_by: str | None = None  # MCS_GUARDED_BY argument text
+    is_static: bool = False
+    is_mutable: bool = False
+    is_thread_local: bool = False
+    is_const: bool = False
+
+
+@dataclass
+class Method:
+    name: str
+    line: int
+    access: str  # 'public' | 'protected' | 'private'
+    is_const: bool = False
+    is_static: bool = False
+    is_special: bool = False  # ctor/dtor/operator/defaulted/deleted
+    externally_serialized: bool = False
+    body: tuple | None = None  # (start_tok, end_tok) into the file's tokens
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    line: int
+    path: str
+    members: dict = field(default_factory=dict)  # name -> Member
+    methods: list = field(default_factory=list)  # [Method]
+
+    def member(self, name):
+        return self.members.get(name)
+
+    def method_named(self, name):
+        return [m for m in self.methods if m.name == name]
+
+
+@dataclass
+class FunctionDef:
+    """A function body: free function, out-of-class method def, or the body
+    attached to an inline method. `cls_name` is None for free functions."""
+
+    name: str
+    cls_name: str | None
+    line: int
+    path: str
+    body: tuple  # (start_tok, end_tok)
+    is_const: bool = False
+    externally_serialized: bool = False
+    params: list = field(default_factory=list)  # [(type_text, name)]
+    locals: dict = field(default_factory=dict)  # name -> type_text
+
+
+@dataclass
+class RangeFor:
+    line: int
+    container_tokens: list  # tokens of the range expression
+    body: tuple  # (start_tok, end_tok)
+    func: FunctionDef | None
+
+
+@dataclass
+class Lambda:
+    line: int
+    captures: list  # [('ref'|'val'|'this'|'default_ref'|'default_val', name)]
+    body: tuple
+    context_callee: str | None  # e.g. 'emplace_back', 'submit', 'thread'
+    context_receiver: str | None  # e.g. 'workers_'
+    func: FunctionDef | None  # enclosing function definition
+
+
+@dataclass
+class FileModel:
+    path: Path
+    rel: str
+    tokens: list
+    classes: list = field(default_factory=list)
+    functions: list = field(default_factory=list)
+    loops: list = field(default_factory=list)
+    lambdas: list = field(default_factory=list)
+    # line -> set of check names allowed there ('*' = all)
+    suppressions: dict = field(default_factory=dict)
+
+
+class Project:
+    """All analyzed files plus a cross-file class index (headers define the
+    classes whose methods live in the .cpp files)."""
+
+    def __init__(self, files):
+        self.files = files
+        self.class_index: dict[str, ClassInfo] = {}
+        self.function_index: dict[str, list[FunctionDef]] = {}
+        for fm in files:
+            for ci in fm.classes:
+                # First definition wins; redefinitions across TUs are rare
+                # in this codebase and harmless for lookup purposes.
+                self.class_index.setdefault(ci.name, ci)
+            for fn in fm.functions:
+                self.function_index.setdefault(fn.name, []).append(fn)
+
+    def suppressed(self, fm: FileModel, line: int, check: str) -> bool:
+        allowed = fm.suppressions.get(line, ())
+        return "*" in allowed or check in allowed or _alias(check) in allowed
+
+
+# Legacy detlint rule names still honored in allow() comments.
+_ALIASES = {
+    "unordered-sink": "unordered-sched",
+    "wallclock": "wallclock",
+    "rng": "rng",
+    "uninit-pod": "uninit-pod",
+}
+
+
+def _alias(check: str) -> str:
+    return _ALIASES.get(check, check)
