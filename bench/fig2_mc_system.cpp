@@ -5,9 +5,20 @@
 // + host computers (the EC part) -- and compares against the Figure 1
 // baseline on identical content.
 
+// Besides the analytic table, main() runs a *measured* Figure 2: a traced
+// closed-loop workload (obs/trace.h) where every component opens spans, and
+// the per-bucket self-time breakdown is what the spans actually recorded --
+// no modelled formulas. Output: $MCS_BENCH_FIG2_OUT or
+// ./BENCH_fig2_breakdown.json (committed; byte-identical across reruns at
+// the same seed), plus an optional Perfetto trace of the first scenario to
+// $MCS_TRACE_OUT for chrome://tracing.
+
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "obs/trace.h"
+#include "workload/driver.h"
+#include "workload/session.h"
 
 namespace {
 
@@ -139,6 +150,181 @@ BENCHMARK(BM_McScaling)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// --- Measured breakdown: trace-driven Figure 2 ----------------------------
+
+bool smoke_mode() { return std::getenv("MCS_BENCH_SMOKE") != nullptr; }
+
+struct TraceScenario {
+  const char* system;  // "MC/WAP" | "MC/i-mode"
+  station::BrowserMode middleware;
+  wireless::PhyProfile phy;
+};
+
+struct TracedCell {
+  TraceScenario scenario;
+  obs::Tracer::Breakdown breakdown;
+  std::string chrome_json;  // first scenario only (for $MCS_TRACE_OUT)
+};
+
+// One traced closed-loop run; every span the components opened is folded
+// into the per-bucket self-time breakdown.
+TracedCell run_traced_cell(const TraceScenario& sc, std::uint64_t seed,
+                           bool keep_chrome_trace) {
+  obs::TracerConfig tcfg;
+  tcfg.seed = seed;
+  tcfg.sample_every = 1;  // the breakdown wants every request
+  obs::Tracer tracer{tcfg};
+  obs::Install install{tracer};
+
+  sim::Simulator sim;
+  core::McSystemConfig cfg;
+  cfg.middleware = sc.middleware;
+  cfg.phy = sc.phy;
+  cfg.num_mobiles = 2;
+  cfg.seed = seed;
+  core::McSystem sys{sim, cfg};
+  core::seed_demo_accounts(sys.bank(), 8, 1e12);
+  auto apps = core::make_all_applications();
+  core::install_all(apps, core::environment_for(sys));
+
+  workload::DriverConfig dcfg;
+  dcfg.duration = sim::Time::seconds(smoke_mode() ? 10.0 : 30.0);
+  dcfg.warmup = sim::Time::seconds(2.0);
+  dcfg.timeout = sim::Time::seconds(8.0);
+  dcfg.seed = seed;
+  workload::LoadDriver driver{sim, sys.client_drivers(), apps,
+                              workload::consumer_mix(), sys.web_url(""),
+                              dcfg};
+  driver.run_closed_loop();
+
+  TracedCell cell{sc, tracer.breakdown(), {}};
+  if (keep_chrome_trace) cell.chrome_json = tracer.chrome_trace_json();
+  return cell;
+}
+
+void write_breakdown_json(const std::vector<TracedCell>& cells,
+                          std::uint64_t seed, const std::string& path) {
+  auto put_buckets = [](sim::JsonWriter& w,
+                        const obs::Tracer::Breakdown& b) {
+    const double attributed_us =
+        b.unattributed_us +
+        [&b] {
+          double s = 0.0;
+          for (const double v : b.bucket_us) s += v;
+          return s;
+        }();
+    w.key("traces").value(static_cast<std::int64_t>(b.traces));
+    w.key("spans").value(static_cast<std::int64_t>(b.spans));
+    w.key("total_ms").value(b.total_us / 1e3);
+    w.key("unattributed_ms").value(b.unattributed_us / 1e3);
+    w.key("components_ms").begin_object();
+    for (std::size_t i = 0; i < obs::kBucketCount; ++i) {
+      w.key(obs::bucket_name(i)).value(b.bucket_us[i] / 1e3);
+    }
+    w.end_object();
+    // Share of all span self time (think/driver time included, so the six
+    // shares plus `unattributed` sum to 1).
+    w.key("share").begin_object();
+    for (std::size_t i = 0; i < obs::kBucketCount; ++i) {
+      w.key(obs::bucket_name(i))
+          .value(attributed_us > 0.0 ? b.bucket_us[i] / attributed_us : 0.0);
+    }
+    w.key("unattributed")
+        .value(attributed_us > 0.0 ? b.unattributed_us / attributed_us
+                                   : 0.0);
+    w.end_object();
+  };
+
+  obs::Tracer::Breakdown agg;
+  for (const TracedCell& c : cells) {
+    agg.traces += c.breakdown.traces;
+    agg.spans += c.breakdown.spans;
+    agg.instants += c.breakdown.instants;
+    agg.total_us += c.breakdown.total_us;
+    agg.unattributed_us += c.breakdown.unattributed_us;
+    for (std::size_t i = 0; i < obs::kBucketCount; ++i) {
+      agg.bucket_us[i] += c.breakdown.bucket_us[i];
+    }
+  }
+
+  sim::JsonWriter w{/*pretty=*/true};
+  w.begin_object();
+  w.key("bench").value("fig2_breakdown");
+  w.key("seed").value(static_cast<std::int64_t>(seed));
+  w.key("mode").value(smoke_mode() ? "smoke" : "full");
+  w.key("scenarios").begin_array();
+  for (const TracedCell& c : cells) {
+    w.begin_object();
+    w.key("system").value(c.scenario.system);
+    w.key("radio").value(c.scenario.phy.name);
+    put_buckets(w, c.breakdown);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("aggregate").begin_object();
+  put_buckets(w, agg);
+  w.end_object();
+  w.end_object();
+
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+}
+
+void run_trace_breakdown() {
+  const std::uint64_t kSeed = 2003;  // ICDCSW'03
+  const std::vector<TraceScenario> scenarios = {
+      {"MC/WAP", station::BrowserMode::kWap, wireless::wifi_802_11b()},
+      {"MC/WAP", station::BrowserMode::kWap, wireless::gprs()},
+      {"MC/i-mode", station::BrowserMode::kImode, wireless::wifi_802_11b()},
+      {"MC/i-mode", station::BrowserMode::kImode, wireless::gprs()},
+  };
+
+  bench::TablePrinter table{
+      "Figure 2 -- MC system: measured per-component self time "
+      "(traced workload)",
+      {"system", "radio", "traces", "application ms", "station ms",
+       "middleware ms", "wireless ms", "wired ms", "host ms"}};
+
+  std::vector<TracedCell> cells;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    cells.push_back(
+        run_traced_cell(scenarios[i], kSeed + i, /*keep_chrome_trace=*/i == 0));
+    const obs::Tracer::Breakdown& b = cells.back().breakdown;
+    table.add_row({cells.back().scenario.system,
+                   cells.back().scenario.phy.name,
+                   std::to_string(b.traces),
+                   bench::fmt("%.1f", b.bucket_us[0] / 1e3),
+                   bench::fmt("%.1f", b.bucket_us[1] / 1e3),
+                   bench::fmt("%.1f", b.bucket_us[2] / 1e3),
+                   bench::fmt("%.1f", b.bucket_us[3] / 1e3),
+                   bench::fmt("%.1f", b.bucket_us[4] / 1e3),
+                   bench::fmt("%.1f", b.bucket_us[5] / 1e3)});
+  }
+  table.print();
+
+  const char* out = std::getenv("MCS_BENCH_FIG2_OUT");
+  write_breakdown_json(cells, kSeed,
+                       out != nullptr ? out : "BENCH_fig2_breakdown.json");
+
+  if (const char* trace_out = std::getenv("MCS_TRACE_OUT")) {
+    if (std::FILE* f = std::fopen(trace_out, "w")) {
+      std::fputs(cells.front().chrome_json.c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                  trace_out);
+    } else {
+      std::fprintf(stderr, "MCS_TRACE_OUT: cannot write %s\n", trace_out);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -147,6 +333,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   g_breakdown.print();
   g_scale.print();
+  run_trace_breakdown();
   std::printf(
       "Reading: the MC system adds the paper's two extra components on top "
       "of the EC baseline -- middleware translation and the wireless hop. "

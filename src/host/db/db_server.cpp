@@ -76,6 +76,20 @@ std::string encode_row_line(const Row& row) {
   return join_fields(fields);
 }
 
+// Spans never own their names, so commands map to static strings.
+const char* db_span_name(const std::string& cmd) {
+  if (cmd == "BEGIN") return "db.begin";
+  if (cmd == "COMMIT") return "db.commit";
+  if (cmd == "ABORT") return "db.abort";
+  if (cmd == "INS") return "db.insert";
+  if (cmd == "UPD") return "db.update";
+  if (cmd == "DEL") return "db.delete";
+  if (cmd == "GET") return "db.get";
+  if (cmd == "FINDBY") return "db.findby";
+  if (cmd == "SCAN") return "db.scan";
+  return "db.op";
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -110,9 +124,13 @@ void DbServer::complete(const std::shared_ptr<Connection>& conn,
                         const Slot& slot, std::string msg) {
   slot->msg = std::move(msg);
   slot->ready = true;
+  obs::end_span(slot->ctx, stack_.sim().now());
   while (!conn->outbox.empty() && conn->outbox.front()->ready) {
-    conn->socket->send(conn->outbox.front()->msg + "\n");
+    const Slot front = conn->outbox.front();
     conn->outbox.pop_front();
+    // Response bytes stamped with the operation they answer.
+    obs::ActiveScope scope{front->ctx};
+    conn->socket->send(front->msg + "\n");
   }
 }
 
@@ -177,6 +195,9 @@ void DbServer::on_line(const std::shared_ptr<Connection>& conn,
   conn->outbox.push_back(slot);
   const auto parts = sim::split(line, ' ');
   const std::string& cmd = parts[0];
+  // Ambient parent: the app.program span that issued the command.
+  slot->ctx = obs::begin_span(obs::Component::kHostDb, db_span_name(cmd),
+                              stack_.sim().now());
 
   auto get_txn = [&](std::uint64_t id) -> Transaction* {
     auto it = conn->txns.find(id);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "host/db/database.h"
+#include "obs/trace.h"
 #include "sim/stats.h"
 #include "transport/tcp.h"
 
@@ -65,6 +66,9 @@ class DbServer {
   struct PendingResponse {
     std::string msg;
     bool ready = false;
+    // Span covering the operation from arrival to response flush (includes
+    // op CPU, fsync queueing); closed in complete().
+    obs::TraceContext ctx;
   };
   struct Connection {
     transport::TcpSocket::Ptr socket;

@@ -1,5 +1,6 @@
 #include "host/http_server.h"
 
+#include "obs/trace.h"
 #include "sim/logging.h"
 #include "sim/util.h"
 
@@ -91,16 +92,24 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
       sim::to_lower(req.header("Connection")) == "close" ||
       req.version == "HTTP/1.0";
 
+  // Request span: child of whatever the arriving bytes were stamped with
+  // (the gateway's span, or the browse span for direct clients). Closed by
+  // respond; the response bytes go out re-entered into it.
+  const obs::TraceContext req_ctx = obs::begin_span(
+      obs::Component::kHostWeb, "http.request", stack_.sim().now());
+
   auto slot = std::make_shared<PendingResponse>();
   slot->close_after = close_after;
   conn->outbox.push_back(slot);
-  auto respond = [this, conn, slot](HttpResponse resp) {
+  auto respond = [this, conn, slot, req_ctx](HttpResponse resp) {
     resp.set_header("Server", server_name_);
     if (slot->close_after) resp.set_header("Connection", "close");
     slot->wire = resp.serialize();
     slot->ready = true;
     stats_.counter("response_bytes").add(slot->wire.size());
     stats_.counter(sim::strf("status_%d", resp.status)).add();
+    obs::end_span(req_ctx, stack_.sim().now());
+    obs::ActiveScope scope{req_ctx};
     flush_outbox(conn);
   };
 
@@ -117,16 +126,28 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
     respond(HttpResponse::not_found(req.path));
     return;
   }
+  // Application-program span: processing delay plus everything the handler
+  // awaits (database round trips) until it responds.
+  const obs::TraceContext app = obs::begin_child(
+      req_ctx, obs::Component::kApplication, "app.program",
+      stack_.sim().now());
+  auto app_respond = [this, app,
+                      respond = std::move(respond)](HttpResponse resp) mutable {
+    obs::end_span(app, stack_.sim().now());
+    respond(std::move(resp));
+  };
   if (processing_delay_.is_zero()) {
-    r->handler(req, respond);
+    obs::ActiveScope scope{app};
+    r->handler(req, app_respond);
     return;
   }
   // Simulate CGI / application-program processing time.
   auto& sim = stack_.sim();
-  sim.after(processing_delay_,
-            [r, req = std::move(req), respond = std::move(respond)]() mutable {
-              r->handler(req, respond);
-            });
+  sim.after(processing_delay_, [r, app, req = std::move(req),
+                                respond = std::move(app_respond)]() mutable {
+    obs::ActiveScope scope{app};
+    r->handler(req, respond);
+  });
 }
 
 // ---------------------------------------------------------------------------

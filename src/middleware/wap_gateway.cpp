@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "middleware/wbxml.h"
+#include "obs/trace.h"
 #include "sim/contract.h"
 #include "sim/util.h"
 
@@ -130,8 +131,19 @@ const host::CookieJar* WapGateway::jar_for(net::Endpoint phone) const {
 
 void WapGateway::handle_request(const std::string& payload,
                                 net::Endpoint from,
-                                std::function<void(std::string)> respond) {
+                                std::function<void(std::string)> respond_raw) {
   ++stats_.requests;
+  // Gateway span: child of the stamped invoke (the phone's browse span).
+  // The wrapped respond closes it and re-enters it so the WTP result
+  // datagrams carry this context over the air.
+  const obs::TraceContext gw = obs::begin_span(
+      obs::Component::kMiddleware, "wap.request", node_.sim().now());
+  auto respond = [this, gw, respond_raw = std::move(respond_raw)](
+                     std::string response) mutable {
+    obs::end_span(gw, node_.sim().now());
+    obs::ActiveScope scope{gw};
+    respond_raw(std::move(response));
+  };
   const auto url = wsp_decode_request(payload);
   if (!url.has_value()) {
     respond(wsp_encode_response(400, "text/plain", "bad WSP request"));
@@ -158,8 +170,9 @@ void WapGateway::handle_request(const std::string& payload,
       !cookies.empty()) {
     up_req.set_header("Cookie", cookies);
   }
+  obs::ActiveScope scope{gw};
   http_.request(*upstream, up_req,
-            [this, from, origin, respond = std::move(respond)](
+            [this, from, origin, gw, respond = std::move(respond)](
                 std::optional<host::HttpResponse> resp) mutable {
     if (!resp.has_value()) {
       ++stats_.upstream_failures;
@@ -174,9 +187,12 @@ void WapGateway::handle_request(const std::string& payload,
     }
     // Translate HTML -> WML, adapt, optionally compile to WBXML — after the
     // simulated translation CPU time.
+    const obs::TraceContext xlate = obs::begin_child(
+        gw, obs::Component::kMiddleware, "wap.translate", node_.sim().now());
     node_.sim().after(cfg_.translation_delay,
-                      [this, body = std::move(resp->body),
+                      [this, xlate, body = std::move(resp->body),
                        respond = std::move(respond)]() mutable {
+      obs::end_span(xlate, node_.sim().now());
       ++stats_.translations;
       const MarkupDocument html = parse_markup(body, MarkupKind::kHtml);
       const MarkupDocument wml = html_to_wml(html);
@@ -218,8 +234,16 @@ IModeGateway::IModeGateway(transport::TcpStack& tcp, HostResolver resolver,
 }
 
 void IModeGateway::handle(const host::HttpRequest& req,
-                          std::function<void(host::HttpResponse)> respond) {
+                          std::function<void(host::HttpResponse)> respond_raw) {
   ++stats_.requests;
+  const obs::TraceContext gw = obs::begin_span(
+      obs::Component::kMiddleware, "imode.request", tcp_.sim().now());
+  auto respond = [this, gw, respond_raw = std::move(respond_raw)](
+                     host::HttpResponse response) mutable {
+    obs::end_span(gw, tcp_.sim().now());
+    obs::ActiveScope scope{gw};
+    respond_raw(std::move(response));
+  };
   // The phone requests "/<host>:<port>/<path...>" through the gateway
   // (or passes an absolute URL in the path).
   std::string target = req.path;
@@ -246,8 +270,9 @@ void IModeGateway::handle(const host::HttpRequest& req,
       !cookies.empty()) {
     up_req.set_header("Cookie", cookies);
   }
+  obs::ActiveScope scope{gw};
   http_.request(*upstream, up_req,
-            [this, phone, origin, respond = std::move(respond)](
+            [this, phone, origin, gw, respond = std::move(respond)](
                 std::optional<host::HttpResponse> resp) mutable {
     if (!resp.has_value()) {
       ++stats_.upstream_failures;
@@ -260,9 +285,12 @@ void IModeGateway::handle(const host::HttpRequest& req,
       respond(std::move(*resp));
       return;
     }
+    const obs::TraceContext xlate = obs::begin_child(
+        gw, obs::Component::kMiddleware, "imode.translate", tcp_.sim().now());
     tcp_.sim().after(cfg_.translation_delay,
-                     [this, body = std::move(resp->body),
+                     [this, xlate, body = std::move(resp->body),
                       respond = std::move(respond)]() mutable {
+      obs::end_span(xlate, tcp_.sim().now());
       const MarkupDocument html = parse_markup(body, MarkupKind::kHtml);
       const MarkupDocument chtml = html_to_chtml(html);
       const AdaptationResult adapted = adapt_document(chtml, cfg_.adaptation);

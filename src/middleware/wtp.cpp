@@ -51,6 +51,7 @@ void WtpEndpoint::invoke(net::Endpoint responder, std::string payload,
   txn.responder = responder;
   txn.payload = std::move(payload);
   txn.cb = std::move(cb);
+  txn.ctx = obs::active_context();
   stats_.counter("invokes").add();
   send_segments(responder, "INV", tid, txn.payload);
   arm_retry(tid);
@@ -72,6 +73,9 @@ void WtpEndpoint::arm_retry(std::uint64_t tid) {
     MCS_INVARIANT(txn.retries <= cfg_.max_retries,
                   "WTP retry loop escaped its budget");
     stats_.counter("retransmissions").add();
+    obs::ActiveScope scope{txn.ctx};
+    obs::instant(txn.ctx, obs::Component::kMiddleware, "wtp.rtx",
+                 udp_.node().sim().now());
     send_segments(txn.responder, "INV", tid, txn.payload);
     arm_retry(tid);
   });

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "sim/stats.h"
 #include "transport/udp.h"
 
@@ -66,6 +67,9 @@ class WtpEndpoint {
     int retries = 0;
     sim::EventId timer = sim::kInvalidEventId;
     bool done = false;
+    // Span the invoke was issued under; retransmitted segments re-enter it
+    // so their wire time attributes to the same trace.
+    obs::TraceContext ctx;
   };
   struct ResponderTxn {  // responder side
     Reassembly invoke;

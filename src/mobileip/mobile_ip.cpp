@@ -1,5 +1,6 @@
 #include "mobileip/mobile_ip.h"
 
+#include "obs/trace.h"
 #include "sim/contract.h"
 #include "sim/logging.h"
 #include "sim/util.h"
@@ -127,6 +128,11 @@ void HomeAgent::tunnel_to(const net::PacketPtr& p, net::IpAddress coa) {
   outer->dst = coa;
   outer->proto = net::Protocol::kIpInIp;
   outer->inner = p;
+  // The tunnel hop belongs to the encapsulated packet's trace.
+  outer->trace_id = p->trace_id;
+  outer->trace_span = p->trace_span;
+  obs::instant(obs::TraceContext{p->trace_id, p->trace_span},
+               obs::Component::kMobileIp, "ha.tunnel", router_.sim().now());
   stats_.counter("tunneled_packets").add();
   stats_.counter("tunneled_bytes").add(outer->size_bytes());
   stats_.counter("tunnel_overhead_bytes").add(outer->size_bytes() -
@@ -210,6 +216,8 @@ void ForeignAgent::forward_packet(const net::PacketPtr& inner,
   outer->dst = new_coa;
   outer->proto = net::Protocol::kIpInIp;
   outer->inner = inner;
+  outer->trace_id = inner->trace_id;
+  outer->trace_span = inner->trace_span;
   stats_.counter("forwarded_packets").add();
   router_.send(outer);
 }
@@ -253,6 +261,8 @@ void ForeignAgent::on_tunnel_packet(const net::PacketPtr& p) {
   if (!p->inner) return;
   net::PacketPtr inner = p->inner;
   stats_.counter("decapsulated_packets").add();
+  obs::instant(obs::TraceContext{inner->trace_id, inner->trace_span},
+               obs::Component::kMobileIp, "fa.decap", router_.sim().now());
   if (visitors_.contains(inner->dst)) {
     router_.send(inner);
     return;

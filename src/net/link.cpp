@@ -1,5 +1,6 @@
 #include "net/link.h"
 
+#include "obs/trace.h"
 #include "sim/contract.h"
 #include "sim/logging.h"
 
@@ -43,18 +44,28 @@ void Link::start_service(Interface* from) {
 
   const sim::Time serialization =
       sim::transmission_time(p->size_bytes(), cfg_.bandwidth_bps);
-  sim_.after(serialization, [this, from, p] {
+  // Wire time span: serialization (+ propagation on delivery) attributed to
+  // the stamped context's trace as "wired" component time.
+  const obs::TraceContext wire = obs::begin_child(
+      obs::TraceContext{p->trace_id, p->trace_span}, obs::Component::kWired,
+      "link.tx", sim_.now());
+  sim_.after(serialization, [this, from, p, wire] {
     Interface* to = peer_of(from);
     const bool lost = rng_.bernoulli(cfg_.loss_rate);
     if (lost) {
       stats_.counter("drop_loss").add();
+      obs::end_span(wire, sim_.now());
     } else if (!to->up() || !from->up()) {
       stats_.counter("drop_iface_down").add();
+      obs::end_span(wire, sim_.now());
     } else {
       stats_.counter("delivered_packets").add();
       stats_.counter("delivered_bytes").add(p->size_bytes());
-      sim_.after(cfg_.propagation,
-                 [to, p] { to->node()->receive(p, to); });
+      sim_.after(cfg_.propagation, [this, to, p, wire] {
+        obs::end_span(wire, sim_.now());
+        obs::ActiveScope scope{obs::TraceContext{p->trace_id, p->trace_span}};
+        to->node()->receive(p, to);
+      });
     }
     start_service(from);
   });

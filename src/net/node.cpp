@@ -1,5 +1,7 @@
 #include "net/node.h"
 
+#include "obs/trace.h"
+#include "sim/contract.h"
 #include "sim/logging.h"
 
 namespace mcs::net {
@@ -8,6 +10,8 @@ Node::Node(sim::Simulator& sim, NodeId id, std::string name)
     : sim_{sim}, id_{id}, name_{std::move(name)} {}
 
 Interface* Node::add_interface(IpAddress addr) {
+  MCS_ASSERT(!owns_address(addr) || addr.is_unspecified(),
+             "node already owns an interface with this address");
   interfaces_.push_back(std::make_unique<Interface>(
       this, addr, static_cast<int>(interfaces_.size())));
   return interfaces_.back().get();
@@ -27,9 +31,15 @@ bool Node::owns_address(IpAddress a) const {
 void Node::clear_routes() {
   routes_.clear();
   has_default_route_ = false;
+  MCS_INVARIANT(lookup_route(kUnspecified) == nullptr,
+                "cleared routing table still resolves a route");
 }
 
 void Node::set_default_route(Route r) {
+  MCS_ASSERT(r.out != nullptr,
+             "default route needs an outgoing interface");
+  MCS_ASSERT(r.out->node() == this,
+             "default route must leave through this node's own interface");
   default_route_ = r;
   has_default_route_ = true;
 }
@@ -42,6 +52,7 @@ const Node::Route* Node::lookup_route(IpAddress dst) const {
 }
 
 void Node::receive(const PacketPtr& p, Interface* in) {
+  MCS_ASSERT(p != nullptr, "cannot receive a null packet");
   stats_.counter("rx_packets").add();
   stats_.counter("rx_bytes").add(p->size_bytes());
   for (auto& f : filters_) {
@@ -59,7 +70,15 @@ void Node::receive(const PacketPtr& p, Interface* in) {
 }
 
 void Node::send(const PacketPtr& p) {
+  MCS_ASSERT(p != nullptr, "cannot send a null packet");
   p->created_at = sim_.now();
+  if (p->trace_id == 0) {
+    // Stamp locally originated packets with the ambient span so downstream
+    // hops (channels, the receiving stack) can attribute their work to it.
+    const obs::TraceContext ctx = obs::active_context();
+    p->trace_id = ctx.trace_id;
+    p->trace_span = ctx.span_id;
+  }
   stats_.counter("tx_packets").add();
   stats_.counter("tx_bytes").add(p->size_bytes());
   // Locally originated packets pass the filters too (in == nullptr): a home
@@ -71,8 +90,10 @@ void Node::send(const PacketPtr& p) {
   if (owns_address(p->dst)) {
     // Loopback: deliver on the next event tick to preserve async semantics.
     PacketPtr copy = p;
-    sim_.after(sim::Time::zero(),
-               [this, copy] { deliver_local(copy, nullptr); });
+    sim_.after(sim::Time::zero(), [this, copy] {
+      obs::ActiveScope scope{obs::TraceContext{copy->trace_id, copy->trace_span}};
+      deliver_local(copy, nullptr);
+    });
     return;
   }
   forward(p);

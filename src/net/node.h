@@ -8,6 +8,7 @@
 
 #include "net/channel.h"
 #include "net/packet.h"
+#include "sim/contract.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
@@ -97,11 +98,14 @@ class Node {
   // Filters that capture `this` of a shorter-lived object (snoop agents,
   // Mobile IP agents) must remove_filter() in their destructor.
   FilterId add_filter(PacketFilter f) {
+    MCS_ASSERT(f != nullptr, "packet filter must be callable");
     filters_.push_back(FilterEntry{next_filter_id_, std::move(f)});
     return next_filter_id_++;
   }
   // Must not be called from inside a filter callback.
   void remove_filter(FilterId id) {
+    MCS_ASSERT(id != 0 && id < next_filter_id_,
+               "filter id was never issued by this node");
     std::erase_if(filters_,
                   [id](const FilterEntry& e) { return e.id == id; });
   }

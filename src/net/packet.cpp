@@ -33,6 +33,8 @@ void reset_for_reuse(Packet& p) {
   p.payload.clear();
   p.inner.reset();
   p.created_at = sim::Time{};
+  p.trace_id = 0;
+  p.trace_span = 0;
 }
 
 struct PoolDeleter {

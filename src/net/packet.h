@@ -58,6 +58,13 @@ struct Packet {
 
   sim::Time created_at;  // stamped by the sender; for latency tracing
 
+  // Trace propagation (obs/trace.h): the span this packet's wire time
+  // belongs to. 0/0 = untraced. Node::send stamps from the ambient context;
+  // channels open child spans against it; receivers re-enter it. Tunnels
+  // copy the inner packet's stamp onto the outer one.
+  std::uint64_t trace_id = 0;
+  std::uint32_t trace_span = 0;
+
   // Simulated wire sizes: 20B IP header plus the L4 header; tunnelled
   // packets pay a second IP header (Mobile IP encapsulation overhead).
   std::uint32_t header_bytes() const;

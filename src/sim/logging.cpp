@@ -10,6 +10,21 @@ namespace {
 
 LogLevel g_level = LogLevel::kWarn;
 
+// Per thread like the tracer itself: sweep cell threads must not tag each
+// other's lines.
+thread_local LogTagProvider t_tag_provider = nullptr;
+
+// " trace=<id>/<span>" when a span is active on this thread, else "".
+std::string trace_tag() {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  if (t_tag_provider == nullptr || !t_tag_provider(&trace_id, &span_id)) {
+    return {};
+  }
+  return strf(" trace=%016llx/%u",
+              static_cast<unsigned long long>(trace_id), span_id);
+}
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "TRACE";
@@ -27,11 +42,14 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+void set_log_tag_provider(LogTagProvider p) { t_tag_provider = p; }
+
 void log(LogLevel level, Time now, const std::string& component,
          const std::string& message) {
   if (level < g_level) return;
-  std::fprintf(stderr, "[%12s] %s %s: %s\n", now.to_string().c_str(),
-               level_name(level), component.c_str(), message.c_str());
+  std::fprintf(stderr, "[%12s] %s %s: %s%s\n", now.to_string().c_str(),
+               level_name(level), component.c_str(), message.c_str(),
+               trace_tag().c_str());
 }
 
 void logf(LogLevel level, Time now, const char* fmt, ...) {
@@ -40,8 +58,8 @@ void logf(LogLevel level, Time now, const char* fmt, ...) {
   va_start(ap, fmt);
   const std::string msg = vstrf(fmt, ap);
   va_end(ap);
-  std::fprintf(stderr, "[%12s] %s %s\n", now.to_string().c_str(),
-               level_name(level), msg.c_str());
+  std::fprintf(stderr, "[%12s] %s %s%s\n", now.to_string().c_str(),
+               level_name(level), msg.c_str(), trace_tag().c_str());
 }
 
 }  // namespace mcs::sim

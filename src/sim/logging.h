@@ -13,6 +13,14 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+// Ambient trace-tag hook (installed per thread by obs::Install): when set
+// and returning true, log lines append "trace=<id>/<span>" so output can be
+// joined against exported span trees. The provider must be cheap — it runs
+// on every emitted line.
+using LogTagProvider = bool (*)(std::uint64_t* trace_id,
+                                std::uint32_t* span_id);
+void set_log_tag_provider(LogTagProvider p);
+
 // Emit one log line: "[12.5ms] INFO  tcp: message". `now` is the simulation
 // clock of the caller (pass Time::zero() outside a simulation).
 void log(LogLevel level, Time now, const std::string& component,

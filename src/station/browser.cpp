@@ -30,6 +30,17 @@ void MicroBrowser::browse(const std::string& url, PageCallback cb) {
   const sim::Time started = station_.sim().now();
   stats_.counter("page_requests").add();
 
+  // Browse span: child of the driver's request when one is active, else its
+  // own trace root (a directly driven browser still yields a span tree).
+  const obs::TraceContext page =
+      obs::active_context().sampled()
+          ? obs::begin_span(obs::Component::kStation, "browse", started)
+          : obs::start_trace(obs::Component::kStation, "browse", started);
+  PageCallback done = [this, page, cb = std::move(cb)](PageResult r) mutable {
+    obs::end_span(page, station_.sim().now());
+    cb(std::move(r));
+  };
+
   // Cache hit: only render cost applies.
   if (auto hit = cache_.get(url); hit.has_value()) {
     stats_.counter("cache_hits").add();
@@ -43,8 +54,12 @@ void MicroBrowser::browse(const std::string& url, PageCallback cb) {
         device_.render_ms_per_element() *
         static_cast<double>(doc.root.element_count())));
     battery_.drain_cpu(r.render_time);
+    const obs::TraceContext render = obs::begin_child(
+        page, obs::Component::kStation, "parse_render", started);
     station_.sim().after(r.render_time, [this, r = std::move(r), started,
-                                         cb = std::move(cb)]() mutable {
+                                         render,
+                                         cb = std::move(done)]() mutable {
+      obs::end_span(render, station_.sim().now());
       r.total_time = station_.sim().now() - started;
       cb(std::move(r));
     });
@@ -53,15 +68,16 @@ void MicroBrowser::browse(const std::string& url, PageCallback cb) {
 
   if (cfg_.mode == BrowserMode::kWap) {
     if (cfg_.use_wtls) {
-      secure_invoke(url, started, std::move(cb));
+      secure_invoke(url, started, page, std::move(done));
       return;
     }
     const std::string payload = middleware::wsp_encode_request(url);
     battery_.drain_tx_bytes(payload.size() + 36);  // + WDP/IP framing
+    obs::ActiveScope scope{page};
     wtp_->invoke(cfg_.gateway, payload,
-                 [this, url, started, cb = std::move(cb)](
+                 [this, url, started, page, cb = std::move(done)](
                      std::optional<std::string> result) mutable {
-      wsp_result(url, started, std::move(result), 0, std::move(cb));
+      wsp_result(url, started, std::move(result), 0, page, std::move(cb));
     });
     return;
   }
@@ -69,8 +85,9 @@ void MicroBrowser::browse(const std::string& url, PageCallback cb) {
   // i-mode: GET /<host:port/path> through the gateway over persistent HTTP.
   const std::string path = "/" + url;
   battery_.drain_tx_bytes(path.size() + 60);
+  obs::ActiveScope scope{page};
   http_->get(cfg_.gateway, path,
-             [this, url, started, cb = std::move(cb)](
+             [this, url, started, page, cb = std::move(done)](
                  std::optional<host::HttpResponse> resp) mutable {
     if (!resp.has_value()) {
       stats_.counter("failures").add();
@@ -82,14 +99,15 @@ void MicroBrowser::browse(const std::string& url, PageCallback cb) {
     const std::size_t air = resp->serialize().size();
     battery_.drain_rx_bytes(air);
     finish_with_content(url, resp->status, std::move(resp->body), air,
-                        started, /*was_wbxml=*/false, std::move(cb));
+                        started, /*was_wbxml=*/false, page, std::move(cb));
   });
 }
 
 // Decode one (possibly absent) WTP result into a page.
 void MicroBrowser::wsp_result(const std::string& url, sim::Time started,
                               std::optional<std::string> result,
-                              std::size_t air_bytes, PageCallback cb) {
+                              std::size_t air_bytes, obs::TraceContext page,
+                              PageCallback cb) {
   if (!result.has_value()) {
     stats_.counter("failures").add();
     PageResult r;
@@ -109,13 +127,13 @@ void MicroBrowser::wsp_result(const std::string& url, sim::Time started,
   const bool wbxml = wsp->content_type == "application/vnd.wap.wmlc";
   finish_with_content(url, wsp->status, wsp->body,
                       air_bytes != 0 ? air_bytes : result->size(), started,
-                      wbxml, std::move(cb));
+                      wbxml, page, std::move(cb));
 }
 
 void MicroBrowser::secure_invoke(const std::string& url, sim::Time started,
-                                 PageCallback cb) {
+                                 obs::TraceContext page, PageCallback cb) {
   if (!wtls_channel_.has_value()) {
-    wtls_waiters_.emplace_back(url, std::move(cb));
+    wtls_waiters_.push_back(SecureWaiter{url, page, std::move(cb)});
     if (wtls_handshaking_) return;
     wtls_handshaking_ = true;
     stats_.counter("wtls_handshakes").add();
@@ -125,6 +143,7 @@ void MicroBrowser::secure_invoke(const std::string& url, sim::Time started,
         cfg_.wtls_ca_key);
     const std::string hello = "WTLS-HELLO " + hs->client_hello();
     battery_.drain_tx_bytes(hello.size() + 36);
+    obs::ActiveScope scope{page};
     wtp_->invoke(cfg_.gateway, hello,
                  [this, hs](std::optional<std::string> result) {
       wtls_handshaking_ = false;
@@ -135,16 +154,16 @@ void MicroBrowser::secure_invoke(const std::string& url, sim::Time started,
           hs->on_server_hello(result->substr(12)).has_value();
       if (!ok) {
         stats_.counter("wtls_failures").add();
-        for (auto& [u, w] : waiters) {
+        for (auto& w : waiters) {
           PageResult r;
-          w(std::move(r));
+          w.cb(std::move(r));
         }
         return;
       }
       wtls_channel_.emplace(hs->channel());
       // Flush everything that queued behind the handshake.
-      for (auto& [u, w] : waiters) {
-        secure_invoke(u, station_.sim().now(), std::move(w));
+      for (auto& w : waiters) {
+        secure_invoke(w.url, station_.sim().now(), w.page, std::move(w.cb));
       }
     });
     return;
@@ -152,13 +171,15 @@ void MicroBrowser::secure_invoke(const std::string& url, sim::Time started,
   const std::string sealed =
       "WTLS-DATA " + wtls_channel_->seal(middleware::wsp_encode_request(url));
   battery_.drain_tx_bytes(sealed.size() + 36);
+  obs::ActiveScope scope{page};
   wtp_->invoke(cfg_.gateway, sealed,
-               [this, url, started, cb = std::move(cb)](
+               [this, url, started, page, cb = std::move(cb)](
                    std::optional<std::string> result) mutable {
     if (result.has_value() && sim::starts_with(*result, "WTLS-DATA ")) {
       const auto opened = wtls_channel_->open(result->substr(10));
       if (opened.has_value()) {
-        wsp_result(url, started, *opened, result->size(), std::move(cb));
+        wsp_result(url, started, *opened, result->size(), page,
+                   std::move(cb));
         return;
       }
       stats_.counter("wtls_record_errors").add();
@@ -168,7 +189,7 @@ void MicroBrowser::secure_invoke(const std::string& url, sim::Time started,
       wtls_channel_.reset();
       stats_.counter("wtls_failures").add();
     }
-    wsp_result(url, started, std::nullopt, 0, std::move(cb));
+    wsp_result(url, started, std::nullopt, 0, page, std::move(cb));
   });
 }
 
@@ -176,6 +197,7 @@ void MicroBrowser::finish_with_content(const std::string& url, int status,
                                        std::string content,
                                        std::size_t air_bytes,
                                        sim::Time started, bool was_wbxml,
+                                       obs::TraceContext page,
                                        PageCallback cb) {
   PageResult r;
   r.status = status;
@@ -217,9 +239,12 @@ void MicroBrowser::finish_with_content(const std::string& url, int status,
       cache_.put(url, r, r.content.size());
     }
   }
+  const obs::TraceContext work = obs::begin_child(
+      page, obs::Component::kStation, "parse_render", station_.sim().now());
   station_.sim().after(r.parse_time + r.render_time,
-                       [this, r = std::move(r), started,
+                       [this, r = std::move(r), started, work,
                         cb = std::move(cb)]() mutable {
+    obs::end_span(work, station_.sim().now());
     r.total_time = station_.sim().now() - started;
     cb(std::move(r));
   });

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "middleware/wap_gateway.h"
+#include "obs/trace.h"
 #include "security/wtls.h"
 #include "middleware/wbxml.h"
 #include "station/battery.h"
@@ -70,18 +71,21 @@ class MicroBrowser {
     int status = 0;
   };
 
+  // `page` is the browse span (obs/trace.h); parse/render child spans and
+  // outgoing-request stamping hang off it.
   void finish_with_content(const std::string& url, int status,
                            std::string content, std::size_t air_bytes,
-                           sim::Time started, bool was_wbxml, PageCallback cb);
+                           sim::Time started, bool was_wbxml,
+                           obs::TraceContext page, PageCallback cb);
   // WAP+WTLS path: establish the session if needed, then run one sealed
   // WSP transaction.
   void secure_invoke(const std::string& url, sim::Time started,
-                     PageCallback cb);
+                     obs::TraceContext page, PageCallback cb);
   // `air_bytes` of 0 means "use the result's size" (plain path); the WTLS
   // path passes the sealed wire size explicitly.
   void wsp_result(const std::string& url, sim::Time started,
                   std::optional<std::string> result, std::size_t air_bytes,
-                  PageCallback cb);
+                  obs::TraceContext page, PageCallback cb);
 
   net::Node& station_;
   DeviceProfile device_;
@@ -93,7 +97,12 @@ class MicroBrowser {
   sim::Rng rng_{0xB205E2ull};
   std::optional<security::SecureChannel> wtls_channel_;
   bool wtls_handshaking_ = false;
-  std::vector<std::pair<std::string, PageCallback>> wtls_waiters_;
+  struct SecureWaiter {
+    std::string url;
+    obs::TraceContext page;
+    PageCallback cb;
+  };
+  std::vector<SecureWaiter> wtls_waiters_;
   sim::StatsRegistry stats_;
 };
 

@@ -88,6 +88,10 @@ void TcpSocket::send(std::string data) {
       state_ == State::kFinWait || state_ == State::kLastAck) {
     return;
   }
+  if (const obs::TraceContext active = obs::active_context();
+      active.sampled()) {
+    trace_ctx_ = active;
+  }
   send_buffer_ += data;
   send_buffer_end_ += data.size();
   if (state_ == State::kEstablished || state_ == State::kCloseWait) {
@@ -130,6 +134,9 @@ void TcpSocket::notify_handoff() {
 
 void TcpSocket::on_packet(const net::PacketPtr& p) {
   const net::TcpHeader& h = p->tcp;
+  if (p->trace_id != 0) {
+    trace_ctx_ = obs::TraceContext{p->trace_id, p->trace_span};
+  }
 
   if (h.has(net::kTcpRst)) {
     sim::logf(LogLevel::kDebug, stack_.sim().now(), "tcp %s: RST received",
@@ -407,6 +414,8 @@ void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len,
   if (is_rtx) {
     ++counters_.retransmissions;
     counters_.bytes_retransmitted += len;
+    obs::instant(trace_ctx_, obs::Component::kTransport, "tcp.rtx",
+                 stack_.sim().now());
     timed_seq_retransmitted_ = timing_ && seq < timing_end_seq_
                                    ? true
                                    : timed_seq_retransmitted_;
@@ -419,6 +428,10 @@ void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len,
       timing_start_ = stack_.sim().now();
     }
   }
+  // Timer-driven sends have no ambient context; fall back to the
+  // connection's remembered one so the wire time still attributes.
+  const obs::TraceContext active = obs::active_context();
+  obs::ActiveScope scope{active.sampled() ? active : trace_ctx_};
   stack_.transmit(p);
 }
 
@@ -441,6 +454,8 @@ void TcpSocket::retransmit_head(const char* reason) {
 }
 
 void TcpSocket::send_flags(std::uint8_t flags, std::uint64_t seq) {
+  const obs::TraceContext active = obs::active_context();
+  obs::ActiveScope scope{active.sampled() ? active : trace_ctx_};
   stack_.transmit(make_segment(flags, seq));
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "net/node.h"
+#include "obs/trace.h"
 #include "sim/stats.h"
 
 namespace mcs::transport {
@@ -183,6 +184,12 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   std::map<std::uint64_t, std::string> out_of_order_;
   bool peer_fin_received_ = false;
   std::uint64_t peer_fin_seq_ = 0;
+
+  // Last sampled context seen on this connection (from an app send or an
+  // arriving stamped segment): timer-driven work (RTO retransmits) re-enters
+  // it so retransmitted segments and rtx instants attribute to the trace
+  // that was in flight.
+  obs::TraceContext trace_ctx_;
 
   TcpCounters counters_;
 };

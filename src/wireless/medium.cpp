@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+#include "sim/contract.h"
 #include "sim/logging.h"
 
 namespace mcs::wireless {
@@ -22,12 +24,16 @@ WirelessMedium::WirelessMedium(sim::Simulator& sim, std::string name,
       rng_{rng} {}
 
 void WirelessMedium::set_ap_interface(net::Interface* ap) {
+  MCS_ASSERT(ap != nullptr, "access point interface must exist");
   ap_ = ap;
   ap_->attach(this);
 }
 
 void WirelessMedium::associate(net::Interface* station,
                                const MobilityModel* mobility) {
+  MCS_ASSERT(station != nullptr, "cannot associate a null interface");
+  MCS_ASSERT(station != ap_,
+             "the access point cannot associate with itself");
   stations_[station].mobility = mobility;
   station->attach(this);
   stats_.counter("associations").add();
@@ -101,6 +107,8 @@ sim::Time WirelessMedium::service_time(const net::PacketPtr& p) const {
 
 void WirelessMedium::transmit(net::Interface* from, net::IpAddress next_hop,
                               net::PacketPtr p) {
+  MCS_ASSERT(from != nullptr && p != nullptr,
+             "wireless transmit needs a source interface and a packet");
   stats_.counter("tx_packets").add();
   if (circuit_mode()) {
     // The dedicated channel belongs to the mobile endpoint of the frame.
@@ -142,8 +150,13 @@ void WirelessMedium::start_shared_service() {
   // Compute before the capture: function-argument evaluation order is
   // unspecified, and the move-capture would empty tx first.
   const sim::Time service = service_time(tx.packet);
-  sim_.after(service, [this, tx = std::move(tx)] {
-    deliver(tx.from, tx.next_hop, tx.packet);
+  // Air time (serialization under contention + propagation) attributed to
+  // the stamped context as "wireless" component time.
+  const obs::TraceContext air = obs::begin_child(
+      obs::TraceContext{tx.packet->trace_id, tx.packet->trace_span},
+      obs::Component::kWireless, "air.tx", sim_.now());
+  sim_.after(service, [this, tx = std::move(tx), air] {
+    deliver(tx.from, tx.next_hop, tx.packet, air);
     start_shared_service();
   });
 }
@@ -161,22 +174,27 @@ void WirelessMedium::start_circuit_service(net::Interface* station_iface) {
   // Dedicated channel: full effective rate, no contention factor.
   const sim::Time service = sim::transmission_time(
       tx.packet->size_bytes(), cfg_.phy.effective_rate_bps());
-  sim_.after(service, [this, station_iface, tx = std::move(tx)] {
-    deliver(tx.from, tx.next_hop, tx.packet);
+  const obs::TraceContext air = obs::begin_child(
+      obs::TraceContext{tx.packet->trace_id, tx.packet->trace_span},
+      obs::Component::kWireless, "air.tx", sim_.now());
+  sim_.after(service, [this, station_iface, tx = std::move(tx), air] {
+    deliver(tx.from, tx.next_hop, tx.packet, air);
     start_circuit_service(station_iface);
   });
 }
 
 void WirelessMedium::deliver(net::Interface* from, net::IpAddress next_hop,
-                             const net::PacketPtr& p) {
+                             const net::PacketPtr& p, obs::TraceContext air) {
   net::Interface* to = find_destination(next_hop);
   if (to == nullptr || !to->up() || !from->up()) {
     stats_.counter("drop_not_attached").add();
+    obs::end_span(air, sim_.now());
     return;
   }
   const double dist = position_of(from).distance_to(position_of(to));
   if (dist > cfg_.phy.range_m) {
     stats_.counter("drop_out_of_range").add();
+    obs::end_span(air, sim_.now());
     return;
   }
   // Loss model: residual PHY loss, plus a steep ramp near the cell edge,
@@ -198,11 +216,16 @@ void WirelessMedium::deliver(net::Interface* from, net::IpAddress next_hop,
   }
   if (rng_.bernoulli(std::min(p_loss, 1.0))) {
     stats_.counter("drop_loss").add();
+    obs::end_span(air, sim_.now());
     return;
   }
   stats_.counter("delivered_packets").add();
   stats_.counter("delivered_bytes").add(p->size_bytes());
-  sim_.after(kAirPropagation, [to, p] { to->node()->receive(p, to); });
+  sim_.after(kAirPropagation, [this, to, p, air] {
+    obs::end_span(air, sim_.now());
+    obs::ActiveScope scope{obs::TraceContext{p->trace_id, p->trace_span}};
+    to->node()->receive(p, to);
+  });
 }
 
 net::Interface* WirelessMedium::find_destination(net::IpAddress addr) const {

@@ -7,6 +7,7 @@
 
 #include "net/channel.h"
 #include "net/node.h"
+#include "obs/trace.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -100,8 +101,10 @@ class WirelessMedium : public net::Channel {
   sim::Time service_time(const net::PacketPtr& p) const;
   void start_shared_service();
   void start_circuit_service(net::Interface* station);
+  // `air` is the in-flight "air.tx" span: closed here at the delivery or
+  // drop point so air time includes serialization and propagation.
   void deliver(net::Interface* from, net::IpAddress next_hop,
-               const net::PacketPtr& p);
+               const net::PacketPtr& p, obs::TraceContext air);
   net::Interface* find_destination(net::IpAddress addr) const;
   Position position_of(const net::Interface* iface) const;
   // The mobile endpoint of a transmission (AP side has no GE state).

@@ -124,11 +124,15 @@ void LoadDriver::issue_next(std::size_t client) {
                "request issued before it arrived");
     busy_[client] = true;
     const std::uint64_t seq = (cfg_.seed << 32) + ++next_seq_;
+    reqp->trace =
+        obs::start_trace(obs::Component::kClient, "request", sim_.now());
+    obs::ActiveScope scope{reqp->trace};
     apps_[reqp->app_index]->run_transaction(
         *clients_[client], host_, seq,
         [this, reqp](core::Application::TxnResult r) {
           MCS_INVARIANT(sim_.now() >= reqp->issued_at,
                         "completion before its request was issued");
+          obs::end_span(reqp->trace, sim_.now());
           busy_[reqp->client] = false;
           // A late completion of a timed-out request frees the client but
           // is not recorded; the timeout already classified it.
@@ -209,12 +213,16 @@ DriverReport LoadDriver::run_closed_loop() {
     reqp->issued = true;
     reqp->issued_at = sim_.now();
     const std::uint64_t seq = (cfg_.seed << 32) + ++next_seq_;
+    reqp->trace =
+        obs::start_trace(obs::Component::kClient, "request", sim_.now());
+    obs::ActiveScope scope{reqp->trace};
     apps_[reqp->app_index]->run_transaction(
         *clients_[client], host_, seq,
         [this, reqp, client, think_rng,
          chain](core::Application::TxnResult r) {
           MCS_INVARIANT(sim_.now() >= reqp->issued_at,
                         "completion before its request was issued");
+          obs::end_span(reqp->trace, sim_.now());
           if (!reqp->timed_out) complete(*reqp, r.ok);
           const double mean = mix_.mean_think.to_seconds();
           const sim::Time think =

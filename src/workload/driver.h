@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/apps.h"
+#include "obs/trace.h"
 #include "sim/stats.h"
 #include "workload/arrival.h"
 #include "workload/session.h"
@@ -104,6 +105,9 @@ class LoadDriver {
     bool timed_out = false;  // deadline fired first
     bool dropped = false;    // timed out while still queued; never issue
     bool measured = false;   // arrival within [warmup, duration)
+    // Root span of the request's trace (obs/trace.h); minted at issue,
+    // closed at completion.
+    obs::TraceContext trace;
   };
 
   Request& new_request(std::size_t client, std::size_t app_index);

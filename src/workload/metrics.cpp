@@ -1,5 +1,7 @@
 #include "workload/metrics.h"
 
+#include "obs/trace.h"
+
 namespace mcs::workload {
 
 namespace {
@@ -52,6 +54,15 @@ sim::StatsSnapshot snapshot_system(core::McSystem& sys) {
 
   add_host_side(snap, sys.web_server(), sys.db_server(), sys.payments(),
                 sys.bank());
+
+  // Tracing metrics only when a tracer is installed on this thread: runs
+  // without one (every existing bench) keep byte-identical snapshots.
+  if (obs::Tracer* tracer = obs::current_tracer()) {
+    sim::StatsRegistry trace_reg;
+    tracer->export_stats(trace_reg);
+    snap.add("trace", trace_reg);
+    obs::export_kernel_stats(sys.sim(), snap);
+  }
   return snap;
 }
 

@@ -109,6 +109,100 @@ TEST(StatsRegistryTest, MergeAddsCountersAndPoolsHistograms) {
   EXPECT_DOUBLE_EQ(a.histogram("lat").max(), 3.0);
 }
 
+TEST(StatsRegistryTest, MergeWithEmptyIsIdentityBothWays) {
+  StatsRegistry a;
+  a.counter("tx").add(3);
+  a.histogram("lat").record(1.0);
+  const std::string before = a.to_json_string();
+
+  StatsRegistry empty;
+  a.merge(empty);  // rhs empty: nothing changes
+  EXPECT_EQ(a.to_json_string(), before);
+
+  StatsRegistry fresh;
+  fresh.merge(a);  // lhs empty: deep copy, including histogram extrema
+  EXPECT_EQ(fresh.counter("tx").value(), 3u);
+  EXPECT_EQ(fresh.histogram("lat").count(), 1u);
+  EXPECT_DOUBLE_EQ(fresh.histogram("lat").min(), 1.0);
+  EXPECT_DOUBLE_EQ(fresh.histogram("lat").max(), 1.0);
+}
+
+TEST(StatsRegistryTest, MergeIsAssociativeOnMomentsAndCounts) {
+  auto make = [](double v, std::uint64_t n) {
+    StatsRegistry r;
+    r.counter("tx").add(n);
+    r.histogram("lat").record(v);
+    return r;
+  };
+  const StatsRegistry a = make(1.0, 1);
+  const StatsRegistry b = make(2.0, 10);
+  const StatsRegistry c = make(4.0, 100);
+
+  StatsRegistry left;  // (a + b) + c
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+  StatsRegistry bc;  // a + (b + c)
+  bc.merge(b);
+  bc.merge(c);
+  StatsRegistry right;
+  right.merge(a);
+  right.merge(bc);
+
+  EXPECT_EQ(left.counter("tx").value(), 111u);
+  EXPECT_EQ(right.counter("tx").value(), 111u);
+  EXPECT_EQ(left.histogram("lat").count(), right.histogram("lat").count());
+  EXPECT_DOUBLE_EQ(left.histogram("lat").sum(),
+                   right.histogram("lat").sum());
+  EXPECT_DOUBLE_EQ(left.histogram("lat").min(),
+                   right.histogram("lat").min());
+  EXPECT_DOUBLE_EQ(left.histogram("lat").max(),
+                   right.histogram("lat").max());
+}
+
+TEST(StatsRegistryTest, EmptyRegistryToJsonHasStableShape) {
+  StatsRegistry reg;
+  const std::string json = reg.to_json_string();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(json, reg.to_json_string());  // still deterministic
+}
+
+TEST(StatsRegistryTest, ZeroCountHistogramSerializesSafely) {
+  StatsRegistry reg;
+  reg.histogram("lat");  // touched but never recorded
+  const std::string json = reg.to_json_string();
+  // No NaN/inf may leak from the untouched extrema.
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+}
+
+TEST(StatsSnapshotTest, EmptySnapshotKeepsSchemaAndOrder) {
+  StatsSnapshot snap;
+  EXPECT_TRUE(snap.empty());
+  const std::string json = snap.to_json_string();
+  const auto meta = json.find("\"meta\"");
+  const auto values = json.find("\"values\"");
+  const auto components = json.find("\"components\"");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(values, std::string::npos);
+  ASSERT_NE(components, std::string::npos);
+  EXPECT_LT(meta, values);
+  EXPECT_LT(values, components);
+}
+
+TEST(StatsSnapshotTest, SetValueOverwritesAndSortsKeys) {
+  StatsSnapshot snap;
+  snap.set_value("z.metric", 1.0);
+  snap.set_value("a.metric", 2.0);
+  snap.set_value("z.metric", 3.0);  // last write wins
+  EXPECT_EQ(snap.values().at("z.metric"), 3.0);
+  const std::string json = snap.to_json_string();
+  EXPECT_LT(json.find("\"a.metric\""), json.find("\"z.metric\""));
+  EXPECT_EQ(json.find("\"z.metric\": 1"), std::string::npos);
+}
+
 TEST(JsonWriterTest, EscapesAndFormatsNumbers) {
   JsonWriter w;
   w.begin_object();

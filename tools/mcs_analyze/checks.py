@@ -39,6 +39,11 @@ SEVERITY["float-accum"] = "warning"
 # Files allowed to use the raw <random> machinery: the seeded wrapper itself.
 RNG_EXEMPT = re.compile(r"(^|/)sim/random\.(h|cpp)$")
 
+# Files allowed to read the host clock: the trace exporter's explicit
+# wallclock anchor (obs/trace_clock.h), which is opt-in per export and never
+# feeds simulated behaviour or default outputs.
+WALLCLOCK_EXEMPT = re.compile(r"(^|/)obs/trace_clock\.(h|cpp)$")
+
 RAW_ENGINES = frozenset(
     "mt19937 mt19937_64 minstd_rand minstd_rand0 ranlux24 ranlux48 "
     "ranlux24_base ranlux48_base knuth_b default_random_engine".split())
@@ -156,6 +161,8 @@ def _is_member_access(toks, i):
 
 
 def check_wallclock(project: Project, fm: FileModel, out):
+    if WALLCLOCK_EXEMPT.search(fm.rel):
+        return
     toks = fm.tokens
     for i, t in enumerate(toks):
         if t.kind != "id":
