@@ -1,5 +1,6 @@
 #include "host/db/database.h"
 
+#include "sim/contract.h"
 #include "sim/util.h"
 
 namespace mcs::host::db {
@@ -16,6 +17,9 @@ std::string encode_row(const Row& row) {
 }  // namespace
 
 void Wal::append(std::uint64_t txn, std::string op) {
+  MCS_ASSERT(txn != 0, "WAL records belong to a real transaction (ids "
+                       "start at 1)");
+  MCS_ASSERT(!op.empty(), "an empty WAL record would replay as a no-op");
   bytes_ += op.size() + 16;  // record framing overhead
   records_.push_back(WalRecord{txn, std::move(op)});
 }
@@ -24,6 +28,8 @@ void Wal::checkpoint() {
   records_.clear();
   bytes_ = 0;
   ++checkpoints_;
+  MCS_INVARIANT(records_.empty() && bytes_ == 0,
+                "a checkpoint truncates the log completely");
 }
 
 // ---------------------------------------------------------------------------
@@ -47,12 +53,16 @@ bool Transaction::insert(const std::string& table, Row row) {
   if (state_ != State::kActive) return false;
   Table* t = db_.table(table);
   if (t == nullptr || !lock(table)) return false;
+  MCS_ASSERT(t->primary_key_col() < row.size(),
+             "row too short to carry the table's primary key");
   const Value pk = row[t->primary_key_col()];
   const std::string wal_op =
       sim::strf("INS %s %s", table.c_str(), encode_row(row).c_str());
   if (!t->insert(std::move(row))) return false;
   undo_.push_back(UndoOp{UndoOp::Kind::kErase, table, pk, {}});
   redo_.push_back(wal_op);
+  MCS_INVARIANT(undo_.size() == redo_.size(),
+                "every redo record needs a matching undo to stay abortable");
   return true;
 }
 
@@ -72,6 +82,8 @@ bool Transaction::update(const std::string& table, const Value& pk,
   redo_.push_back(sim::strf("UPD %s %s %zu %s", table.c_str(),
                             to_string(pk).c_str(), col,
                             to_string(v).c_str()));
+  MCS_INVARIANT(undo_.size() == redo_.size(),
+                "every redo record needs a matching undo to stay abortable");
   return true;
 }
 
@@ -87,6 +99,8 @@ bool Transaction::erase(const std::string& table, const Value& pk) {
       UndoOp{UndoOp::Kind::kReinsert, table, pk, std::move(old_copy)});
   redo_.push_back(
       sim::strf("DEL %s %s", table.c_str(), to_string(pk).c_str()));
+  MCS_INVARIANT(undo_.size() == redo_.size(),
+                "every redo record needs a matching undo to stay abortable");
   return true;
 }
 
@@ -97,11 +111,16 @@ const Row* Transaction::find(const std::string& table, const Value& pk) const {
 
 bool Transaction::commit() {
   if (state_ != State::kActive) return false;
+  MCS_ASSERT(undo_.size() == redo_.size(),
+             "commit with unpaired undo/redo: some mutation bypassed "
+             "transaction bookkeeping");
   for (auto& op : redo_) db_.wal_.append(id_, std::move(op));
   db_.wal_.append(id_, "COMMIT");
   state_ = State::kCommitted;
   db_.unlock_all(id_, locked_tables_);
   ++db_.committed_;
+  MCS_INVARIANT(state_ != State::kActive,
+                "a committed transaction can never mutate again");
   return true;
 }
 
@@ -126,6 +145,9 @@ void Transaction::abort() {
   state_ = State::kAborted;
   db_.unlock_all(id_, locked_tables_);
   ++db_.aborted_;
+  MCS_INVARIANT(state_ == State::kAborted,
+                "abort must land in the terminal state even when undo "
+                "touched dropped tables");
 }
 
 // ---------------------------------------------------------------------------
@@ -135,9 +157,13 @@ void Transaction::abort() {
 Table& Database::create_table(const std::string& table,
                               std::vector<Column> columns,
                               std::size_t primary_key_col) {
+  MCS_ASSERT(!table.empty(), "tables are addressed by name everywhere; "
+                             "an unnamed table would be unreachable");
   auto t = std::make_unique<Table>(table, std::move(columns), primary_key_col);
   Table& ref = *t;
   tables_[table] = std::move(t);
+  MCS_INVARIANT(tables_.contains(table),
+                "create_table must leave the table addressable by name");
   return ref;
 }
 
@@ -164,18 +190,30 @@ std::unique_ptr<Transaction> Database::begin() {
 
 bool Database::insert(const std::string& table, Row row) {
   auto txn = begin();
-  return txn->insert(table, std::move(row)) && txn->commit();
+  const bool ok = txn->insert(table, std::move(row)) && txn->commit();
+  MCS_INVARIANT(!ok || !txn->active(),
+                "autocommit must never return success with the "
+                "transaction (and its table lock) still open");
+  return ok;
 }
 
 bool Database::update(const std::string& table, const Value& pk,
                       std::size_t col, const Value& v) {
   auto txn = begin();
-  return txn->update(table, pk, col, v) && txn->commit();
+  const bool ok = txn->update(table, pk, col, v) && txn->commit();
+  MCS_INVARIANT(!ok || !txn->active(),
+                "autocommit must never return success with the "
+                "transaction (and its table lock) still open");
+  return ok;
 }
 
 bool Database::erase(const std::string& table, const Value& pk) {
   auto txn = begin();
-  return txn->erase(table, pk) && txn->commit();
+  const bool ok = txn->erase(table, pk) && txn->commit();
+  MCS_INVARIANT(!ok || !txn->active(),
+                "autocommit must never return success with the "
+                "transaction (and its table lock) still open");
+  return ok;
 }
 
 bool Database::try_lock(const std::string& table, std::uint64_t txn) {

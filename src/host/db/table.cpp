@@ -1,6 +1,6 @@
 #include "host/db/table.h"
 
-#include <cassert>
+#include "sim/contract.h"
 
 namespace mcs::host::db {
 
@@ -9,7 +9,8 @@ Table::Table(std::string name, std::vector<Column> columns,
     : name_{std::move(name)},
       columns_{std::move(columns)},
       pk_col_{primary_key_col} {
-  assert(pk_col_ < columns_.size());
+  MCS_ASSERT(pk_col_ < columns_.size(),
+             "primary key column must name a declared column");
 }
 
 std::optional<std::size_t> Table::column_index(const std::string& name) const {
@@ -39,6 +40,8 @@ bool Table::insert(Row row) {
   primary_[slots_[slot].row[pk_col_]] = slot;
   index_insert(slot);
   ++live_rows_;
+  MCS_INVARIANT(primary_.size() == live_rows_,
+                "every live row is addressable by exactly one primary key");
   return true;
 }
 
@@ -55,12 +58,16 @@ bool Table::update(const Value& pk, std::size_t col, const Value& v) {
     slots_[slot].row[col] = v;
     primary_[v] = slot;
     index_insert(slot);
+    MCS_INVARIANT(primary_.size() == live_rows_,
+                  "a primary-key update must move the row, not clone it");
     return true;
   }
   const std::size_t slot = it->second;
   index_erase(slot);
   slots_[slot].row[col] = v;
   index_insert(slot);
+  MCS_INVARIANT(slots_[slot].live,
+                "non-key update must target a live slot");
   return true;
 }
 
@@ -76,6 +83,8 @@ bool Table::update_row(const Value& pk, Row row) {
   slots_[slot].row = std::move(row);
   primary_[slots_[slot].row[pk_col_]] = slot;
   index_insert(slot);
+  MCS_INVARIANT(primary_.size() == live_rows_,
+                "replacing a row must keep the primary index bijective");
   return true;
 }
 
@@ -89,6 +98,8 @@ bool Table::erase(const Value& pk) {
   slots_[slot].row.clear();
   free_slots_.push_back(slot);
   --live_rows_;
+  MCS_INVARIANT(primary_.size() == live_rows_,
+                "erase must retire both the slot and its primary-key entry");
   return true;
 }
 
@@ -122,12 +133,15 @@ std::vector<Row> Table::find_by(std::size_t col, const Value& v) const {
 }
 
 void Table::create_index(std::size_t col) {
-  assert(col < columns_.size());
+  MCS_ASSERT(col < columns_.size(),
+             "cannot index a column the table does not have");
   Index& idx = indexes_[col];
   idx.clear();
   for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
     if (slots_[slot].live) idx.emplace(slots_[slot].row[col], slot);
   }
+  MCS_INVARIANT(idx.size() == live_rows_,
+                "a fresh index must cover every live row exactly once");
 }
 
 void Table::index_insert(std::size_t slot) {

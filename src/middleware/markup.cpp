@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/contract.h"
 #include "sim/util.h"
 
 namespace mcs::middleware {
@@ -38,6 +39,9 @@ const std::string* MarkupNode::attr(const std::string& name) const {
 }
 
 void MarkupNode::set_attr(const std::string& name, const std::string& value) {
+  MCS_ASSERT(!name.empty(),
+             "attributes are keyed by name; an unnamed attribute could "
+             "never be read back or serialized");
   for (auto& [k, v] : attrs) {
     if (k == name) {
       v = value;

@@ -4,6 +4,8 @@
 #include <map>
 #include <vector>
 
+#include "sim/contract.h"
+
 namespace mcs::middleware {
 
 namespace {
@@ -79,6 +81,10 @@ class Encoder {
     write_mb_u32(out, static_cast<std::uint32_t>(string_table_.size()));
     out += string_table_;
     out += body;
+    // Header is version + public id + charset + at least a one-byte string
+    // table length; a shorter result is not decodable WBXML.
+    MCS_INVARIANT(out.size() >= 4 + string_table_.size(),
+                  "encoded document lost its header or string table");
     return out;
   }
 

@@ -1,5 +1,6 @@
 #include "sim/logging.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
@@ -8,7 +9,10 @@
 namespace mcs::sim {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Read on every log call from sweep cell threads while the main thread
+// may adjust verbosity: relaxed atomic, a level change need not be a
+// synchronization point.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 // Per thread like the tracer itself: sweep cell threads must not tag each
 // other's lines.
@@ -39,21 +43,23 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_tag_provider(LogTagProvider p) { t_tag_provider = p; }
 
 void log(LogLevel level, Time now, const std::string& component,
          const std::string& message) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fprintf(stderr, "[%12s] %s %s: %s%s\n", now.to_string().c_str(),
                level_name(level), component.c_str(), message.c_str(),
                trace_tag().c_str());
 }
 
 void logf(LogLevel level, Time now, const char* fmt, ...) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::va_list ap;
   va_start(ap, fmt);
   const std::string msg = vstrf(fmt, ap);

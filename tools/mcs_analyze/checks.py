@@ -1,7 +1,7 @@
 """Check implementations for mcs_analyze.
 
 Every check consumes the shared model (model.py) produced by whichever
-frontend ran, and yields Finding records. Three families:
+frontend ran, and yields Finding records. Six families:
 
   determinism  wallclock, rng, getenv, unordered-sink, float-accum,
                uninit-pod — the patterns that break fixed-seed replay or
@@ -11,6 +11,17 @@ frontend ran, and yields Finding records. Three families:
                Simulator/Packet may cross a cell-thread boundary.
   contracts    missing-contract — public mutating methods in the component
                layers should carry MCS_ASSERT/MCS_INVARIANT coverage.
+  hotpath      hotpath-alloc — heap allocation, std::string churn, and
+               container growth reachable from per-packet/per-request entry
+               points (the zero-copy work-list; interprocedural).
+  shard        shard-escape — mutable globals/statics reachable from event
+               handlers: the precondition audit for sharded multi-kernel
+               simulation (interprocedural).
+  locking      lock-order — cycles in the mutex acquisition graph and
+               cond-var waits holding a second lock (interprocedural).
+
+The last three run over the project call graph (callgraph.py, DESIGN.md §11)
+rather than file by file.
 
 Suppress a finding with `// mcs-analyze: allow(<check>)` on (or directly
 above) the offending line; legacy `// detlint: allow(<rule>)` spellings are
@@ -28,6 +39,9 @@ FAMILIES = {
                     "float-accum", "uninit-pod"],
     "concurrency": ["unguarded-field", "sim-escape"],
     "contracts": ["missing-contract"],
+    "hotpath": ["hotpath-alloc"],
+    "shard": ["shard-escape"],
+    "locking": ["lock-order"],
 }
 
 ALL_CHECKS = [c for checks in FAMILIES.values() for c in checks]
@@ -35,6 +49,8 @@ ALL_CHECKS = [c for checks in FAMILIES.values() for c in checks]
 SEVERITY = {c: "error" for c in ALL_CHECKS}
 SEVERITY["missing-contract"] = "warning"
 SEVERITY["float-accum"] = "warning"
+SEVERITY["hotpath-alloc"] = "warning"  # inventory check: baselined work-list
+SEVERITY["shard-escape"] = "warning"  # audit check: baselined until sharding
 
 # Files allowed to use the raw <random> machinery: the seeded wrapper itself.
 RNG_EXEMPT = re.compile(r"(^|/)sim/random\.(h|cpp)$")
@@ -581,6 +597,514 @@ def check_missing_contract(project: Project, fm: FileModel, out):
 
 
 # ---------------------------------------------------------------------------
+# interprocedural families: hotpath-alloc / shard-escape / lock-order.
+# These run once per project over the shared call graph (callgraph.py),
+# not once per file. DESIGN.md §11 documents the model and its limits.
+
+# Per-packet / per-request entry points of the paper's six-component pipeline
+# (browser -> wireless -> transport -> Mobile IP -> gateway -> host), plus the
+# JSON stats export. Reachability from any of these anchors hotpath-alloc
+# (allocation on a per-event path) and shard-escape (every shard kernel runs
+# all components, so one reachable shared mutable object already means
+# cross-kernel sharing).
+HOTPATH_ENTRIES = (
+    ("browser", "MicroBrowser", "browse"),
+    ("wireless", "WirelessMedium", "transmit"),
+    ("wireless", "WirelessMedium", "deliver"),
+    ("net", "Node", "send"),
+    ("net", "Node", "receive"),
+    ("net", "Link", "transmit"),
+    ("transport", "TcpSocket", "send"),
+    ("transport", "TcpSocket", "on_packet"),
+    ("transport", "WtpEndpoint", "invoke"),
+    ("transport", "WtpEndpoint", "on_datagram"),
+    ("mobileip", "HomeAgent", "tunnel_to"),
+    ("mobileip", "ForeignAgent", "on_tunnel_packet"),
+    ("gateway", None, "html_to_wml"),
+    ("gateway", None, "html_to_chtml"),
+    ("gateway", None, "wbxml_encode"),
+    ("host", "HttpServer", "request"),
+    ("host", "DbServer", "on_line"),
+    ("export", "StatsRegistry", "to_json"),
+)
+
+ALLOC_CALLS = frozenset(
+    "make_unique make_shared allocate_shared to_string substr strf "
+    "vstrf".split())
+
+GROWTH_CALLS = frozenset(
+    "push_back emplace_back emplace insert append".split())
+
+STRING_TYPES = frozenset("string ostringstream stringstream".split())
+
+LOCK_WRAPPERS = frozenset(
+    "MutexLock lock_guard unique_lock scoped_lock shared_lock".split())
+
+MUTEX_TYPE = re.compile(
+    r"\b(Mutex|mutex|shared_mutex|recursive_mutex|timed_mutex)\b")
+
+CONDVAR_TYPE = re.compile(r"\b(CondVar|condition_variable(_any)?)\b")
+
+
+def _hotpath_reach(project: Project):
+    """(callgraph, reach, entry_meta): reach maps every FunctionDef reachable
+    from a HOTPATH_ENTRIES definition to the entry that first reached it;
+    entry_meta maps entry FunctionDefs to ('Cls::name'|'name', component).
+    Memoized on the project so both interprocedural reachability checks and
+    the selftest share one BFS."""
+    cached = getattr(project, "_hotpath_reach", None)
+    if cached is not None:
+        return cached
+    cg = project.callgraph()
+    entry_meta = {}
+    entries = []
+    for component, cls, method in HOTPATH_ENTRIES:
+        for fn in cg.functions_named(cls, method):
+            if fn not in entry_meta:
+                label = f"{cls}::{method}" if cls else method
+                entry_meta[fn] = (label, component)
+                entries.append(fn)
+    reach = cg.reachable(entries)
+    project._hotpath_reach = (cg, reach, entry_meta)
+    return project._hotpath_reach
+
+
+def check_hotpath_alloc(project: Project, out):
+    """Allocation, std::string churn, and container growth reachable from a
+    per-packet/per-request entry point. One finding per (function, signal
+    kind), anchored at the first offending line: the committed inventory is
+    the zero-copy roadmap work-list, so it must stay reviewable, not
+    enumerate every call site."""
+    cg, reach, entry_meta = _hotpath_reach(project)
+    for fn in reach:
+        fm = cg.file_of(fn)
+        if fm is None:
+            continue
+        entry_fn, _ = reach[fn]
+        label, component = entry_meta[entry_fn]
+        qual = f"{fn.cls_name}::{fn.name}" if fn.cls_name else fn.name
+        toks = fm.tokens
+        start, end = fn.body
+        sites: dict[str, list[int]] = {}
+        for i in range(start + 1, end):
+            t = toks[i]
+            if t.kind != "id":
+                continue
+            prev = _prev_tok(toks, i)
+            nxt = _next_tok(toks, i)
+            if t.text == "new" \
+                    and not (prev is not None and prev.text == "operator"):
+                sites.setdefault("operator new", []).append(t.line)
+            elif t.text in ALLOC_CALLS and _is_call(toks, i):
+                sites.setdefault("allocating calls "
+                                 "(make_*/to_string/substr/strf)",
+                                 []).append(t.line)
+            elif t.text in GROWTH_CALLS and _is_call(toks, i) \
+                    and prev is not None and prev.text in (".", "->"):
+                sites.setdefault("container growth "
+                                 "(push_back/insert/append)",
+                                 []).append(t.line)
+            elif t.text in STRING_TYPES \
+                    and not (prev is not None and prev.text in (".", "->")) \
+                    and nxt is not None \
+                    and (nxt.kind == "id"
+                         or (nxt.kind == "punct" and nxt.text in ("(", "{"))):
+                sites.setdefault("std::string construction", []).append(t.line)
+        for ty, name in fn.params:
+            if "string" in ty and "&" not in ty and "*" not in ty \
+                    and "view" not in ty:
+                sites.setdefault("by-value std::string parameter",
+                                 []).append(fn.line)
+        for kind in sorted(sites):
+            lines = sites[kind]
+            _emit(out, project, fm, min(lines), "hotpath-alloc",
+                  f"hot path '{qual}' (reachable from entry '{label}' "
+                  f"[{component}]) performs {kind}: {len(lines)} site(s), "
+                  "first here — zero-copy work-list (DESIGN.md §11)")
+
+
+def _shard_components(reach, entry_meta, fns):
+    comps = set()
+    for fn in fns:
+        hit = reach.get(fn)
+        if hit is not None:
+            comps.add(entry_meta[hit[0]][1])
+    return sorted(comps)
+
+
+def check_shard_escape(project: Project, out):
+    """Mutable globals/statics referenced from code reachable from hot-path
+    entry points. Synchronized types (atomic/Mutex/...) and thread_local are
+    accepted: the audit is for *racy* cross-kernel sharing; determinism of
+    synchronized shared state is the determinism family's concern. Instance
+    aliasing across components is left to the runtime
+    ThreadConfinementChecker (soundness limit, DESIGN.md §11)."""
+    cg, reach, entry_meta = _hotpath_reach(project)
+
+    # Candidate shared state: name -> list of (name, kind, decl_fm,
+    # decl_line, owner ClassInfo or None).
+    candidates: dict[str, list] = {}
+    for fm in project.files:
+        for gv in fm.globals:
+            if gv.is_const or gv.is_thread_local \
+                    or SYNC_TYPE.search(gv.type_text):
+                continue
+            candidates.setdefault(gv.name, []).append(
+                (gv.name, "mutable global", fm, gv.line, None))
+        for ci in fm.classes:
+            for mem in ci.members.values():
+                if not mem.is_static or mem.is_const or mem.is_thread_local \
+                        or SYNC_TYPE.search(mem.type_text):
+                    continue
+                candidates.setdefault(mem.name, []).append(
+                    (mem.name, "mutable static member", fm, mem.line, ci))
+
+    # One pass over reachable function bodies: which candidates are touched,
+    # and from which entry components.
+    refs: dict[int, list] = {}  # id(candidate record) -> [fn, ...]
+    for fn in reach:
+        fm = cg.file_of(fn)
+        if fm is None:
+            continue
+        toks = fm.tokens
+        start, end = fn.body
+        family = set(cg._family(fn.cls_name)) if fn.cls_name else set()
+        for i in range(start + 1, end):
+            t = toks[i]
+            if t.kind != "id" or t.text not in candidates:
+                continue
+            prev = _prev_tok(toks, i)
+            if prev is not None and prev.text in (".", "->"):
+                continue  # instance member of some object, not our static
+            if t.text in fn.locals:
+                continue  # shadowed by a local
+            for rec in candidates[t.text]:
+                owner = rec[4]
+                if owner is not None:
+                    qual = toks[i - 2] if i >= 2 else None
+                    qualified = (prev is not None and prev.text == "::"
+                                 and qual is not None
+                                 and qual.text == owner.name)
+                    if not qualified and owner.name not in family:
+                        continue
+                refs.setdefault(id(rec), (rec, []))[1].append(fn)
+
+        # Function-local statics inside hot-path code are shared across every
+        # kernel that runs this function.
+        for decl_line, name in _local_statics(toks, start, end):
+            entry_fn, _ = reach[fn]
+            label, component = entry_meta[entry_fn]
+            qual = f"{fn.cls_name}::{fn.name}" if fn.cls_name else fn.name
+            _emit(out, project, fm, decl_line, "shard-escape",
+                  f"function-local static '{name}' in '{qual}' (reachable "
+                  f"from entry '{label}' [{component}]) is one object shared "
+                  "by every shard kernel — make it thread_local, per-kernel, "
+                  "or const")
+
+    for rec, fns in refs.values():
+        name, kind, decl_fm, decl_line, owner = rec
+        comps = _shard_components(reach, entry_meta, fns)
+        if not comps:
+            continue
+        shown = f"{owner.name}::{name}" if owner is not None else name
+        _emit(out, project, decl_fm, decl_line, "shard-escape",
+              f"{kind} '{shown}' is reached from hot-path entry points "
+              f"({', '.join(comps)}); sharded kernels would race on it — "
+              "make it per-kernel, thread_local, atomic, or lock-guarded")
+
+
+def _local_statics(toks, start, end):
+    """(line, name) for mutable non-thread_local `static` declarations inside
+    a function body."""
+    out = []
+    i = start + 1
+    while i < end:
+        t = toks[i]
+        if t.kind == "id" and t.text == "static":
+            decl = []
+            j = i + 1
+            stop = None
+            depth = 0
+            while j < end:
+                tj = toks[j]
+                if tj.kind == "punct":
+                    if tj.text in ("<", "(", "[", "{") and stop is None:
+                        if tj.text == "<":
+                            depth += 1
+                        elif depth == 0:
+                            stop = tj.text
+                            break
+                    elif tj.text in (">", ">>"):
+                        depth -= 2 if tj.text == ">>" else 1
+                    elif tj.text in (";", "=") and depth == 0:
+                        stop = tj.text
+                        break
+                elif tj.kind == "id" and depth == 0:
+                    decl.append(tj)
+                j += 1
+            words = {d.text for d in decl}
+            if decl and stop is not None \
+                    and not words & {"const", "constexpr", "thread_local",
+                                     "assert"} \
+                    and not SYNC_TYPE.search(" ".join(words)):
+                out.append((t.line, decl[-1].text))
+            i = j
+        i += 1
+    return out
+
+
+def check_lock_order(project: Project, out):
+    """Build the mutex acquisition graph (RAII wrappers + direct .lock())
+    across the whole call graph; report acquisition-order cycles, same-mutex
+    re-acquisition in scope (sim::Mutex is non-recursive), and cond-var waits
+    holding a second lock. unlock() before scope end is ignored
+    (conservative; DESIGN.md §11)."""
+    cg = project.callgraph()
+
+    sites: dict = {}  # FunctionDef -> (acqs, waits); see _lock_sites
+    for fm in project.files:
+        for fn in fm.functions:
+            sites[fn] = _lock_sites(cg, fm, fn)
+
+    # Transitive set of mutexes a function may acquire (cycle-safe memo).
+    closure_memo: dict = {}
+
+    def closure(fn, visiting=None):
+        got = closure_memo.get(fn)
+        if got is not None:
+            return got
+        if visiting is None:
+            visiting = set()
+        if fn in visiting:
+            return set()
+        visiting.add(fn)
+        acc = {a[0] for a in sites.get(fn, ((), ()))[0]}
+        for callee, _line in cg.edges.get(fn, ()):
+            acc |= closure(callee, visiting)
+        visiting.discard(fn)
+        closure_memo[fn] = acc
+        return acc
+
+    # held-before edges: (a, b) -> first (path, line) where b is taken with
+    # a held; plus immediate findings for re-acquisition and cond-var waits.
+    edge_sites: dict = {}
+
+    def add_edge(a, b, fm, line):
+        key = (a, b)
+        at = (fm.rel, line)
+        if key not in edge_sites or at < edge_sites[key][0]:
+            edge_sites[key] = (at, fm)
+
+    for fm in project.files:
+        for fn in fm.functions:
+            acqs, waits = sites[fn]
+            for b in acqs:
+                held = [a for a in acqs
+                        if a[1] < b[1] and a[4] > b[1]]  # tok order, in scope
+                for a in held:
+                    if a[0] == b[0]:
+                        _emit(out, project, fm, b[2], "lock-order",
+                              f"mutex '{b[0]}' acquired again while already "
+                              "held in this scope (sim::Mutex is "
+                              "non-recursive: self-deadlock)")
+                    else:
+                        add_edge(a[0], b[0], fm, b[2])
+            for w_tok, w_line, w_canon in waits:
+                held = sorted({a[0] for a in acqs
+                               if a[1] < w_tok and a[4] > w_tok})
+                if len(held) >= 2:
+                    _emit(out, project, fm, w_line, "lock-order",
+                          f"cond-var wait on '{w_canon}' while holding "
+                          f"{len(held)} locks ({', '.join(held)}) — the "
+                          "waker needs the second lock too; deadlock risk")
+            # Calls made while holding a lock: everything the callee may
+            # acquire orders after the held mutex.
+            for callee, line in cg.edges.get(fn, ()):
+                held = [a for a in acqs if a[3] <= line <= a[5]]
+                if not held:
+                    continue
+                for m in sorted(closure(callee)):
+                    for a in held:
+                        if m != a[0]:
+                            add_edge(a[0], m, fm, line)
+
+    # Cycle detection over the acquisition-order graph.
+    adj: dict = {}
+    for a, b in edge_sites:
+        adj.setdefault(a, set()).add(b)
+
+    def reaches(src, dst):
+        seen = set()
+        work = [src]
+        while work:
+            n = work.pop()
+            if n == dst:
+                return True
+            if n in seen:
+                continue
+            seen.add(n)
+            work.extend(adj.get(n, ()))
+        return False
+
+    for (a, b) in sorted(edge_sites):
+        if not reaches(b, a):
+            continue
+        (_path, line), fm = edge_sites[(a, b)]
+        rev = edge_sites.get((b, a))
+        hint = f"; reverse order at {rev[0][0]}:{rev[0][1]}" if rev else ""
+        _emit(out, project, fm, line, "lock-order",
+              f"lock-order cycle: '{a}' held while acquiring '{b}' here, "
+              f"but '{b}' can be held while acquiring '{a}'{hint} — pick "
+              "one global acquisition order")
+
+
+def _lock_sites(cg, fm, fn):
+    """Scan one function body for mutex acquisitions and cond-var waits.
+
+    Returns (acqs, waits):
+      acqs:  [(canon, tok_idx, line, line, end_line, end_line_tok)] — actually
+             (canon, tok_idx, line, start_line, scope_end_tok, end_line)
+      waits: [(tok_idx, line, canon)]
+    """
+    toks = fm.tokens
+    start, end = fn.body
+    acqs = []  # (canon, tok_idx, line, start_line, scope_end_tok, end_line)
+    waits = []
+    open_stack = [start]
+    pending = []  # acquisitions waiting for their scope to close
+    i = start + 1
+    while i < end:
+        t = toks[i]
+        if t.kind == "punct":
+            if t.text == "{":
+                open_stack.append(i)
+            elif t.text == "}":
+                b = open_stack.pop() if len(open_stack) > 1 else start
+                for rec in pending:
+                    if rec["open"] == b:
+                        rec["scope_end"] = i
+                        rec["end_line"] = t.line
+            i += 1
+            continue
+        if t.kind != "id":
+            i += 1
+            continue
+        if t.text in LOCK_WRAPPERS:
+            j = i + 1
+            if j < end and toks[j].kind == "punct" and toks[j].text == "<":
+                depth = 1
+                j += 1
+                while j < end and depth:
+                    if toks[j].text == "<":
+                        depth += 1
+                    elif toks[j].text in (">", ">>"):
+                        depth -= 2 if toks[j].text == ">>" else 1
+                    j += 1
+            if j < end and toks[j].kind == "id":
+                j += 1  # variable name
+            if j < end and toks[j].kind == "punct" \
+                    and toks[j].text in ("{", "("):
+                close = "}" if toks[j].text == "{" else ")"
+                expr = []
+                j += 1
+                depth = 1
+                while j < end and depth:
+                    if toks[j].text in ("{", "("):
+                        depth += 1
+                    elif toks[j].text in ("}", ")"):
+                        depth -= 1
+                        if not depth:
+                            break
+                    expr.append(toks[j])
+                    j += 1
+                canon = _canon_mutex(cg, fm, fn, expr)
+                if canon is not None:
+                    rec = {"canon": canon, "tok": i, "line": t.line,
+                           "open": open_stack[-1], "scope_end": end,
+                           "end_line": toks[end].line if end < len(toks)
+                           else t.line}
+                    pending.append(rec)
+                i = j
+        elif t.text == "lock" and _is_call(toks, i):
+            prev = _prev_tok(toks, i)
+            if prev is not None and prev.text in (".", "->"):
+                recv = toks[i - 2] if i >= 2 else None
+                if recv is not None and recv.kind == "id":
+                    canon, is_mutex = _canon_receiver(cg, fm, fn, recv.text,
+                                                     MUTEX_TYPE)
+                    if is_mutex:
+                        rec = {"canon": canon, "tok": i, "line": t.line,
+                               "open": open_stack[-1], "scope_end": end,
+                               "end_line": toks[end].line if end < len(toks)
+                               else t.line}
+                        pending.append(rec)
+        elif t.text in ("wait", "wait_for", "wait_until") \
+                and _is_call(toks, i):
+            prev = _prev_tok(toks, i)
+            if prev is not None and prev.text in (".", "->"):
+                recv = toks[i - 2] if i >= 2 else None
+                if recv is not None and recv.kind == "id":
+                    canon, is_cv = _canon_receiver(cg, fm, fn, recv.text,
+                                                  CONDVAR_TYPE)
+                    if is_cv:
+                        waits.append((i, t.line, canon))
+        i += 1
+    # (canon, tok_idx, line, start_line, scope_end_tok, end_line)
+    acqs = [(r["canon"], r["tok"], r["line"], r["line"], r["scope_end"],
+             r["end_line"]) for r in pending]
+    acqs.sort(key=lambda a: a[1])
+    return acqs, waits
+
+
+def _canon_mutex(cg, fm, fn, expr_toks):
+    """Canonical name for the mutex expression inside MutexLock{...}."""
+    ids = [t for t in expr_toks if t.kind == "id"]
+    if not ids:
+        return None
+    name = ids[-1].text
+    # receiver-qualified: obj.mu_ / obj->mu_ / Cls::mu_
+    for k, t in enumerate(expr_toks):
+        if t is ids[-1] and k >= 2 and expr_toks[k - 1].kind == "punct":
+            p = expr_toks[k - 1].text
+            r = expr_toks[k - 2]
+            if p in (".", "->") and r.kind == "id":
+                if r.text == "this":
+                    return f"{fn.cls_name}::{name}"
+                cls = cg._receiver_class(fm, fn, r.text)
+                return f"{cls}::{name}" if cls else f"?::{name}"
+            if p == "::" and r.kind == "id":
+                return f"{r.text}::{name}"
+    canon, _ = _canon_receiver(cg, fm, fn, name, MUTEX_TYPE)
+    return canon
+
+
+def _canon_receiver(cg, fm, fn, name, type_re):
+    """(canonical name, type-matches) for a bare identifier: enclosing-class
+    member, file global, then local."""
+    if fn.cls_name:
+        for c in cg._family(fn.cls_name):
+            ci = cg.project.class_index.get(c)
+            mem = ci.member(name) if ci is not None else None
+            if mem is not None:
+                return (f"{ci.name}::{name}",
+                        bool(type_re.search(mem.type_text)))
+    for gv in fm.globals:
+        if gv.name == name:
+            return f"::{name}", bool(type_re.search(gv.type_text))
+    ty = fn.locals.get(name)
+    if ty is not None:
+        return (f"{fn.path}:{fn.name}:{name}", bool(type_re.search(ty)))
+    return f"?::{name}", False
+
+
+PROJECT_CHECK_FNS = {
+    "hotpath-alloc": check_hotpath_alloc,
+    "shard-escape": check_shard_escape,
+    "lock-order": check_lock_order,
+}
+
+
+# ---------------------------------------------------------------------------
 
 CHECK_FNS = {
     "wallclock": check_wallclock,
@@ -598,9 +1122,14 @@ CHECK_FNS = {
 def run_checks(project: Project, checks) -> list:
     findings: list[Finding] = []
     _LINE_CACHE.clear()
+    per_file = [c for c in checks if c in CHECK_FNS]
     for fm in project.files:
-        for name in checks:
+        for name in per_file:
             CHECK_FNS[name](project, fm, findings)
+    for name in checks:
+        fnc = PROJECT_CHECK_FNS.get(name)
+        if fnc is not None:
+            fnc(project, findings)
     findings.sort(key=lambda f: f.sort_key())
     return findings
 

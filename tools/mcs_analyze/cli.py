@@ -3,20 +3,25 @@ mcommerce simulation sources.
 
 Usage:
   python3 tools/mcs_analyze --root src [--root bench] \
-      [--check determinism|concurrency|contracts|<name>[,<name>...]] \
+      [--check determinism|concurrency|contracts|hotpath|shard|locking|...] \
+      [--only <check>] [--paths <glob> ...] \
       [--frontend auto|internal|clang] [--compile-commands build/...] \
       [--baseline tools/mcs_analyze/baseline.json | --no-baseline] \
-      [--write-baseline] [--json out.json] [--list-checks] [-q]
+      [--write-baseline] [--json out.json] [--model-cache FILE] \
+      [--list-checks] [-q]
 
 Exit status: 0 clean (no findings beyond suppressions/baseline), 1 when new
 findings are reported, 2 on usage errors. See DESIGN.md §9 for each check's
-rule, rationale, and suppression syntax.
+rule, rationale, and suppression syntax; §11 for the interprocedural
+families.
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
+import pickle
 import sys
 from pathlib import Path
 
@@ -52,7 +57,37 @@ def collect_files(roots) -> list:
     return files
 
 
-def build_project(files, frontend: str, compile_commands) -> tuple:
+# Bump when the structural model or internal frontend changes shape, so a
+# stale cache from an older tool version is ignored rather than mis-decoded.
+MODEL_CACHE_VERSION = 1
+
+
+def _load_model_cache(path: Path) -> dict:
+    """{resolved path str: (mtime_ns, size, FileModel)}; {} when absent or
+    written by a different tool version."""
+    try:
+        with open(path, "rb") as fh:
+            data = pickle.load(fh)
+        if data.get("version") == MODEL_CACHE_VERSION:
+            return data["files"]
+    except Exception:
+        pass
+    return {}
+
+
+def _save_model_cache(path: Path, cache: dict) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump({"version": MODEL_CACHE_VERSION, "files": cache},
+                        fh, protocol=pickle.HIGHEST_PROTOCOL)
+    except OSError as e:
+        print(f"mcs-analyze: could not write model cache {path}: {e}",
+              file=sys.stderr)
+
+
+def build_project(files, frontend: str, compile_commands,
+                  cache_path: Path | None = None) -> tuple:
     """-> (Project, frontend_used)"""
     use_clang = False
     if frontend == "clang":
@@ -68,16 +103,33 @@ def build_project(files, frontend: str, compile_commands) -> tuple:
     repo = _repo_root()
     args_by_src = (frontend_clang.load_compile_args(compile_commands)
                    if use_clang else {})
+    # The model cache only applies to the internal frontend: clang models
+    # hold cursor-derived facts tied to compile args we don't key on.
+    cache = (_load_model_cache(cache_path)
+             if cache_path is not None and not use_clang else {})
+    fresh: dict = {}
     models = []
     for path in files:
-        text = path.read_text(encoding="utf-8", errors="replace")
         rel = _rel(path, repo)
         if use_clang:
+            text = path.read_text(encoding="utf-8", errors="replace")
             args = args_by_src.get(str(path.resolve()))
             models.append(frontend_clang.build_file_model(
                 path, rel, text, args))
+            continue
+        key = str(path.resolve())
+        st = path.stat()
+        hit = cache.get(key)
+        if hit is not None and hit[0] == st.st_mtime_ns \
+                and hit[1] == st.st_size:
+            fm = hit[2]
         else:
-            models.append(frontend_internal.build_file_model(path, rel, text))
+            text = path.read_text(encoding="utf-8", errors="replace")
+            fm = frontend_internal.build_file_model(path, rel, text)
+        fresh[key] = (st.st_mtime_ns, st.st_size, fm)
+        models.append(fm)
+    if cache_path is not None and not use_clang:
+        _save_model_cache(cache_path, fresh)
     return Project(models), ("clang" if use_clang else "internal")
 
 
@@ -119,8 +171,19 @@ def main(argv) -> int:
                     help="directory tree to scan (repeatable; default src/)")
     ap.add_argument("--check", default="all",
                     help="comma list of checks or families "
-                         "(determinism, concurrency, contracts, or names); "
-                         "default all")
+                         "(determinism, concurrency, contracts, hotpath, "
+                         "shard, locking, or names); default all")
+    ap.add_argument("--only", default=None, metavar="CHECK",
+                    help="run exactly this check or family (overrides "
+                         "--check); shorthand for --check CHECK")
+    ap.add_argument("--paths", action="append", default=[], metavar="GLOB",
+                    help="only report findings whose repo-relative path "
+                         "matches GLOB (repeatable; the whole tree is still "
+                         "parsed so call-graph checks stay whole-program)")
+    ap.add_argument("--model-cache", type=Path, default=None, metavar="FILE",
+                    help="pickle cache of parsed file models, keyed by "
+                         "mtime+size; shares parsing between consecutive "
+                         "runs (internal frontend only)")
     ap.add_argument("--frontend", choices=("auto", "internal", "clang"),
                     default="auto",
                     help="auto uses clang.cindex when importable, else the "
@@ -152,7 +215,9 @@ def main(argv) -> int:
         return 0
 
     try:
-        selected = checks_mod.resolve_check_names(args.check)
+        selected = checks_mod.resolve_check_names(args.only
+                                                  if args.only is not None
+                                                  else args.check)
     except ValueError as e:
         print(f"mcs-analyze: {e}", file=sys.stderr)
         return 2
@@ -165,8 +230,14 @@ def main(argv) -> int:
 
     files = collect_files(roots)
     project, frontend_used = build_project(files, args.frontend,
-                                           args.compile_commands)
+                                           args.compile_commands,
+                                           args.model_cache)
     findings = checks_mod.run_checks(project, selected)
+
+    if args.paths:
+        findings = [f for f in findings
+                    if any(fnmatch.fnmatch(f.path, pat)
+                           for pat in args.paths)]
 
     if args.write_baseline:
         n = baseline_mod.write(args.baseline, findings)

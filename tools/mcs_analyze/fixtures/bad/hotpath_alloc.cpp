@@ -1,0 +1,32 @@
+// known-bad fixture for hotpath-alloc: heap allocation, std::string
+// construction, and container growth reachable from the wbxml_encode
+// entry point, including one hop down the call graph.
+#include <string>
+#include <vector>
+
+namespace fixture_hotpath {
+
+std::string build_payload(int n) {
+  std::string out;  // std::string construction on the hot path
+  std::vector<int> parts;
+  for (int i = 0; i < n; ++i) {
+    parts.push_back(i);  // container growth on the hot path
+    out += "x";
+  }
+  return out;
+}
+
+int deep_helper(int n) {
+  int* scratch = new int[n];  // operator new on the hot path
+  int s = scratch[0];
+  delete[] scratch;
+  return s;
+}
+
+}  // namespace fixture_hotpath
+
+std::string wbxml_encode(const std::string& doc) {
+  std::string head = fixture_hotpath::build_payload(3);
+  (void)fixture_hotpath::deep_helper(2);
+  return head + std::to_string(doc.size());  // allocating call
+}

@@ -1,0 +1,65 @@
+// known-bad fixture for lock-order: an AB/BA acquisition cycle (one leg
+// through a callee), a same-scope re-acquisition, and a cond-var wait
+// while holding a second lock. Shapes mirror sim/threading.h wrappers.
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+
+class CondVar {
+ public:
+  void wait(MutexLock& l);
+};
+
+class Accounts {
+ public:
+  void a_then_b();
+  void b_then_a();
+  void reacquire();
+  void wait_holding_two();
+  void outer();
+
+ private:
+  void inner();
+
+  Mutex a_;
+  Mutex b_;
+  CondVar cv_;
+  int balance_ = 0;
+};
+
+void Accounts::a_then_b() {
+  MutexLock la{a_};
+  MutexLock lb{b_};  // a_ -> b_
+  balance_ += 1;
+}
+
+void Accounts::b_then_a() {
+  MutexLock lb{b_};
+  MutexLock la{a_};  // b_ -> a_: closes the cycle
+  balance_ -= 1;
+}
+
+void Accounts::reacquire() {
+  MutexLock l1{a_};
+  MutexLock l2{a_};  // same non-recursive mutex: self-deadlock
+}
+
+void Accounts::wait_holding_two() {
+  MutexLock la{a_};
+  MutexLock lb{b_};
+  cv_.wait(lb);  // waker must take a_ too
+}
+
+void Accounts::outer() {
+  MutexLock la{a_};
+  inner();  // a_ -> b_ through the call graph
+}
+
+void Accounts::inner() {
+  MutexLock lb{b_};
+  balance_ += 2;
+}

@@ -1,0 +1,31 @@
+// known-bad fixture for shard-escape: a mutable global, a mutable static
+// data member, and a function-local static all reachable from a per-packet
+// entry point (Node::receive). Every shard kernel runs this code, so each
+// is one object raced on by all kernels.
+
+int g_shard_hits = 0;  // mutable global touched from the hot path
+
+class Node {
+ public:
+  void receive(int pkt);
+
+ private:
+  void bump();
+};
+
+struct Telemetry {
+  static int counter;  // mutable static member touched from the hot path
+};
+int Telemetry::counter = 0;
+
+void Node::bump() {
+  static int calls = 0;  // function-local static on the hot path
+  calls += 1;
+  g_shard_hits += 1;
+  Telemetry::counter += 1;
+}
+
+void Node::receive(int pkt) {
+  bump();
+  (void)pkt;
+}

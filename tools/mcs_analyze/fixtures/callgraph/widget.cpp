@@ -1,0 +1,15 @@
+// call-graph round-trip fixture, impl half.
+#include "widget.h"
+
+int Widget::render(int depth) { return helper(depth); }
+
+int Widget::helper(int x) { return x + free_ping(x); }
+
+int Button::render(int depth) {
+  Widget* base = this;
+  return base->render(depth - 1);  // virtual dispatch through a base pointer
+}
+
+int free_ping(int n) { return n <= 0 ? 0 : free_pong(n - 1); }
+
+int free_pong(int n) { return free_ping(n); }

@@ -1,0 +1,19 @@
+// call-graph round-trip fixture, header half: class split across
+// header/impl, a virtual method with an override, and free functions
+// forming a recursion cycle.
+#pragma once
+
+class Widget {
+ public:
+  virtual ~Widget() = default;
+  virtual int render(int depth);
+  int helper(int x);
+};
+
+class Button : public Widget {
+ public:
+  int render(int depth) override;
+};
+
+int free_ping(int n);
+int free_pong(int n);

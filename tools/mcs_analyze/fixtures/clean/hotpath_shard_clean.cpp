@@ -1,0 +1,26 @@
+// known-clean counterpart for hotpath-alloc and shard-escape: a hot-path
+// entry that works in preallocated storage, plus shared-state shapes the
+// checks must accept (const, thread_local, atomic, unreachable-from-entry).
+#include <atomic>
+#include <cstddef>
+
+namespace {
+const int kTableSize = 16;  // const global: immutable, shard-safe
+thread_local int t_scratch = 0;  // per-thread, shard-safe
+std::atomic<int> g_ticks{0};  // synchronized; determinism is another family
+int g_cold_config = 0;  // mutable but only touched off the hot path
+}  // namespace
+
+void configure(int v) {  // not an entry point; g_cold_config never escapes
+  g_cold_config = v;
+}
+
+int html_to_wml(char* buf, int len) {
+  t_scratch = len;
+  g_ticks.fetch_add(1, std::memory_order_relaxed);
+  int sum = 0;
+  for (int i = 0; i < len && i < kTableSize; ++i) {
+    sum += buf[i];  // in-place transform, no allocation
+  }
+  return sum;
+}

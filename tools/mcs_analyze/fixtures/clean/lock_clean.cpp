@@ -1,0 +1,50 @@
+// known-clean counterpart for lock-order: two mutexes always taken in the
+// same order (including through a callee), and a wait holding one lock.
+
+class Mutex {};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+
+class CondVar {
+ public:
+  void wait(MutexLock& l);
+};
+
+class Ledger {
+ public:
+  void credit();
+  void debit();
+  void wait_for_credit();
+
+ private:
+  void apply();
+
+  Mutex first_;
+  Mutex second_;
+  CondVar cv_;
+  int total_ = 0;
+};
+
+void Ledger::credit() {
+  MutexLock lf{first_};
+  MutexLock ls{second_};  // consistent first_ -> second_ order
+  total_ += 1;
+}
+
+void Ledger::debit() {
+  MutexLock lf{first_};
+  apply();  // same order through the call graph
+}
+
+void Ledger::apply() {
+  MutexLock ls{second_};
+  total_ -= 1;
+}
+
+void Ledger::wait_for_credit() {
+  MutexLock lf{first_};
+  cv_.wait(lf);  // only one lock held: fine
+}

@@ -10,8 +10,8 @@ import re
 from pathlib import Path
 
 from lexer import lex
-from model import (ClassInfo, FileModel, FunctionDef, Lambda, Member, Method,
-                   RangeFor)
+from model import (ClassInfo, FileModel, FunctionDef, GlobalVar, Lambda,
+                   Member, Method, RangeFor)
 
 KEYWORDS = frozenset(
     "if else for while do switch case default break continue return goto "
@@ -113,9 +113,11 @@ class _Parser:
     # ---- namespace/class region scanning --------------------------------
 
     def _scan_region(self, i, end, enclosing_class):
-        """Scan a namespace-scope token region for classes and function
-        definitions; recurses into namespaces, skips function bodies."""
+        """Scan a namespace-scope token region for classes, function
+        definitions, and variable definitions (globals); recurses into
+        namespaces, skips function bodies."""
         toks = self.toks
+        buf: list = []  # statement buffer for namespace-scope variable decls
         while i < end:
             t = toks[i]
             if t.kind == "pp":
@@ -132,6 +134,7 @@ class _Parser:
                     i = body_end + 1
                 else:
                     i = j + 1
+                buf = []
                 continue
             if t.kind == "id" and t.text in ("struct", "class"):
                 prev = toks[i - 1] if i > 0 else None
@@ -141,6 +144,7 @@ class _Parser:
                 nxt = self._parse_class(i, end)
                 if nxt is not None:
                     i = nxt
+                    buf = []
                     continue
             if t.kind == "id" and t.text == "enum":
                 # skip enum { ... } bodies so enumerators aren't members
@@ -152,18 +156,79 @@ class _Parser:
                     i = self.match.get(j, end) + 1
                 else:
                     i = j + 1
+                buf = []
                 continue
             # Function definition at namespace scope?
             if t.kind == "punct" and t.text == "(":
                 nxt = self._try_function_def(i, end)
                 if nxt is not None:
                     i = nxt
+                    buf = []
                     continue
             if t.kind == "punct" and t.text == "{":
+                if any(x.kind == "punct" and x.text == "=" for x in buf):
+                    # brace initializer on a variable: consume, wait for ';'
+                    i = self.match.get(i, end) + 1
+                    continue
                 # stray brace at namespace scope (aggregate initializer):
                 i = self.match.get(i, end) + 1
+                buf = []
                 continue
+            if t.kind == "punct" and t.text == ";":
+                self._add_global(buf)
+                buf = []
+                i += 1
+                continue
+            buf.append(t)
             i += 1
+
+    _GLOBAL_HEAD_BAN = frozenset(
+        "using typedef extern template friend static_assert return goto "
+        "operator public private protected namespace".split())
+
+    def _add_global(self, buf):
+        """Record a namespace-scope variable definition from a statement
+        buffer (tokens up to ';'). Conservative: anything with a top-level
+        '(' (function decls, call-style init) or a qualified name
+        (out-of-class static member defs) records nothing."""
+        if len(buf) < 2 or buf[0].kind != "id" \
+                or buf[0].text in self._GLOBAL_HEAD_BAN:
+            return
+        if any(t.kind == "punct" and t.text == "(" for t in buf):
+            return
+        decl = buf
+        for k, t in enumerate(decl):  # initializer: cut at top-level '='
+            if t.kind == "punct" and t.text == "=":
+                decl = decl[:k]
+                break
+        for k, t in enumerate(decl):  # array suffix
+            if t.kind == "punct" and t.text == "[":
+                decl = decl[:k]
+                break
+        name_idx = None
+        for k in range(len(decl) - 1, -1, -1):
+            if decl[k].kind == "id" and decl[k].text not in ATTR_MACROS:
+                name_idx = k
+                break
+        if name_idx is None or name_idx == 0:
+            return
+        prev = decl[name_idx - 1]
+        if prev.kind == "punct" and prev.text == "::":
+            return  # out-of-class static member definition; modeled as Member
+        type_toks = decl[:name_idx]
+        if not any(t.kind == "id" and t.text not in TYPE_QUALIFIERS
+                   for t in type_toks):
+            return
+        words = {t.text for t in type_toks if t.kind == "id"}
+        self.fm.globals.append(GlobalVar(
+            name=decl[name_idx].text,
+            type_text=_type_text(type_toks),
+            line=decl[name_idx].line,
+            path=self.fm.rel,
+            is_const="const" in words or "constexpr" in words,
+            is_thread_local="thread_local" in words,
+            is_static="static" in words,
+        ))
 
     def _parse_class(self, i, end):
         """i points at struct/class. Returns index past the class (or None
@@ -172,6 +237,8 @@ class _Parser:
         keyword = toks[i].text
         j = i + 1
         name = None
+        bases = []
+        in_bases = False
         while j < end:
             t = toks[j]
             if t.kind == "punct":
@@ -179,13 +246,30 @@ class _Parser:
                     return j + 1
                 if t.text == "{":
                     break
+                if t.text == ":" and name is not None:
+                    in_bases = True
+                    j += 1
+                    continue
                 if t.text in "<([":
                     close = {"<": ">", "(": ")", "[": "]"}[t.text]
                     j = _skip_balanced(toks, j, t.text, close)
                     continue
                 if t.text in ("=", ")" , ","):  # `struct X*` param etc.
+                    if t.text == "," and in_bases:
+                        j += 1
+                        continue
                     return None
             elif t.kind == "id":
+                if in_bases:
+                    if t.text not in ("public", "protected", "private",
+                                      "virtual") and t.text not in ATTR_MACROS:
+                        prev = toks[j - 1]
+                        if bases and prev.kind == "punct" and prev.text == "::":
+                            bases[-1] = t.text  # keep last id of `ns::Base`
+                        else:
+                            bases.append(t.text)
+                    j += 1
+                    continue
                 if t.text == "final" or t.text in ATTR_MACROS:
                     j += 1
                     continue
@@ -203,7 +287,8 @@ class _Parser:
         body_end = self.match.get(body_open)
         if body_end is None:
             return None
-        ci = ClassInfo(name=name, line=toks[i].line, path=self.fm.rel)
+        ci = ClassInfo(name=name, line=toks[i].line, path=self.fm.rel,
+                       bases=bases)
         self.fm.classes.append(ci)
         default_access = "public" if keyword == "struct" else "private"
         self._parse_class_body(ci, body_open + 1, body_end, default_access)

@@ -27,7 +27,9 @@ class Finding:
         return (self.path, self.check, self.context)
 
     def sort_key(self):
-        return (self.path, self.line, self.check, self.message)
+        # (path, check, context) first: the same triple keys the baseline, so
+        # ANALYZE_findings.json diffs stay stable under unrelated line drift.
+        return (self.path, self.check, self.context, self.line, self.message)
 
 
 @dataclass
@@ -62,6 +64,7 @@ class ClassInfo:
     path: str
     members: dict = field(default_factory=dict)  # name -> Member
     methods: list = field(default_factory=list)  # [Method]
+    bases: list = field(default_factory=list)  # direct base class names
 
     def member(self, name):
         return self.members.get(name)
@@ -70,7 +73,7 @@ class ClassInfo:
         return [m for m in self.methods if m.name == name]
 
 
-@dataclass
+@dataclass(eq=False)  # identity hash: call-graph nodes live in dict keys
 class FunctionDef:
     """A function body: free function, out-of-class method def, or the body
     attached to an inline method. `cls_name` is None for free functions."""
@@ -105,6 +108,19 @@ class Lambda:
 
 
 @dataclass
+class GlobalVar:
+    """Namespace-scope variable definition (including anonymous namespaces)."""
+
+    name: str
+    type_text: str
+    line: int
+    path: str
+    is_const: bool = False
+    is_thread_local: bool = False
+    is_static: bool = False  # internal linkage; irrelevant to shard safety
+
+
+@dataclass
 class FileModel:
     path: Path
     rel: str
@@ -113,6 +129,7 @@ class FileModel:
     functions: list = field(default_factory=list)
     loops: list = field(default_factory=list)
     lambdas: list = field(default_factory=list)
+    globals: list = field(default_factory=list)  # [GlobalVar]
     # line -> set of check names allowed there ('*' = all)
     suppressions: dict = field(default_factory=dict)
 
@@ -125,6 +142,7 @@ class Project:
         self.files = files
         self.class_index: dict[str, ClassInfo] = {}
         self.function_index: dict[str, list[FunctionDef]] = {}
+        self._callgraph = None
         for fm in files:
             for ci in fm.classes:
                 # First definition wins; redefinitions across TUs are rare
@@ -132,6 +150,15 @@ class Project:
                 self.class_index.setdefault(ci.name, ci)
             for fn in fm.functions:
                 self.function_index.setdefault(fn.name, []).append(fn)
+
+    def callgraph(self):
+        """Project-wide call graph, built once and shared by every
+        interprocedural check (hotpath-alloc, shard-escape, lock-order)."""
+        if self._callgraph is None:
+            import callgraph as callgraph_mod
+
+            self._callgraph = callgraph_mod.CallGraph(self)
+        return self._callgraph
 
     def suppressed(self, fm: FileModel, line: int, check: str) -> bool:
         allowed = fm.suppressions.get(line, ())

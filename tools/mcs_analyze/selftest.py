@@ -29,6 +29,9 @@ EXPECT_BAD = {
     "unguarded.cpp": {"unguarded-field": 3},
     "sim_escape.cpp": {"sim-escape": 2},
     "src/net/missing_contract.cpp": {"missing-contract": 1},
+    "hotpath_alloc.cpp": {"hotpath-alloc": 5},
+    "shard_escape.cpp": {"shard-escape": 3},
+    "lock_order.cpp": {"lock-order": 4},
 }
 
 # Findings a bad fixture may legitimately raise beyond the check it targets
@@ -42,6 +45,60 @@ def run(root: Path):
     project, _ = cli.build_project(files, "internal", None)
     findings = checks_mod.run_checks(project, checks_mod.ALL_CHECKS)
     return [f for f in findings if not f.suppressed]
+
+
+def check_callgraph(failures):
+    """Round-trip fixtures/callgraph/: a class split across header/impl, a
+    virtual override dispatched through a base pointer, and a free-function
+    recursion cycle must all survive model -> call graph -> queries."""
+    files = cli.collect_files([FIXTURES / "callgraph"])
+    project, _ = cli.build_project(files, "internal", None)
+    cg = project.callgraph()
+
+    def qual(fn):
+        return f"{fn.cls_name}::{fn.name}" if fn.cls_name else fn.name
+
+    def callees(name, cls=None):
+        fns = cg.functions_named(cls, name)
+        got = set()
+        for fn in fns:
+            if cls and fn.cls_name != cls:
+                continue  # functions_named closes over the family
+            got.update(qual(c) for c, _line in cg.edges.get(fn, ()))
+        return got
+
+    # header/impl split: methods declared in widget.h resolve to their
+    # definitions in widget.cpp.
+    renders = cg.functions_named("Widget", "render")
+    if {qual(f) for f in renders} != {"Widget::render", "Button::render"}:
+        failures.append("callgraph: virtual closure of Widget::render "
+                        f"wrong: {sorted(qual(f) for f in renders)}")
+    for fn in renders:
+        if not fn.path.endswith("widget.cpp"):
+            failures.append(f"callgraph: {qual(fn)} should resolve to its "
+                            f"impl-file definition, got {fn.path}")
+
+    # virtual dispatch through a Widget* local hits both implementations.
+    dispatched = callees("render", cls="Button")
+    if not {"Widget::render", "Button::render"} <= dispatched:
+        failures.append("callgraph: base-pointer dispatch from "
+                        f"Button::render missed overrides: "
+                        f"{sorted(dispatched)}")
+
+    # recursion cycle between free functions survives edge extraction.
+    if "free_pong" not in callees("free_ping") \
+            or "free_ping" not in callees("free_pong"):
+        failures.append("callgraph: free_ping <-> free_pong cycle edges "
+                        "missing")
+
+    # reachability walks the whole chain (and terminates despite the cycle).
+    entries = [f for f in cg.functions_named("Widget", "render")
+               if f.cls_name == "Widget"]
+    reached = {qual(f) for f in cg.reachable(entries)}
+    want = {"Widget::render", "Widget::helper", "free_ping", "free_pong"}
+    if not want <= reached:
+        failures.append(f"callgraph: reachability from Widget::render got "
+                        f"{sorted(reached)}, missing {sorted(want - reached)}")
 
 
 def main() -> int:
@@ -78,6 +135,8 @@ def main() -> int:
     for f in clean:
         failures.append(f"clean fixture tripped {f.check}: "
                         f"{f.path}:{f.line}: {f.message}")
+
+    check_callgraph(failures)
 
     # Coverage guard: every check family must have at least one firing
     # fixture, so a check that silently stops firing fails this test.
