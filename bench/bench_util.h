@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/apps.h"
+#include "sim/arena.h"
 #include "sim/json.h"
 #include "sim/util.h"
 #include "sim/stats.h"
@@ -45,27 +46,34 @@ class TablePrinter {
     auto print_row = [&](const std::vector<std::string>& r) {
       std::printf("|");
       for (std::size_t c = 0; c < header_.size(); ++c) {
-        const std::string& cell = c < r.size() ? r[c] : std::string{};
-        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+        const char* cell = c < r.size() ? r[c].c_str() : "";
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell);
       }
       std::printf("\n");
     };
     print_row(header_);
+    // One dash buffer sized to the widest column instead of a fresh
+    // std::string temporary per divider cell: the bench harness must not
+    // pollute the allocation counts it reports.
+    std::size_t max_width = 0;
+    for (const std::size_t w : widths) max_width = std::max(max_width, w);
+    const std::string dashes(max_width + 2, '-');
     std::printf("|");
     for (std::size_t c = 0; c < header_.size(); ++c) {
-      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+      std::printf("%.*s|", static_cast<int>(widths[c] + 2), dashes.c_str());
     }
     std::printf("\n");
     for (const auto& r : rows_) print_row(r);
     std::printf("\n");
     if (const char* dir = std::getenv("MCS_BENCH_JSON")) {
-      write_json(std::string{dir} + "/" + slug() + ".json");
+      write_json(sim::cat(dir, "/", slug(), ".json"));
     }
   }
 
   // "Figure 2 -- MC system: ..." -> "figure-2-mc-system"
   std::string slug() const {
     std::string s;
+    s.reserve(48);
     for (const char c : title_) {
       if (s.size() >= 48) break;
       if (std::isalnum(static_cast<unsigned char>(c))) {

@@ -1,19 +1,29 @@
 #include "host/db/database.h"
 
+#include "sim/arena.h"
 #include "sim/contract.h"
 #include "sim/util.h"
 
 namespace mcs::host::db {
 
 namespace {
-std::string encode_row(const Row& row) {
-  std::string out;
-  for (std::size_t i = 0; i < row.size(); ++i) {
-    if (i > 0) out += '|';
-    out += to_string(row[i]);
+
+// Append one cell in to_string() form; WAL rows join cells with '|'.
+void append_value(sim::BufWriter& w, const Value& v) {
+  switch (v.index()) {
+    case 0: w.i64(std::get<std::int64_t>(v)); break;
+    case 1: w.f("%.6g", std::get<double>(v)); break;
+    default: w.put(std::get<std::string>(v));
   }
-  return out;
 }
+
+void append_row(sim::BufWriter& w, const Row& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) w.ch('|');
+    append_value(w, row[i]);
+  }
+}
+
 }  // namespace
 
 void Wal::append(std::uint64_t txn, std::string op) {
@@ -56,10 +66,14 @@ bool Transaction::insert(const std::string& table, Row row) {
   MCS_ASSERT(t->primary_key_col() < row.size(),
              "row too short to carry the table's primary key");
   const Value pk = row[t->primary_key_col()];
-  const std::string wal_op =
-      sim::strf("INS %s %s", table.c_str(), encode_row(row).c_str());
+  const auto wal_op = sim::build(8 + table.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.put("INS ").put(table).ch(' ');
+    append_row(w, row);
+  });
   if (!t->insert(std::move(row))) return false;
-  undo_.push_back(UndoOp{UndoOp::Kind::kErase, table, pk, {}});
+  undo_.push_back(
+      UndoOp{UndoOp::Kind::kErase, table, pk, {}});
   redo_.push_back(wal_op);
   MCS_INVARIANT(undo_.size() == redo_.size(),
                 "every redo record needs a matching undo to stay abortable");
@@ -79,9 +93,13 @@ bool Transaction::update(const std::string& table, const Value& pk,
   const Value new_pk = col == t->primary_key_col() ? v : pk;
   undo_.push_back(
       UndoOp{UndoOp::Kind::kRestoreRow, table, new_pk, std::move(old_copy)});
-  redo_.push_back(sim::strf("UPD %s %s %zu %s", table.c_str(),
-                            to_string(pk).c_str(), col,
-                            to_string(v).c_str()));
+  redo_.push_back(sim::build(8 + table.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.put("UPD ").put(table).ch(' ');
+    append_value(w, pk);
+    w.ch(' ').u64(col).ch(' ');
+    append_value(w, v);
+  }));
   MCS_INVARIANT(undo_.size() == redo_.size(),
                 "every redo record needs a matching undo to stay abortable");
   return true;
@@ -97,8 +115,11 @@ bool Transaction::erase(const std::string& table, const Value& pk) {
   if (!t->erase(pk)) return false;
   undo_.push_back(
       UndoOp{UndoOp::Kind::kReinsert, table, pk, std::move(old_copy)});
-  redo_.push_back(
-      sim::strf("DEL %s %s", table.c_str(), to_string(pk).c_str()));
+  redo_.push_back(sim::build(8 + table.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.put("DEL ").put(table).ch(' ');
+    append_value(w, pk);
+  }));
   MCS_INVARIANT(undo_.size() == redo_.size(),
                 "every redo record needs a matching undo to stay abortable");
   return true;

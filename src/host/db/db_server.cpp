@@ -3,81 +3,166 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sim/arena.h"
 #include "sim/util.h"
 
 namespace mcs::host::db {
-
-using sim::strf;
 
 // ---------------------------------------------------------------------------
 // Protocol helpers
 // ---------------------------------------------------------------------------
 
-std::string esc(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
+namespace {
+
+// Append `s` percent-escaped (the wire form of esc()) through `w`.
+void esc_append(sim::BufWriter& w, sim::Slice s) {
   for (char c : s) {
     switch (c) {
-      case ' ': out += "%20"; break;
-      case '|': out += "%7C"; break;
-      case '%': out += "%25"; break;
-      case '\n': out += "%0A"; break;
-      default: out += c;
+      case ' ': w.put("%20"); break;
+      case '|': w.put("%7C"); break;
+      case '%': w.put("%25"); break;
+      case '\n': w.put("%0A"); break;
+      default: w.ch(c);
     }
   }
-  return out;
 }
 
-std::string unesc(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
+// Append the unescaped form of `s` (inverse of esc_append). A `%XY` window
+// decodes with strtol(16) semantics over the two characters, matching what
+// the historical substr-based decoder produced for malformed input.
+void unesc_append(std::string& out, sim::Slice s) {
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (s[i] == '%' && i + 2 < s.size()) {
-      const std::string hex = s.substr(i + 1, 2);
-      out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+      const char hex[3] = {s[i + 1], s[i + 2], '\0'};
+      out += static_cast<char>(std::strtol(hex, nullptr, 16));
       i += 2;
     } else {
       out += s[i];
     }
   }
-  return out;
+}
+
+}  // namespace
+
+std::string esc(const std::string& s) {
+  return sim::build(s.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    esc_append(w, s);
+  });
+}
+
+std::string unesc(const std::string& s) {
+  return sim::build(s.size(), [&](std::string& out) { unesc_append(out, s); });
 }
 
 std::string join_fields(const std::vector<std::string>& fields) {
-  std::string out;
-  for (std::size_t i = 0; i < fields.size(); ++i) {
-    if (i > 0) out += '|';
-    out += esc(fields[i]);
-  }
-  return out;
+  std::size_t est = fields.size();
+  for (const auto& f : fields) est += f.size();
+  return sim::build(est, [&](std::string& out) {
+    sim::BufWriter w{out};
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) w.ch('|');
+      esc_append(w, fields[i]);
+    }
+  });
 }
 
 std::vector<std::string> split_fields(const std::string& s) {
+  // Client-side decoding hands owned strings to the caller, so the fields
+  // must materialize; count separators first so the vector is sized once.
+  std::size_t nf = 1;
+  for (char c : s) nf += c == '|' ? 1 : 0;
   std::vector<std::string> out;
-  for (const auto& f : sim::split(s, '|')) out.push_back(unesc(f));
+  out.resize(nf);
+  std::size_t start = 0;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == '|') {
+      unesc_append(out[idx], sim::Slice{s.data() + start, i - start});
+      ++idx;
+      start = i + 1;
+    }
+  }
   return out;
 }
 
 namespace {
 
-Row decode_row(const Table& t, const std::vector<std::string>& fields) {
+// Split on ' ' exactly as sim::split would (empty fields count toward the
+// total), capturing the first `cap` fields as views. Returns the full count.
+std::size_t split_ws(sim::Slice s, sim::Slice* f, std::size_t cap) {
+  std::size_t nf = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == ' ') {
+      if (nf < cap) f[nf] = sim::Slice{s.data() + start, i - start};
+      ++nf;
+      start = i + 1;
+    }
+  }
+  return nf;
+}
+
+// strtoull(.., 10) semantics over a view; command ids and column indexes are
+// produced by our own client, so signs and overflow never occur.
+std::uint64_t parse_u64(sim::Slice s) {
+  std::size_t i = 0;
+  while (i < s.size() && sim::is_ascii_space(s[i])) ++i;
+  std::uint64_t v = 0;
+  for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+    v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+  }
+  return v;
+}
+
+// Unescape one wire field into a reused per-thread buffer and parse it as
+// `type`: the typed Value is the only owning allocation on this path.
+Value parse_field(sim::Slice f, ValueType type) {
+  std::string& buf = sim::scratch(0);
+  buf.clear();
+  unesc_append(buf, f);
+  return parse_value(buf, type);
+}
+
+// Decode "<f1>|<f2>|..." straight into a typed Row, skipping the
+// vector<string> the old split_fields round trip materialized per insert.
+Row decode_row_packed(const Table& t, sim::Slice packed) {
+  std::size_t nf = 1;
+  for (char c : packed) nf += c == '|' ? 1 : 0;
   Row row;
-  row.reserve(fields.size());
-  for (std::size_t i = 0; i < fields.size() && i < t.columns().size(); ++i) {
-    row.push_back(parse_value(fields[i], t.columns()[i].type));
+  row.resize(std::min(nf, t.columns().size()));
+  std::size_t start = 0;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i <= packed.size() && idx < row.size(); ++i) {
+    if (i == packed.size() || packed[i] == '|') {
+      row[idx] = parse_field(sim::Slice{packed.data() + start, i - start},
+                             t.columns()[idx].type);
+      ++idx;
+      start = i + 1;
+    }
   }
   return row;
 }
 
-std::string encode_row_line(const Row& row) {
-  std::vector<std::string> fields;
-  fields.reserve(row.size());
-  for (const auto& v : row) fields.push_back(to_string(v));
-  return join_fields(fields);
+// Serialize one cell in to_string() form (ints "%lld", reals "%.6g", text
+// escaped); numeric renderings never contain escapable characters.
+void encode_value(sim::BufWriter& w, const Value& v) {
+  switch (v.index()) {
+    case 0: w.i64(std::get<std::int64_t>(v)); break;
+    case 1: w.f("%.6g", std::get<double>(v)); break;
+    default: esc_append(w, std::get<std::string>(v));
+  }
+}
+
+void encode_row(sim::BufWriter& w, const Row& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) w.ch('|');
+    encode_value(w, row[i]);
+  }
 }
 
 // Spans never own their names, so commands map to static strings.
-const char* db_span_name(const std::string& cmd) {
+const char* db_span_name(sim::Slice cmd) {
   if (cmd == "BEGIN") return "db.begin";
   if (cmd == "COMMIT") return "db.commit";
   if (cmd == "ABORT") return "db.abort";
@@ -108,12 +193,27 @@ void DbServer::on_accept(transport::TcpSocket::Ptr s) {
   auto conn = std::make_shared<Connection>();
   conn->socket = std::move(s);
   conn->socket->on_data = [this, conn](const std::string& bytes) {
-    conn->buffer += bytes;
+    // Steady state: whole lines arrive with an empty carry buffer, so the
+    // parse runs over the segment itself and only a partial tail is copied.
+    sim::Slice data;
+    if (conn->buffer.empty()) {
+      data = bytes;
+    } else {
+      conn->buffer += bytes;
+      data = conn->buffer;
+    }
+    std::size_t start = 0;
     std::size_t nl;
-    while ((nl = conn->buffer.find('\n')) != std::string::npos) {
-      std::string line = conn->buffer.substr(0, nl);
-      conn->buffer.erase(0, nl + 1);
-      if (!line.empty()) on_line(conn, line);
+    while ((nl = data.find('\n', start)) != sim::Slice::npos) {
+      if (nl > start) {
+        on_line(conn, sim::Slice{data.data() + start, nl - start});
+      }
+      start = nl + 1;
+    }
+    if (data.data() == conn->buffer.data()) {
+      conn->buffer.erase(0, start);
+    } else if (start < data.size()) {
+      conn->buffer.assign(data.data() + start, data.size() - start);
     }
   };
   conn->socket->on_remote_close = [conn] { conn->socket->close(); };
@@ -121,29 +221,32 @@ void DbServer::on_accept(transport::TcpSocket::Ptr s) {
 
 // Fill a slot and flush the in-order prefix of ready responses.
 void DbServer::complete(const std::shared_ptr<Connection>& conn,
-                        const Slot& slot, std::string msg) {
+                        const Slot& slot, std::string&& msg) {
   slot->msg = std::move(msg);
   slot->ready = true;
   obs::end_span(slot->ctx, stack_.sim().now());
   while (!conn->outbox.empty() && conn->outbox.front()->ready) {
     const Slot front = conn->outbox.front();
     conn->outbox.pop_front();
-    // Response bytes stamped with the operation they answer.
+    // Response bytes stamped with the operation they answer. The slot is
+    // dead after this flush, so its message doubles as the send buffer.
     obs::ActiveScope scope{front->ctx};
-    conn->socket->send(front->msg + "\n");
+    front->msg += '\n';
+    conn->socket->send(std::move(front->msg));
   }
 }
 
 void DbServer::respond(const std::shared_ptr<Connection>& conn,
-                       const Slot& slot, std::string msg) {
+                       const Slot& slot, std::string&& msg) {
   // CPU cost of handling one operation.
-  stack_.sim().after(cfg_.op_delay, [this, conn, slot, msg = std::move(msg)] {
-    complete(conn, slot, msg);
+  stack_.sim().after(cfg_.op_delay,
+                     [this, conn, slot, msg = std::move(msg)]() mutable {
+    complete(conn, slot, std::move(msg));
   });
 }
 
 void DbServer::respond_commit(const std::shared_ptr<Connection>& conn,
-                              const Slot& slot, std::string msg) {
+                              const Slot& slot, std::string&& msg) {
   switch (cfg_.sync_policy) {
     case SyncPolicy::kNone:
       respond(conn, slot, std::move(msg));
@@ -154,8 +257,8 @@ void DbServer::respond_commit(const std::shared_ptr<Connection>& conn,
                                        log_busy_until_);
       log_busy_until_ = start + cfg_.fsync_delay;
       stack_.sim().at(log_busy_until_,
-                      [this, conn, slot, msg = std::move(msg)] {
-                        complete(conn, slot, msg);
+                      [this, conn, slot, msg = std::move(msg)]() mutable {
+                        complete(conn, slot, std::move(msg));
                       });
       stats_.counter("fsyncs").add();
       return;
@@ -183,18 +286,38 @@ void DbServer::respond_commit(const std::shared_ptr<Connection>& conn,
 
 void DbServer::respond_rows(const std::shared_ptr<Connection>& conn,
                             const Slot& slot, const std::vector<Row>& rows) {
-  std::string msg = strf("ROWS %zu", rows.size());
-  for (const auto& r : rows) msg += "\n" + encode_row_line(r);
+  auto msg = sim::build(16 + 16 * rows.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.put("ROWS ").u64(rows.size());
+    for (const auto& r : rows) {
+      w.ch('\n');
+      encode_row(w, r);
+    }
+  });
+  respond(conn, slot, std::move(msg));
+}
+
+void DbServer::respond_row(const std::shared_ptr<Connection>& conn,
+                           const Slot& slot, const Row* r) {
+  auto msg = sim::build(32, [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.put("ROWS ").u64(r != nullptr ? 1 : 0);
+    if (r != nullptr) {
+      w.ch('\n');
+      encode_row(w, *r);
+    }
+  });
   respond(conn, slot, std::move(msg));
 }
 
 void DbServer::on_line(const std::shared_ptr<Connection>& conn,
-                       const std::string& line) {
+                       sim::Slice line) {
   stats_.counter("requests").add();
   Slot slot = std::make_shared<PendingResponse>();
   conn->outbox.push_back(slot);
-  const auto parts = sim::split(line, ' ');
-  const std::string& cmd = parts[0];
+  sim::Slice f[6];
+  const std::size_t nf = split_ws(line, f, 6);
+  const sim::Slice cmd = f[0];
   // Ambient parent: the app.program span that issued the command.
   slot->ctx = obs::begin_span(obs::Component::kHostDb, db_span_name(cmd),
                               stack_.sim().now());
@@ -203,16 +326,24 @@ void DbServer::on_line(const std::shared_ptr<Connection>& conn,
     auto it = conn->txns.find(id);
     return it == conn->txns.end() ? nullptr : it->second.get();
   };
+  // Table and transaction APIs key on owning strings; one reused per-thread
+  // buffer carries the table name through the whole command. parse_field
+  // uses slot 0, so the name is safe in slot 1 for the command's lifetime.
+  std::string& tname = sim::scratch(1);
+  auto lookup_table = [&](sim::Slice name) -> Table* {
+    tname.assign(name.data(), name.size());
+    return db_.table(tname);
+  };
 
   if (cmd == "BEGIN") {
     auto txn = db_.begin();
     const std::uint64_t id = txn->id();
     conn->txns[id] = std::move(txn);
-    respond(conn, slot, strf("OK %llu", static_cast<unsigned long long>(id)));
+    respond(conn, slot, sim::cat("OK ", sim::u64s(id)));
     return;
   }
-  if (cmd == "COMMIT" && parts.size() == 2) {
-    const std::uint64_t id = std::strtoull(parts[1].c_str(), nullptr, 10);
+  if (cmd == "COMMIT" && nf == 2) {
+    const std::uint64_t id = parse_u64(f[1]);
     Transaction* txn = get_txn(id);
     if (txn == nullptr) {
       respond(conn, slot, "ERR unknown-txn");
@@ -224,8 +355,8 @@ void DbServer::on_line(const std::shared_ptr<Connection>& conn,
     respond_commit(conn, slot, ok ? "OK" : "ERR commit-failed");
     return;
   }
-  if (cmd == "ABORT" && parts.size() == 2) {
-    const std::uint64_t id = std::strtoull(parts[1].c_str(), nullptr, 10);
+  if (cmd == "ABORT" && nf == 2) {
+    const std::uint64_t id = parse_u64(f[1]);
     if (Transaction* txn = get_txn(id); txn != nullptr) {
       txn->abort();
       conn->txns.erase(id);
@@ -233,110 +364,108 @@ void DbServer::on_line(const std::shared_ptr<Connection>& conn,
     respond(conn, slot, "OK");
     return;
   }
-  if (cmd == "INS" && parts.size() == 4) {
-    const std::uint64_t id = std::strtoull(parts[1].c_str(), nullptr, 10);
-    Table* t = db_.table(parts[2]);
+  if (cmd == "INS" && nf == 4) {
+    const std::uint64_t id = parse_u64(f[1]);
+    Table* t = lookup_table(f[2]);
     if (t == nullptr) {
       respond(conn, slot, "ERR no-table");
       return;
     }
-    Row row = decode_row(*t, split_fields(parts[3]));
+    Row row = decode_row_packed(*t, f[3]);
     bool ok;
     if (id == 0) {
-      ok = db_.insert(parts[2], std::move(row));
+      ok = db_.insert(tname, std::move(row));
       if (ok) {
         respond_commit(conn, slot, "OK");
         return;
       }
     } else {
       Transaction* txn = get_txn(id);
-      ok = txn != nullptr && txn->insert(parts[2], std::move(row));
+      ok = txn != nullptr && txn->insert(tname, std::move(row));
     }
     respond(conn, slot, ok ? "OK" : "ERR insert-failed");
     return;
   }
-  if (cmd == "UPD" && parts.size() == 6) {
-    const std::uint64_t id = std::strtoull(parts[1].c_str(), nullptr, 10);
-    Table* t = db_.table(parts[2]);
+  if (cmd == "UPD" && nf == 6) {
+    const std::uint64_t id = parse_u64(f[1]);
+    Table* t = lookup_table(f[2]);
     if (t == nullptr) {
       respond(conn, slot, "ERR no-table");
       return;
     }
-    const std::size_t col = std::strtoull(parts[4].c_str(), nullptr, 10);
+    const std::size_t col = parse_u64(f[4]);
     if (col >= t->columns().size()) {
       respond(conn, slot, "ERR bad-column");
       return;
     }
-    const Value pk = parse_value(unesc(parts[3]),
-                                 t->columns()[t->primary_key_col()].type);
-    const Value v = parse_value(unesc(parts[5]), t->columns()[col].type);
+    const Value pk =
+        parse_field(f[3], t->columns()[t->primary_key_col()].type);
+    const Value v = parse_field(f[5], t->columns()[col].type);
     bool ok;
     if (id == 0) {
-      ok = db_.update(parts[2], pk, col, v);
+      ok = db_.update(tname, pk, col, v);
       if (ok) {
         respond_commit(conn, slot, "OK");
         return;
       }
     } else {
       Transaction* txn = get_txn(id);
-      ok = txn != nullptr && txn->update(parts[2], pk, col, v);
+      ok = txn != nullptr && txn->update(tname, pk, col, v);
     }
     respond(conn, slot, ok ? "OK" : "ERR update-failed");
     return;
   }
-  if (cmd == "DEL" && parts.size() == 4) {
-    const std::uint64_t id = std::strtoull(parts[1].c_str(), nullptr, 10);
-    Table* t = db_.table(parts[2]);
+  if (cmd == "DEL" && nf == 4) {
+    const std::uint64_t id = parse_u64(f[1]);
+    Table* t = lookup_table(f[2]);
     if (t == nullptr) {
       respond(conn, slot, "ERR no-table");
       return;
     }
-    const Value pk = parse_value(unesc(parts[3]),
-                                 t->columns()[t->primary_key_col()].type);
+    const Value pk =
+        parse_field(f[3], t->columns()[t->primary_key_col()].type);
     bool ok;
     if (id == 0) {
-      ok = db_.erase(parts[2], pk);
+      ok = db_.erase(tname, pk);
       if (ok) {
         respond_commit(conn, slot, "OK");
         return;
       }
     } else {
       Transaction* txn = get_txn(id);
-      ok = txn != nullptr && txn->erase(parts[2], pk);
+      ok = txn != nullptr && txn->erase(tname, pk);
     }
     respond(conn, slot, ok ? "OK" : "ERR delete-failed");
     return;
   }
-  if (cmd == "GET" && parts.size() == 3) {
-    Table* t = db_.table(parts[1]);
+  if (cmd == "GET" && nf == 3) {
+    Table* t = lookup_table(f[1]);
     if (t == nullptr) {
       respond(conn, slot, "ERR no-table");
       return;
     }
-    const Value pk = parse_value(unesc(parts[2]),
-                                 t->columns()[t->primary_key_col()].type);
-    const Row* r = t->find(pk);
-    respond_rows(conn, slot, r == nullptr ? std::vector<Row>{}
-                                    : std::vector<Row>{*r});
+    const Value pk =
+        parse_field(f[2], t->columns()[t->primary_key_col()].type);
+    respond_row(conn, slot, t->find(pk));
     return;
   }
-  if (cmd == "FINDBY" && parts.size() == 4) {
-    Table* t = db_.table(parts[1]);
+  if (cmd == "FINDBY" && nf == 4) {
+    Table* t = lookup_table(f[1]);
     if (t == nullptr) {
       respond(conn, slot, "ERR no-table");
       return;
     }
-    const std::size_t col = std::strtoull(parts[2].c_str(), nullptr, 10);
+    const std::size_t col = parse_u64(f[2]);
     if (col >= t->columns().size()) {
       respond(conn, slot, "ERR bad-column");
       return;
     }
-    const Value v = parse_value(unesc(parts[3]), t->columns()[col].type);
+    const Value v = parse_field(f[3], t->columns()[col].type);
     respond_rows(conn, slot, t->find_by(col, v));
     return;
   }
-  if (cmd == "SCAN" && parts.size() == 2) {
-    Table* t = db_.table(parts[1]);
+  if (cmd == "SCAN" && nf == 2) {
+    Table* t = lookup_table(f[1]);
     if (t == nullptr) {
       respond(conn, slot, "ERR no-table");
       return;
@@ -368,10 +497,11 @@ void DbClient::fail_all(const std::string& why) {
   }
 }
 
-void DbClient::send_command(std::string line, Callback cb) {
+void DbClient::send_command(std::string&& line, Callback cb) {
   stats_.counter("commands").add();
   pending_.push_back(std::move(cb));
-  socket_->send(line + "\n");
+  line += '\n';
+  socket_->send(std::move(line));
 }
 
 void DbClient::on_data(const std::string& bytes) {
@@ -421,46 +551,69 @@ void DbClient::on_line(const std::string& line) {
 
 void DbClient::begin(Callback cb) { send_command("BEGIN", std::move(cb)); }
 void DbClient::commit(std::uint64_t txn, Callback cb) {
-  send_command(strf("COMMIT %llu", static_cast<unsigned long long>(txn)),
-               std::move(cb));
+  send_command(sim::cat("COMMIT ", sim::u64s(txn)), std::move(cb));
 }
 void DbClient::abort_txn(std::uint64_t txn, Callback cb) {
-  send_command(strf("ABORT %llu", static_cast<unsigned long long>(txn)),
-               std::move(cb));
+  send_command(sim::cat("ABORT ", sim::u64s(txn)), std::move(cb));
 }
 void DbClient::insert(std::uint64_t txn, const std::string& table,
                       const std::vector<std::string>& fields, Callback cb) {
-  send_command(strf("INS %llu %s %s", static_cast<unsigned long long>(txn),
-                    table.c_str(), join_fields(fields).c_str()),
-               std::move(cb));
+  MCS_ASSERT(!table.empty() && !fields.empty(),
+             "INS needs a named table and at least the primary-key field");
+  send_command(sim::build(16 + table.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.put("INS ").u64(txn).ch(' ').put(table).ch(' ');
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) w.ch('|');
+      esc_append(w, fields[i]);
+    }
+  }), std::move(cb));
 }
 void DbClient::update(std::uint64_t txn, const std::string& table,
                       const std::string& pk, std::size_t col,
                       const std::string& value, Callback cb) {
-  send_command(strf("UPD %llu %s %s %zu %s",
-                    static_cast<unsigned long long>(txn), table.c_str(),
-                    esc(pk).c_str(), col, esc(value).c_str()),
-               std::move(cb));
+  MCS_ASSERT(!table.empty(),
+             "UPD addresses its table by name; the server has no default");
+  send_command(sim::build(24 + table.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.put("UPD ").u64(txn).ch(' ').put(table).ch(' ');
+    esc_append(w, pk);
+    w.ch(' ').u64(col).ch(' ');
+    esc_append(w, value);
+  }), std::move(cb));
 }
 void DbClient::erase(std::uint64_t txn, const std::string& table,
                      const std::string& pk, Callback cb) {
-  send_command(strf("DEL %llu %s %s", static_cast<unsigned long long>(txn),
-                    table.c_str(), esc(pk).c_str()),
-               std::move(cb));
+  MCS_ASSERT(!table.empty(),
+             "DEL addresses its table by name; the server has no default");
+  send_command(sim::build(16 + table.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.put("DEL ").u64(txn).ch(' ').put(table).ch(' ');
+    esc_append(w, pk);
+  }), std::move(cb));
 }
 void DbClient::get(const std::string& table, const std::string& pk,
                    Callback cb) {
-  send_command(strf("GET %s %s", table.c_str(), esc(pk).c_str()),
-               std::move(cb));
+  MCS_ASSERT(!table.empty(),
+             "GET addresses its table by name; the server has no default");
+  send_command(sim::build(8 + table.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.put("GET ").put(table).ch(' ');
+    esc_append(w, pk);
+  }), std::move(cb));
 }
 void DbClient::find_by(const std::string& table, std::size_t col,
                        const std::string& value, Callback cb) {
-  send_command(
-      strf("FINDBY %s %zu %s", table.c_str(), col, esc(value).c_str()),
-      std::move(cb));
+  MCS_ASSERT(!table.empty(),
+             "FINDBY addresses its table by name; the server has no default");
+  send_command(sim::build(16 + table.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.put("FINDBY ").put(table).ch(' ').u64(col).ch(' ');
+    esc_append(w, value);
+  }), std::move(cb));
 }
 void DbClient::scan(const std::string& table, Callback cb) {
-  send_command(strf("SCAN %s", table.c_str()), std::move(cb));
+  send_command(sim::cat("SCAN ", table), std::move(cb));
 }
 
 }  // namespace mcs::host::db

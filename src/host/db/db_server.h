@@ -9,6 +9,7 @@
 
 #include "host/db/database.h"
 #include "obs/trace.h"
+#include "sim/arena.h"
 #include "sim/stats.h"
 #include "transport/tcp.h"
 
@@ -80,16 +81,22 @@ class DbServer {
   using Slot = std::shared_ptr<PendingResponse>;
 
   void on_accept(transport::TcpSocket::Ptr s);
-  void on_line(const std::shared_ptr<Connection>& conn,
-               const std::string& line);
+  // `line` is a window of the connection's receive buffer (DESIGN.md §12);
+  // fields are parsed as views and only escape into owning strings where a
+  // typed Value or map key demands one.
+  void on_line(const std::shared_ptr<Connection>& conn, sim::Slice line);
   void complete(const std::shared_ptr<Connection>& conn, const Slot& slot,
-                std::string msg);
+                std::string&& msg);
   void respond(const std::shared_ptr<Connection>& conn, const Slot& slot,
-               std::string msg);
+               std::string&& msg);
   void respond_commit(const std::shared_ptr<Connection>& conn,
-                      const Slot& slot, std::string msg);
+                      const Slot& slot, std::string&& msg);
   void respond_rows(const std::shared_ptr<Connection>& conn, const Slot& slot,
                     const std::vector<Row>& rows);
+  // GET answers with zero or one row; serializing it directly skips the
+  // single-element std::vector<Row> the generic path would materialize.
+  void respond_row(const std::shared_ptr<Connection>& conn, const Slot& slot,
+                   const Row* r);
 
   transport::TcpStack& stack_;
   Database& db_;
@@ -138,7 +145,7 @@ class DbClient {
   const sim::StatsRegistry& stats() const { return stats_; }
 
  private:
-  void send_command(std::string line, Callback cb);
+  void send_command(std::string&& line, Callback cb);
   void on_data(const std::string& bytes);
   void on_line(const std::string& line);
   void fail_all(const std::string& why);

@@ -1,5 +1,7 @@
 #include "host/db/table.h"
 
+#include <iterator>
+
 #include "sim/contract.h"
 
 namespace mcs::host::db {
@@ -110,10 +112,15 @@ const Row* Table::find(const Value& pk) const {
 
 std::vector<Row> Table::scan(
     const std::function<bool(const Row&)>& predicate) const {
+  // One upfront allocation sized for the worst case, trimmed after the
+  // fill: no doubling-growth churn while the predicate runs.
   std::vector<Row> out;
+  out.resize(slots_.size());
+  std::size_t n = 0;
   for (const auto& s : slots_) {
-    if (s.live && predicate(s.row)) out.push_back(s.row);
+    if (s.live && predicate(s.row)) out[n++] = s.row;
   }
+  out.resize(n);
   return out;
 }
 
@@ -124,9 +131,11 @@ std::vector<Row> Table::find_by(std::size_t col, const Value& v) const {
   }
   auto idx = indexes_.find(col);
   if (idx != indexes_.end()) {
-    std::vector<Row> out;
     auto [lo, hi] = idx->second.equal_range(v);
-    for (auto it = lo; it != hi; ++it) out.push_back(slots_[it->second].row);
+    std::vector<Row> out;
+    out.resize(static_cast<std::size_t>(std::distance(lo, hi)));
+    std::size_t n = 0;
+    for (auto it = lo; it != hi; ++it) out[n++] = slots_[it->second].row;
     return out;
   }
   return scan([&](const Row& r) { return value_eq(r[col], v); });

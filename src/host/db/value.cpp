@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "sim/arena.h"
 #include "sim/util.h"
 
 namespace mcs::host::db {
@@ -16,10 +17,11 @@ ValueType type_of(const Value& v) {
 
 std::string to_string(const Value& v) {
   switch (v.index()) {
-    case 0:
-      return sim::strf("%lld",
-                       static_cast<long long>(std::get<std::int64_t>(v)));
-    case 1: return sim::strf("%.6g", std::get<double>(v));
+    case 0: return sim::cat(sim::i64s(std::get<std::int64_t>(v)));
+    case 1:
+      return sim::build(16, [&](std::string& out) {
+        sim::BufWriter{out}.f("%.6g", std::get<double>(v));
+      });
     default: return std::get<std::string>(v);
   }
 }

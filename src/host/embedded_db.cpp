@@ -154,6 +154,9 @@ bool EmbeddedDb::apply_remote(const ChangeRecord& change) {
 }
 
 void EmbeddedDb::purge_tombstones(sim::Time min_age) {
+  MCS_ASSERT(!min_age.is_negative(),
+             "a negative grace period would purge entries modified in the "
+             "future of now()");
   const sim::Time now = sim_.now();
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.tombstone && now - it->second.modified_at >= min_age) {

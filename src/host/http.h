@@ -5,10 +5,14 @@
 #include <optional>
 #include <string>
 
+#include "sim/arena.h"
+
 namespace mcs::host {
 
 // Case-insensitive header map (HTTP header names are case-insensitive).
-using HeaderMap = std::map<std::string, std::string>;
+// Transparent comparator: the parser probes by string_view without
+// materializing key copies.
+using HeaderMap = std::map<std::string, std::string, std::less<>>;
 
 struct HttpRequest {
   std::string method = "GET";
@@ -21,6 +25,11 @@ struct HttpRequest {
   void set_header(const std::string& name, const std::string& value);
   // Full wire form, with Content-Length synthesized from the body.
   std::string serialize() const;
+  // Same bytes appended to a caller-owned (reused) buffer: the zero-copy
+  // spelling for per-request send paths (DESIGN.md §12).
+  void serialize_to(sim::BufWriter& w) const;
+  // serialize().size() without building the bytes (stats/accounting).
+  std::size_t wire_size() const;
 };
 
 struct HttpResponse {
@@ -33,6 +42,8 @@ struct HttpResponse {
   std::string header(const std::string& name) const;
   void set_header(const std::string& name, const std::string& value);
   std::string serialize() const;
+  void serialize_to(sim::BufWriter& w) const;
+  std::size_t wire_size() const;
 
   static HttpResponse make(int status, std::string content_type,
                            std::string body);

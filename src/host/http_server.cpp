@@ -1,6 +1,7 @@
 #include "host/http_server.h"
 
 #include "obs/trace.h"
+#include "sim/contract.h"
 #include "sim/logging.h"
 #include "sim/util.h"
 
@@ -21,6 +22,7 @@ void HttpServer::add_content(const std::string& path,
 
 void HttpServer::route(const std::string& method,
                        const std::string& path_prefix, Handler h) {
+  MCS_ASSERT(!method.empty(), "routes match on an explicit HTTP method");
   route_async(method, path_prefix,
               [h = std::move(h)](const HttpRequest& req,
                                  std::function<void(HttpResponse)> respond) {
@@ -87,7 +89,7 @@ void HttpServer::flush_outbox(const std::shared_ptr<Connection>& conn) {
 void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
                           HttpRequest&& req) {
   stats_.counter("requests").add();
-  stats_.counter("request_bytes").add(req.serialize().size());
+  stats_.counter("request_bytes").add(req.wire_size());
   const bool close_after =
       sim::to_lower(req.header("Connection")) == "close" ||
       req.version == "HTTP/1.0";
@@ -104,7 +106,8 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
   auto respond = [this, conn, slot, req_ctx](HttpResponse resp) {
     resp.set_header("Server", server_name_);
     if (slot->close_after) resp.set_header("Connection", "close");
-    slot->wire = resp.serialize();
+    sim::BufWriter wire{slot->wire};
+    resp.serialize_to(wire);
     slot->ready = true;
     stats_.counter("response_bytes").add(slot->wire.size());
     stats_.counter(sim::strf("status_%d", resp.status)).add();
@@ -221,6 +224,8 @@ void HttpClient::reset_pool() {
     conn->socket->close();
   }
   pool_.clear();
+  MCS_INVARIANT(pool_.empty(),
+                "after a reset no cached connection may be reused");
 }
 
 }  // namespace mcs::host

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/arena.h"
 #include "sim/contract.h"
 #include "sim/util.h"
 
@@ -60,11 +61,15 @@ const MarkupNode* MarkupNode::find(const std::string& tag_name) const {
 }
 
 std::string MarkupNode::inner_text() const {
+  return sim::build(text.size() + 16,
+                    [&](std::string& out) { inner_text_into(out); });
+}
+
+void MarkupNode::inner_text_into(std::string& out) const {
   // `text` is empty on elements; the synthetic root (empty tag, children)
   // must recurse like an element, so no is_text() shortcut here.
-  std::string out = text;
-  for (const auto& c : children) out += c.inner_text();
-  return out;
+  out += text;
+  for (const auto& c : children) c.inner_text_into(out);
 }
 
 std::size_t MarkupNode::element_count() const {
@@ -96,14 +101,14 @@ void serialize_node(const MarkupNode& n, std::string& out) {
 }  // namespace
 
 std::string MarkupDocument::serialize() const {
-  std::string out;
-  for (const auto& c : root.children) serialize_node(c, out);
-  return out;
+  return sim::build(256, [&](std::string& out) {
+    for (const auto& c : root.children) serialize_node(c, out);
+  });
 }
 
 std::string MarkupDocument::title() const {
   const MarkupNode* t = root.find("title");
-  if (t != nullptr) return sim::trim(t->inner_text());
+  if (t != nullptr) return sim::cat(sim::trim_view(t->inner_text()));
   // WML keeps the title on the card element.
   const MarkupNode* card = root.find("card");
   if (card != nullptr) {
@@ -143,7 +148,7 @@ class Parser {
     while (pos_ < src_.size() && src_[pos_] != '<') ++pos_;
     std::string t = src_.substr(start, pos_ - start);
     // Collapse pure-whitespace runs between tags; keep meaningful text.
-    if (sim::trim(t).empty()) return;
+    if (sim::trim_view(t).empty()) return;
     top()->children.push_back(MarkupNode::text_node(std::move(t)));
   }
 

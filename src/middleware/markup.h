@@ -28,8 +28,11 @@ struct MarkupNode {
 
   // First element with this tag in document order (self included).
   const MarkupNode* find(const std::string& tag_name) const;
-  // Concatenated text of all descendant text nodes.
+  // Concatenated text of all descendant text nodes. The _into form appends
+  // to a caller-owned buffer so recursion over a subtree costs at most one
+  // allocation for the whole result.
   std::string inner_text() const;
+  void inner_text_into(std::string& out) const;
   // Total number of element nodes (self included if an element).
   std::size_t element_count() const;
 

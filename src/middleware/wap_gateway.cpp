@@ -2,8 +2,9 @@
 
 #include <cstdlib>
 
-#include "middleware/wbxml.h"
+#include "middleware/translate.h"
 #include "obs/trace.h"
+#include "sim/arena.h"
 #include "sim/contract.h"
 #include "sim/util.h"
 
@@ -42,13 +43,36 @@ std::string wsp_encode_response(int status, const std::string& content_type,
 std::optional<WspResponse> wsp_decode_response(const std::string& payload) {
   const std::size_t nl = payload.find('\n');
   if (nl == std::string::npos) return std::nullopt;
-  const auto head = sim::split(payload.substr(0, nl), ' ');
-  if (head.empty()) return std::nullopt;
+  // Head-line fields as views (split-on-' ' semantics, empty fields count);
+  // only the status and content type are ever read.
+  const sim::Slice head{payload.data(), nl};
+  sim::Slice f[2];
+  std::size_t nf = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= head.size(); ++i) {
+    if (i == head.size() || head[i] == ' ') {
+      if (nf < 2) f[nf] = sim::Slice{head.data() + start, i - start};
+      ++nf;
+      start = i + 1;
+    }
+  }
   WspResponse r;
-  r.status = std::atoi(head[0].c_str());
+  // atoi semantics: leading whitespace, optional sign, digit prefix.
+  std::size_t p = 0;
+  while (p < f[0].size() && sim::is_ascii_space(f[0][p])) ++p;
+  int sign = 1;
+  if (p < f[0].size() && (f[0][p] == '+' || f[0][p] == '-')) {
+    if (f[0][p] == '-') sign = -1;
+    ++p;
+  }
+  long long v = 0;
+  for (; p < f[0].size() && f[0][p] >= '0' && f[0][p] <= '9'; ++p) {
+    v = v * 10 + (f[0][p] - '0');
+  }
+  r.status = static_cast<int>(sign * v);
   if (r.status == 0) return std::nullopt;
-  if (head.size() > 1) r.content_type = head[1];
-  r.body = payload.substr(nl + 1);
+  if (nf > 1) r.content_type.assign(f[1].data(), f[1].size());
+  r.body.assign(payload, nl + 1, std::string::npos);
   return r;
 }
 
@@ -84,7 +108,8 @@ void WapGateway::on_wtp_invoke(const std::string& payload, net::Endpoint from,
                                    sim::Rng{from.addr.v ^ from.port},
                                    cfg_.wtls_ca_key, wtls_cert_,
                                    wtls_key_.private_key};
-    const auto shello = server.on_client_hello(payload.substr(11));
+    const auto shello = server.on_client_hello(
+        std::string_view{payload.data() + 11, payload.size() - 11});
     if (!shello.has_value()) {
       respond("WTLS-ERR bad-hello");
       return;
@@ -103,7 +128,8 @@ void WapGateway::on_wtp_invoke(const std::string& payload, net::Endpoint from,
       respond("WTLS-ERR no-session");
       return;
     }
-    const auto opened = it->second.open(payload.substr(10));
+    const auto opened = it->second.open(
+        std::string_view{payload.data() + 10, payload.size() - 10});
     if (!opened.has_value()) {
       respond("WTLS-ERR bad-record");
       return;
@@ -194,18 +220,17 @@ void WapGateway::handle_request(const std::string& payload,
                        respond = std::move(respond)]() mutable {
       obs::end_span(xlate, node_.sim().now());
       ++stats_.translations;
-      const MarkupDocument html = parse_markup(body, MarkupKind::kHtml);
-      const MarkupDocument wml = html_to_wml(html);
-      const AdaptationResult adapted = adapt_document(wml, cfg_.adaptation);
-      const std::string wml_text = adapted.document.serialize();
-      stats_.wml_bytes_out += wml_text.size();
-      std::string out;
-      if (cfg_.encode_wbxml) {
-        out = wsp_encode_response(200, "application/vnd.wap.wmlc",
-                                  wbxml_encode(adapted.document));
-      } else {
-        out = wsp_encode_response(200, "text/vnd.wap.wml", wml_text);
-      }
+      // Fused zero-copy translation (translate.cpp): parse + translate +
+      // adapt + serialize (+ WBXML) in one arena pass into reused buffers,
+      // byte-identical to the legacy tree pipeline.
+      translate_html(body, MarkupKind::kWml, cfg_.adaptation, wml_buf_,
+                     cfg_.encode_wbxml ? &wbxml_buf_ : nullptr);
+      stats_.wml_bytes_out += wml_buf_.size();
+      // WSP framing, same bytes as wsp_encode_response(200, type, body).
+      std::string out =
+          cfg_.encode_wbxml
+              ? sim::cat("200 application/vnd.wap.wmlc\n", wbxml_buf_)
+              : sim::cat("200 text/vnd.wap.wml\n", wml_buf_);
       stats_.air_bytes_out += out.size();
       MCS_INVARIANT(stats_.translations <= stats_.requests,
                     "gateway translated more responses than it saw requests");
@@ -291,13 +316,11 @@ void IModeGateway::handle(const host::HttpRequest& req,
                      [this, xlate, body = std::move(resp->body),
                       respond = std::move(respond)]() mutable {
       obs::end_span(xlate, tcp_.sim().now());
-      const MarkupDocument html = parse_markup(body, MarkupKind::kHtml);
-      const MarkupDocument chtml = html_to_chtml(html);
-      const AdaptationResult adapted = adapt_document(chtml, cfg_.adaptation);
-      std::string out = adapted.document.serialize();
-      stats_.chtml_bytes_out += out.size();
+      // Fused zero-copy translation into the reused buffer (translate.cpp).
+      translate_html(body, MarkupKind::kChtml, cfg_.adaptation, chtml_buf_);
+      stats_.chtml_bytes_out += chtml_buf_.size();
       respond(host::HttpResponse::make(200, "text/html; charset=cp932",
-                                       std::move(out)));
+                                       chtml_buf_));
     });
   });
 }

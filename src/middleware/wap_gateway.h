@@ -105,6 +105,10 @@ class WapGateway {
   std::unordered_map<net::Endpoint, security::SecureChannel> wtls_channels_;
   std::uint64_t wtls_sessions_ = 0;
   Stats stats_;
+  // Translation output buffers, reused across requests so steady-state
+  // translation allocates nothing (DESIGN.md §12).
+  std::string wml_buf_;
+  std::string wbxml_buf_;
 };
 
 inline constexpr std::uint16_t kIModeGatewayPort = 8001;
@@ -149,6 +153,8 @@ class IModeGateway {
   // Per-phone cookie jar, keyed by the phone's TCP endpoint (X-Peer).
   std::unordered_map<std::string, host::CookieJar> phone_jars_;
   Stats stats_;
+  // Reused translation output buffer (DESIGN.md §12).
+  std::string chtml_buf_;
 };
 
 }  // namespace mcs::middleware

@@ -22,8 +22,9 @@ constexpr std::uint8_t kPublicIdWml11 = 0x04;
 constexpr std::uint8_t kCharsetUtf8 = 0x6A;
 
 // WML 1.1 tag tokens (code page 0), per the WAP binary XML content format.
-const std::map<std::string, std::uint8_t>& tag_tokens() {
-  static const std::map<std::string, std::uint8_t> kTags = {
+// Transparent comparator: the fused pipeline looks names up by slice.
+const std::map<std::string, std::uint8_t, std::less<>>& tag_tokens() {
+  static const std::map<std::string, std::uint8_t, std::less<>> kTags = {
       {"a", 0x1C},       {"td", 0x1D},     {"tr", 0x1E},    {"table", 0x1F},
       {"p", 0x20},       {"postfield", 0x21}, {"anchor", 0x22},
       {"access", 0x23},  {"b", 0x24},      {"big", 0x25},   {"br", 0x26},
@@ -39,8 +40,8 @@ const std::map<std::string, std::uint8_t>& tag_tokens() {
 }
 
 // WML 1.1 attribute-start tokens (value encoded separately as STR_I).
-const std::map<std::string, std::uint8_t>& attr_tokens() {
-  static const std::map<std::string, std::uint8_t> kAttrs = {
+const std::map<std::string, std::uint8_t, std::less<>>& attr_tokens() {
+  static const std::map<std::string, std::uint8_t, std::less<>> kAttrs = {
       {"accept-charset", 0x05}, {"align", 0x52},  {"alt", 0x0C},
       {"class", 0x54},          {"columns", 0x53}, {"domain", 0x0F},
       {"emptyok", 0x10},        {"format", 0x12}, {"height", 0x13},
@@ -273,6 +274,18 @@ class Decoder {
 };
 
 }  // namespace
+
+std::uint8_t wml_tag_token(std::string_view tag) {
+  const auto& tags = tag_tokens();
+  const auto it = tags.find(tag);
+  return it == tags.end() ? 0 : it->second;
+}
+
+std::uint8_t wml_attr_token(std::string_view name) {
+  const auto& attrs = attr_tokens();
+  const auto it = attrs.find(name);
+  return it == attrs.end() ? 0 : it->second;
+}
 
 std::string wbxml_encode(const MarkupDocument& wml) {
   return Encoder{}.encode(wml);

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "middleware/markup.h"
 
@@ -19,6 +21,12 @@ namespace mcs::middleware {
 
 // Encode a WML document to WBXML bytes.
 std::string wbxml_encode(const MarkupDocument& wml);
+
+// WML 1.1 code-page lookups (0 when the name is outside the code page and
+// needs the LITERAL/string-table mechanism). Exposed so the fused
+// translate_html() pipeline emits the same token stream as the encoder.
+std::uint8_t wml_tag_token(std::string_view tag);
+std::uint8_t wml_attr_token(std::string_view name);
 
 // Decode WBXML bytes back to a WML document; nullopt on malformed input.
 std::optional<MarkupDocument> wbxml_decode(const std::string& bytes);

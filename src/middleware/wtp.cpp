@@ -1,19 +1,47 @@
 #include "middleware/wtp.h"
 
-#include <cstdlib>
-
 #include "sim/contract.h"
 #include "sim/logging.h"
 #include "sim/util.h"
 
 namespace mcs::middleware {
 
-using sim::strf;
+namespace {
+
+// strtoull(.., 10) semantics over a non-NUL-terminated view: skip leading
+// whitespace, then a decimal digit run. Header fields are produced by our
+// own serializer, so signs/overflow never occur in practice.
+std::uint64_t parse_u64(sim::Slice s) {
+  std::size_t i = 0;
+  while (i < s.size() && sim::is_ascii_space(s[i])) ++i;
+  std::uint64_t v = 0;
+  for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+    v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+void WtpEndpoint::Reassembly::add(std::uint32_t seg, sim::Slice body) {
+  if (segments.empty() && total > 0) {
+    segments.resize(total);
+    seen.resize(total);
+  }
+  if (seg >= segments.size() || seen[seg]) return;  // malformed / duplicate
+  seen[seg] = 1;
+  ++received;
+  segments[seg].assign(body.data(), body.size());
+  MCS_INVARIANT(received <= total,
+                "reassembly cannot hold more segments than were announced");
+}
 
 std::string WtpEndpoint::Reassembly::assemble() const {
-  std::string out;
-  for (const auto& [seg, data] : segments) out += data;
-  return out;
+  std::size_t n = 0;
+  for (const auto& s : segments) n += s.size();
+  return sim::build(n, [this](std::string& out) {
+    for (const auto& s : segments) out += s;
+  });
 }
 
 WtpEndpoint::WtpEndpoint(transport::UdpStack& udp, std::uint16_t port,
@@ -31,18 +59,25 @@ void WtpEndpoint::send_segments(net::Endpoint to, const char* kind,
   const std::size_t nsegs =
       payload.empty() ? 1 : (payload.size() + cfg_.mtu - 1) / cfg_.mtu;
   for (std::size_t seg = 0; seg < nsegs; ++seg) {
-    std::string frame =
-        strf("%s %llu %zu %zu\n", kind, static_cast<unsigned long long>(tid),
-             seg, nsegs);
-    frame += payload.substr(seg * cfg_.mtu,
-                            std::min(cfg_.mtu, payload.size() - seg * cfg_.mtu));
+    const std::size_t off = seg * cfg_.mtu;
+    const std::size_t len = std::min(cfg_.mtu, payload.size() - off);
+    // One right-sized allocation per datagram; the UDP stack takes
+    // ownership of the frame bytes (same bytes as
+    // strf("%s %llu %zu %zu\n") + the payload window).
+    auto frame = sim::build(0, [&](std::string& out) {
+      sim::BufWriter w{out};
+      w.need(48 + len);
+      w.put(kind).ch(' ').u64(tid).ch(' ').u64(seg).ch(' ').u64(nsegs).ch(
+          '\n');
+      w.put(sim::Slice{payload.data() + off, len});
+    });
     stats_.counter("datagrams_sent").add();
     stats_.counter("bytes_sent").add(frame.size());
     udp_.send(to, port_, std::move(frame));
   }
 }
 
-void WtpEndpoint::invoke(net::Endpoint responder, std::string payload,
+void WtpEndpoint::invoke(net::Endpoint responder, std::string&& payload,
                          ResultCallback cb) {
   const std::uint64_t tid = next_tid_++;
   MCS_ASSERT(!outgoing_.contains(tid),
@@ -81,7 +116,8 @@ void WtpEndpoint::arm_retry(std::uint64_t tid) {
   });
 }
 
-void WtpEndpoint::finish(std::uint64_t tid, std::optional<std::string> result) {
+void WtpEndpoint::finish(std::uint64_t tid,
+                         std::optional<std::string>&& result) {
   auto it = outgoing_.find(tid);
   if (it == outgoing_.end() || it->second.done) return;
   it->second.done = true;
@@ -97,13 +133,26 @@ void WtpEndpoint::on_datagram(const std::string& data, net::Endpoint from) {
   stats_.counter("datagrams_received").add();
   const std::size_t nl = data.find('\n');
   if (nl == std::string::npos) return;
-  const auto head = sim::split(data.substr(0, nl), ' ');
-  const std::string body = data.substr(nl + 1);
+  const sim::Slice head{data.data(), nl};
+  const sim::Slice body{data.data() + nl + 1, data.size() - nl - 1};
 
-  if (head[0] == "INV" && head.size() == 4) {
-    const std::uint64_t tid = std::strtoull(head[1].c_str(), nullptr, 10);
-    const auto seg = static_cast<std::uint32_t>(std::atoi(head[2].c_str()));
-    const auto total = static_cast<std::uint32_t>(std::atoi(head[3].c_str()));
+  // Split the header on ' ' exactly as sim::split would (empty fields
+  // count toward the field total) without materializing the field vector.
+  sim::Slice f[4];
+  std::size_t nf = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= head.size(); ++i) {
+    if (i == head.size() || head[i] == ' ') {
+      if (nf < 4) f[nf] = sim::Slice{head.data() + start, i - start};
+      ++nf;
+      start = i + 1;
+    }
+  }
+
+  if (f[0] == "INV" && nf == 4) {
+    const std::uint64_t tid = parse_u64(f[1]);
+    const auto seg = static_cast<std::uint32_t>(parse_u64(f[2]));
+    const auto total = static_cast<std::uint32_t>(parse_u64(f[3]));
     const RespKey key{from, tid};
     ResponderTxn& txn = responding_[key];
     if (txn.responded) {
@@ -113,13 +162,13 @@ void WtpEndpoint::on_datagram(const std::string& data, net::Endpoint from) {
       return;
     }
     txn.invoke.total = total;
-    txn.invoke.segments.emplace(seg, body);
+    txn.invoke.add(seg, body);
     if (!txn.invoke.complete() || txn.handled) return;
     txn.handled = true;
     if (!on_invoke) return;
-    const std::string payload = txn.invoke.assemble();
+    const auto payload = txn.invoke.assemble();
     stats_.counter("invokes_handled").add();
-    on_invoke(payload, from, [this, key, from](std::string result) {
+    on_invoke(payload, from, [this, key, from](std::string&& result) {
       auto rit = responding_.find(key);
       if (rit == responding_.end() || rit->second.responded) return;
       rit->second.responded = true;
@@ -134,31 +183,29 @@ void WtpEndpoint::on_datagram(const std::string& data, net::Endpoint from) {
     });
     return;
   }
-  if (head[0] == "RES" && head.size() == 4) {
-    const std::uint64_t tid = std::strtoull(head[1].c_str(), nullptr, 10);
+  if (f[0] == "RES" && nf == 4) {
+    const std::uint64_t tid = parse_u64(f[1]);
     auto it = outgoing_.find(tid);
     if (it == outgoing_.end()) {
       // Late duplicate: ack so the responder stops retransmitting.
-      udp_.send(from, port_,
-                strf("ACK %llu\n", static_cast<unsigned long long>(tid)));
+      udp_.send(from, port_, sim::cat("ACK ", sim::u64s(tid), "\n"));
       return;
     }
     OutgoingTxn& txn = it->second;
-    const auto seg = static_cast<std::uint32_t>(std::atoi(head[2].c_str()));
-    const auto total = static_cast<std::uint32_t>(std::atoi(head[3].c_str()));
+    const auto seg = static_cast<std::uint32_t>(parse_u64(f[2]));
+    const auto total = static_cast<std::uint32_t>(parse_u64(f[3]));
     txn.result.total = total;
-    txn.result.segments.emplace(seg, body);
+    txn.result.add(seg, body);
     if (!txn.result.complete()) return;
-    MCS_INVARIANT(txn.result.segments.size() == txn.result.total,
+    MCS_INVARIANT(txn.result.received == txn.result.total,
                   "WTP reassembly completed with a segment-count mismatch");
-    udp_.send(from, port_,
-              strf("ACK %llu\n", static_cast<unsigned long long>(tid)));
+    udp_.send(from, port_, sim::cat("ACK ", sim::u64s(tid), "\n"));
     stats_.counter("transactions_completed").add();
     finish(tid, txn.result.assemble());
     return;
   }
-  if (head[0] == "ACK" && head.size() == 2) {
-    const std::uint64_t tid = std::strtoull(head[1].c_str(), nullptr, 10);
+  if (f[0] == "ACK" && nf == 2) {
+    const std::uint64_t tid = parse_u64(f[1]);
     const RespKey key{from, tid};
     auto rit = responding_.find(key);
     if (rit != responding_.end()) {

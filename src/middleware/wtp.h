@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
+
+#include "sim/arena.h"
 
 #include "obs/trace.h"
 #include "sim/stats.h"
@@ -45,18 +47,28 @@ class WtpEndpoint {
 
   InvokeHandler on_invoke;
 
-  // Run one transaction against a remote responder.
-  void invoke(net::Endpoint responder, std::string payload, ResultCallback cb);
+  // Run one transaction against a remote responder. Takes the payload by
+  // rvalue so the per-transaction copy is explicit at call sites
+  // (DESIGN.md §12).
+  void invoke(net::Endpoint responder, std::string&& payload,
+              ResultCallback cb);
 
   sim::StatsRegistry& stats() { return stats_; }
   const sim::StatsRegistry& stats() const { return stats_; }
   std::uint16_t port() const { return port_; }
 
  private:
+  // Segment buffers are preallocated to the announced count on the first
+  // frame, so out-of-order arrival is a slot assignment, not map growth.
+  // Peers are other WtpEndpoints, so frames are well-formed by construction;
+  // a segment index past the announced count is dropped.
   struct Reassembly {
-    std::map<std::uint32_t, std::string> segments;
+    std::vector<std::string> segments;  // sized to `total` on first frame
+    std::vector<std::uint8_t> seen;     // received flags (duplicates ignored)
     std::uint32_t total = 0;
-    bool complete() const { return total > 0 && segments.size() == total; }
+    std::uint32_t received = 0;
+    bool complete() const { return total > 0 && received == total; }
+    void add(std::uint32_t seg, sim::Slice body);
     std::string assemble() const;
   };
   struct OutgoingTxn {  // initiator side
@@ -83,7 +95,7 @@ class WtpEndpoint {
   void send_segments(net::Endpoint to, const char* kind, std::uint64_t tid,
                      const std::string& payload);
   void arm_retry(std::uint64_t tid);
-  void finish(std::uint64_t tid, std::optional<std::string> result);
+  void finish(std::uint64_t tid, std::optional<std::string>&& result);
 
   transport::UdpStack& udp_;
   std::uint16_t port_ = 0;

@@ -1,16 +1,36 @@
 #include "net/address.h"
 
-#include "sim/util.h"
+#include "sim/arena.h"
 
 namespace mcs::net {
 
+namespace {
+
+void append_ip(sim::BufWriter& w, IpAddress a) {
+  w.u64((a.v >> 24) & 0xff)
+      .ch('.')
+      .u64((a.v >> 16) & 0xff)
+      .ch('.')
+      .u64((a.v >> 8) & 0xff)
+      .ch('.')
+      .u64(a.v & 0xff);
+}
+
+}  // namespace
+
 std::string IpAddress::to_string() const {
-  return sim::strf("%u.%u.%u.%u", (v >> 24) & 0xff, (v >> 16) & 0xff,
-                   (v >> 8) & 0xff, v & 0xff);
+  return sim::build(15, [&](std::string& out) {
+    sim::BufWriter w{out};
+    append_ip(w, *this);
+  });
 }
 
 std::string Endpoint::to_string() const {
-  return sim::strf("%s:%u", addr.to_string().c_str(), port);
+  return sim::build(21, [&](std::string& out) {
+    sim::BufWriter w{out};
+    append_ip(w, addr);
+    w.ch(':').u64(port);
+  });
 }
 
 }  // namespace mcs::net

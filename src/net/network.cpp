@@ -4,6 +4,8 @@
 #include <queue>
 #include <unordered_map>
 
+#include "sim/contract.h"
+
 namespace mcs::net {
 
 Network::Network(sim::Simulator& sim, std::uint64_t seed)
@@ -12,11 +14,15 @@ Network::Network(sim::Simulator& sim, std::uint64_t seed)
 Node* Network::add_node(const std::string& name) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(sim_, id, name));
+  MCS_INVARIANT(nodes_[id]->id() == id,
+                "node ids stay dense: routing tables index by NodeId");
   return nodes_.back().get();
 }
 
 IpAddress Network::allocate_address() {
   const std::uint32_t host = next_host_++;
+  MCS_ASSERT(host < (1u << 24),
+             "the 10.0.0.0/8 simulation address pool is exhausted");
   return IpAddress{(10u << 24) | host};
 }
 

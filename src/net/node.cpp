@@ -103,8 +103,11 @@ void Node::deliver_local(const PacketPtr& p, Interface* in) {
   auto it = handlers_.find(static_cast<int>(p->proto));
   if (it == handlers_.end()) {
     stats_.counter("drop_no_handler").add();
-    sim::logf(sim::LogLevel::kDebug, sim_.now(), "%s: no handler for %s",
-              name_.c_str(), p->describe().c_str());
+    if (sim::log_enabled(sim::LogLevel::kDebug)) {
+      // describe() allocates; build it only when the line will be emitted.
+      sim::logf(sim::LogLevel::kDebug, sim_.now(), "%s: no handler for %s",
+                name_.c_str(), p->describe().c_str());
+    }
     return;
   }
   it->second(p, in);
@@ -115,8 +118,10 @@ void Node::forward(const PacketPtr& p) {
   if (r == nullptr || r->out == nullptr || r->out->channel() == nullptr ||
       !r->out->up()) {
     stats_.counter("drop_no_route").add();
-    sim::logf(sim::LogLevel::kDebug, sim_.now(), "%s: no route for %s",
-              name_.c_str(), p->describe().c_str());
+    if (sim::log_enabled(sim::LogLevel::kDebug)) {
+      sim::logf(sim::LogLevel::kDebug, sim_.now(), "%s: no route for %s",
+                name_.c_str(), p->describe().c_str());
+    }
     return;
   }
   const IpAddress next_hop =

@@ -1,5 +1,6 @@
 #include "net/packet.h"
 
+#include "sim/arena.h"
 #include "sim/pool.h"
 #include "sim/util.h"
 
@@ -88,22 +89,25 @@ PacketPtr Packet::clone() const {
 }
 
 std::string Packet::describe() const {
-  if (proto == Protocol::kTcp) {
-    std::string f;
-    if (tcp.has(kTcpSyn)) f += "S";
-    if (tcp.has(kTcpAck)) f += "A";
-    if (tcp.has(kTcpFin)) f += "F";
-    if (tcp.has(kTcpRst)) f += "R";
-    return sim::strf("tcp %s:%u->%s:%u seq=%llu ack=%llu [%s] len=%zu",
-                     src.to_string().c_str(), tcp.src_port,
-                     dst.to_string().c_str(), tcp.dst_port,
-                     static_cast<unsigned long long>(tcp.seq),
-                     static_cast<unsigned long long>(tcp.ack), f.c_str(),
-                     payload.size());
-  }
-  return sim::strf("%s %s->%s len=%zu", protocol_name(proto),
-                   src.to_string().c_str(), dst.to_string().c_str(),
-                   payload.size());
+  return sim::build(96, [&](std::string& out) {
+    sim::BufWriter w{out};
+    if (proto == Protocol::kTcp) {
+      char f[5];
+      int n = 0;
+      if (tcp.has(kTcpSyn)) f[n++] = 'S';
+      if (tcp.has(kTcpAck)) f[n++] = 'A';
+      if (tcp.has(kTcpFin)) f[n++] = 'F';
+      if (tcp.has(kTcpRst)) f[n++] = 'R';
+      f[n] = '\0';
+      w.f("tcp %s:%u->%s:%u seq=%llu ack=%llu [%s] len=%zu",
+          src.to_string().c_str(), tcp.src_port, dst.to_string().c_str(),
+          tcp.dst_port, static_cast<unsigned long long>(tcp.seq),
+          static_cast<unsigned long long>(tcp.ack), f, payload.size());
+    } else {
+      w.f("%s %s->%s len=%zu", protocol_name(proto),
+          src.to_string().c_str(), dst.to_string().c_str(), payload.size());
+    }
+  });
 }
 
 PacketPtr make_packet() {

@@ -1,7 +1,6 @@
 #include "security/wtls.h"
 
-#include <cstdlib>
-
+#include "sim/arena.h"
 #include "sim/util.h"
 
 namespace mcs::security {
@@ -35,12 +34,71 @@ std::uint64_t dh_shared_secret(std::uint64_t my_private,
 
 namespace {
 
-std::uint64_t keyed_mac(std::uint64_t key, const std::string& data) {
+std::uint64_t keyed_mac(std::uint64_t key, std::string_view data) {
   // MAC(k, m) = FNV(k || m || k); keyed on both ends to resist extension.
   std::uint64_t h = sim::fnv1a(&key, sizeof(key));
   h = sim::fnv1a(data.data(), data.size(), h);
   return sim::fnv1a(&key, sizeof(key), h);
 }
+
+bool has_prefix(std::string_view s, std::string_view p) {
+  return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+}
+
+// strtoull(.., 10) semantics over a view (handshake fields are produced by
+// our own serializers, so signs/overflow never occur).
+std::uint64_t parse_u64(std::string_view s) {
+  std::size_t i = 0;
+  while (i < s.size() && sim::is_ascii_space(s[i])) ++i;
+  std::uint64_t v = 0;
+  for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+    v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+  }
+  return v;
+}
+
+// Split on ' ' exactly as sim::split would (empty fields count toward the
+// total), capturing the first `cap` fields as views. Returns the full count.
+std::size_t split_fields(std::string_view s, std::string_view* f,
+                         std::size_t cap) {
+  std::size_t nf = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == ' ') {
+      if (nf < cap) f[nf] = std::string_view{s.data() + start, i - start};
+      ++nf;
+      start = i + 1;
+    }
+  }
+  return nf;
+}
+
+// Keyed-xorshift stream generated a word at a time: the zero-copy
+// counterpart of the old materialized keystream string, emitting the exact
+// same byte sequence (state advances every 8 bytes; bytes are the word's
+// little-end first).
+class Keystream {
+ public:
+  Keystream(std::uint64_t secret, std::uint64_t nonce, int sender_role)
+      : state_{secret ^ (nonce * 0x9E3779B97F4A7C15ull) ^
+               (static_cast<std::uint64_t>(sender_role) << 62) ^
+               0xD1B54A32D192ED03ull} {}
+
+  char next() {
+    if (byte_ == 0) {
+      state_ ^= state_ << 13;
+      state_ ^= state_ >> 7;
+      state_ ^= state_ << 17;
+    }
+    const char c = static_cast<char>((state_ >> (8 * byte_)) & 0xFF);
+    byte_ = (byte_ + 1) & 7;
+    return c;
+  }
+
+ private:
+  std::uint64_t state_;
+  int byte_ = 0;
+};
 
 }  // namespace
 
@@ -50,13 +108,13 @@ std::string Certificate::encode() const {
               static_cast<unsigned long long>(signature));
 }
 
-std::optional<Certificate> Certificate::decode(const std::string& s) {
-  const auto f = sim::split(s, ' ');
-  if (f.size() != 4 || f[0] != "CERT") return std::nullopt;
+std::optional<Certificate> Certificate::decode(std::string_view s) {
+  std::string_view f[4];
+  if (split_fields(s, f, 4) != 4 || f[0] != "CERT") return std::nullopt;
   Certificate c;
-  c.subject = f[1];
-  c.public_key = std::strtoull(f[2].c_str(), nullptr, 10);
-  c.signature = std::strtoull(f[3].c_str(), nullptr, 10);
+  c.subject.assign(f[1].data(), f[1].size());
+  c.public_key = parse_u64(f[2]);
+  c.signature = parse_u64(f[3]);
   return c;
 }
 
@@ -65,17 +123,14 @@ Certificate issue_certificate(const std::string& subject,
   Certificate c;
   c.subject = subject;
   c.public_key = public_key;
-  c.signature = keyed_mac(ca_key, strf("%s|%llu", subject.c_str(),
-                                       static_cast<unsigned long long>(
-                                           public_key)));
+  c.signature = keyed_mac(ca_key, sim::cat(subject, "|", sim::u64s(public_key)));
   return c;
 }
 
 bool verify_certificate(const Certificate& cert, std::uint64_t ca_key) {
   return cert.signature ==
-         keyed_mac(ca_key, strf("%s|%llu", cert.subject.c_str(),
-                                static_cast<unsigned long long>(
-                                    cert.public_key)));
+         keyed_mac(ca_key,
+                   sim::cat(cert.subject, "|", sim::u64s(cert.public_key)));
 }
 
 // ---------------------------------------------------------------------------
@@ -85,53 +140,32 @@ bool verify_certificate(const Certificate& cert, std::uint64_t ca_key) {
 SecureChannel::SecureChannel(std::uint64_t shared_secret, int sender_role)
     : secret_{shared_secret}, role_{sender_role} {}
 
-std::string SecureChannel::keystream(std::uint64_t nonce, std::size_t len,
-                                     int sender_role) const {
-  // Keyed xorshift stream: state seeded from (secret, sender role, nonce).
-  std::uint64_t state =
-      secret_ ^ (nonce * 0x9E3779B97F4A7C15ull) ^
-      (static_cast<std::uint64_t>(sender_role) << 62) ^
-      0xD1B54A32D192ED03ull;
-  std::string out;
-  out.reserve(len);
-  while (out.size() < len) {
-    state ^= state << 13;
-    state ^= state >> 7;
-    state ^= state << 17;
-    for (int i = 0; i < 8 && out.size() < len; ++i) {
-      out.push_back(static_cast<char>((state >> (8 * i)) & 0xFF));
-    }
-  }
-  return out;
-}
-
-std::string SecureChannel::seal(const std::string& plaintext) {
+std::string SecureChannel::seal(std::string_view plaintext) {
   const std::uint32_t seq = send_seq_++;
-  const std::string ks = keystream(seq, plaintext.size(), role_);
-  std::string body(plaintext.size(), '\0');
-  for (std::size_t i = 0; i < plaintext.size(); ++i) {
-    body[i] = static_cast<char>(plaintext[i] ^ ks[i]);
-  }
-  std::string out;
-  out.push_back(static_cast<char>(seq >> 24));
-  out.push_back(static_cast<char>(seq >> 16));
-  out.push_back(static_cast<char>(seq >> 8));
-  out.push_back(static_cast<char>(seq));
-  out += body;
-  const std::uint64_t mac = keyed_mac(secret_ ^ static_cast<std::uint64_t>(role_ + 1),
-                                      out);
-  for (int i = 7; i >= 0; --i) {
-    out.push_back(static_cast<char>((mac >> (8 * i)) & 0xFF));
-  }
-  return out;
+  return sim::build(plaintext.size() + kOverheadBytes, [&](std::string& out) {
+    sim::BufWriter w{out};
+    w.ch(static_cast<char>(seq >> 24))
+        .ch(static_cast<char>(seq >> 16))
+        .ch(static_cast<char>(seq >> 8))
+        .ch(static_cast<char>(seq));
+    Keystream ks{secret_, seq, role_};
+    for (const char c : plaintext) {
+      w.ch(static_cast<char>(c ^ ks.next()));
+    }
+    const std::uint64_t mac = keyed_mac(
+        secret_ ^ static_cast<std::uint64_t>(role_ + 1), w.view());
+    for (int i = 7; i >= 0; --i) {
+      w.ch(static_cast<char>((mac >> (8 * i)) & 0xFF));
+    }
+  });
 }
 
-std::optional<std::string> SecureChannel::open(const std::string& sealed) {
+std::optional<std::string> SecureChannel::open(std::string_view sealed) {
   if (sealed.size() < kOverheadBytes) {
     ++bad_macs_;
     return std::nullopt;
   }
-  const std::string macd = sealed.substr(0, sealed.size() - 8);
+  const std::string_view macd{sealed.data(), sealed.size() - 8};
   std::uint64_t mac = 0;
   for (std::size_t i = sealed.size() - 8; i < sealed.size(); ++i) {
     mac = (mac << 8) | static_cast<std::uint8_t>(sealed[i]);
@@ -152,14 +186,16 @@ std::optional<std::string> SecureChannel::open(const std::string& sealed) {
     return std::nullopt;
   }
   recv_next_ = seq + 1;
-  const std::string body = macd.substr(4);
-  // Decrypt with the PEER's sending keystream.
-  const std::string ks = keystream(seq, body.size(), peer_role);
-  std::string plain(body.size(), '\0');
-  for (std::size_t i = 0; i < body.size(); ++i) {
-    plain[i] = static_cast<char>(body[i] ^ ks[i]);
-  }
-  return plain;
+  const std::string_view body{macd.data() + 4, macd.size() - 4};
+  // Decrypt with the PEER's sending keystream, straight into the one
+  // right-sized plaintext allocation.
+  return sim::build(body.size(), [&](std::string& out) {
+    sim::BufWriter w{out};
+    Keystream ks{secret_, seq, peer_role};
+    for (const char c : body) {
+      w.ch(static_cast<char>(c ^ ks.next()));
+    }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -177,44 +213,42 @@ WtlsHandshake::WtlsHandshake(Role role, sim::Rng rng, std::uint64_t ca_key,
 
 std::string WtlsHandshake::client_hello() {
   ephemeral_ = dh_generate(rng_);
-  return strf("HELLO %llu",
-              static_cast<unsigned long long>(ephemeral_.public_key));
+  return sim::cat("HELLO ", sim::u64s(ephemeral_.public_key));
 }
 
 std::optional<std::string> WtlsHandshake::on_client_hello(
-    const std::string& msg) {
+    std::string_view msg) {
   if (role_ != Role::kServer || !cert_.has_value()) return std::nullopt;
-  const auto f = sim::split(msg, ' ');
-  if (f.size() != 2 || f[0] != "HELLO") return std::nullopt;
-  const std::uint64_t client_pub = std::strtoull(f[1].c_str(), nullptr, 10);
+  std::string_view f[2];
+  if (split_fields(msg, f, 2) != 2 || f[0] != "HELLO") return std::nullopt;
+  const std::uint64_t client_pub = parse_u64(f[1]);
   const std::uint64_t secret = dh_shared_secret(my_private_, client_pub);
-  channel_.emplace(secret, /*sender_role=*/1);
+  channel_ = SecureChannel{secret, /*sender_role=*/1};
   established_ = true;
-  return "SHELLO " + cert_->encode();
+  return sim::cat("SHELLO ", cert_->encode());
 }
 
 std::optional<std::string> WtlsHandshake::on_server_hello(
-    const std::string& msg) {
+    std::string_view msg) {
   if (role_ != Role::kClient) return std::nullopt;
-  if (!sim::starts_with(msg, "SHELLO ")) return std::nullopt;
-  const auto cert = Certificate::decode(msg.substr(7));
+  if (!has_prefix(msg, "SHELLO ")) return std::nullopt;
+  const auto cert =
+      Certificate::decode(std::string_view{msg.data() + 7, msg.size() - 7});
   if (!cert.has_value() || !verify_certificate(*cert, ca_key_)) {
     return std::nullopt;  // authentication failure
   }
   const std::uint64_t secret =
       dh_shared_secret(ephemeral_.private_key, cert->public_key);
-  channel_.emplace(secret, /*sender_role=*/0);
+  channel_ = SecureChannel{secret, /*sender_role=*/0};
   established_ = true;
-  return strf("KEYX %llu",
-              static_cast<unsigned long long>(ephemeral_.public_key));
+  return sim::cat("KEYX ", sim::u64s(ephemeral_.public_key));
 }
 
-bool WtlsHandshake::on_client_key_exchange(const std::string& msg) {
+bool WtlsHandshake::on_client_key_exchange(std::string_view msg) {
   // With a static server key the secret is already derived at SHELLO time;
   // the KEYX message exists for protocol-shape fidelity (and lets a server
   // double-check the client's public key).
-  return role_ == Role::kServer && sim::starts_with(msg, "KEYX ") &&
-         established_;
+  return role_ == Role::kServer && has_prefix(msg, "KEYX ") && established_;
 }
 
 }  // namespace mcs::security

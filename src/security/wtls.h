@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "sim/random.h"
 
@@ -41,7 +42,7 @@ struct Certificate {
   std::uint64_t signature = 0;
 
   std::string encode() const;
-  static std::optional<Certificate> decode(const std::string& s);
+  static std::optional<Certificate> decode(std::string_view s);
 };
 Certificate issue_certificate(const std::string& subject,
                               std::uint64_t public_key,
@@ -57,8 +58,12 @@ class SecureChannel {
   // server=1) so the two sides never reuse a keystream.
   SecureChannel(std::uint64_t shared_secret, int sender_role);
 
-  std::string seal(const std::string& plaintext);
-  std::optional<std::string> open(const std::string& sealed);
+  // View parameters: callers pass windows of transport buffers without
+  // materializing substrings (DESIGN.md §12). The keystream is generated a
+  // word at a time and XORed straight into the one right-sized output
+  // allocation — no keystream or intermediate body strings.
+  std::string seal(std::string_view plaintext);
+  std::optional<std::string> open(std::string_view sealed);
 
   static constexpr std::size_t kOverheadBytes = 12;  // seq(4) + mac(8)
   std::uint32_t messages_sealed() const { return send_seq_; }
@@ -66,9 +71,6 @@ class SecureChannel {
   std::uint64_t macs_rejected() const { return bad_macs_; }
 
  private:
-  std::string keystream(std::uint64_t nonce, std::size_t len,
-                        int sender_role) const;
-
   std::uint64_t secret_ = 0;
   int role_ = 0;
   std::uint32_t send_seq_ = 0;
@@ -92,12 +94,12 @@ class WtlsHandshake {
   // Client: produce the first message.
   std::string client_hello();
   // Server: consume hello, produce server_hello. nullopt = refuse.
-  std::optional<std::string> on_client_hello(const std::string& msg);
+  std::optional<std::string> on_client_hello(std::string_view msg);
   // Client: consume server_hello (verifies the certificate), produce the
   // key-exchange message and derive keys. nullopt = handshake failed.
-  std::optional<std::string> on_server_hello(const std::string& msg);
+  std::optional<std::string> on_server_hello(std::string_view msg);
   // Server: consume key exchange, derive keys.
-  bool on_client_key_exchange(const std::string& msg);
+  bool on_client_key_exchange(std::string_view msg);
 
   bool established() const { return established_; }
   // Valid once established: this party's bidirectional channel (seals with

@@ -72,7 +72,7 @@ class InlineFunction {
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, InlineFunction> &&
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  void emplace(F&& f) {
+  void install(F&& f) {
     reset();
     construct(std::forward<F>(f));
   }

@@ -1,9 +1,9 @@
 #include "sim/json.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "sim/contract.h"
-#include "sim/util.h"
 
 namespace mcs::sim {
 
@@ -12,30 +12,32 @@ void JsonWriter::pre_value() {
     after_key_ = false;
     return;
   }
-  if (stack_.empty()) return;
-  Level& top = stack_.back();
+  if (depth_ == 0) return;
+  Level& top = levels_[depth_ - 1];
   if (!top.first) out_ += ',';
   top.first = false;
   if (pretty_) {
     out_ += '\n';
-    out_.append(stack_.size() * 2, ' ');
+    w_.rep(' ', depth_ * 2);
   }
 }
 
 void JsonWriter::open(char c, bool is_object) {
+  MCS_ASSERT(depth_ < kMaxDepth, "JsonWriter: nesting deeper than kMaxDepth");
   pre_value();
   out_ += c;
-  stack_.push_back(Level{is_object, true});
+  levels_[depth_] = Level{is_object, true};
+  ++depth_;
 }
 
 void JsonWriter::close(char c) {
-  MCS_ASSERT(!stack_.empty(), "JsonWriter: close without matching open");
+  MCS_ASSERT(depth_ > 0, "JsonWriter: close without matching open");
   MCS_ASSERT(!after_key_, "JsonWriter: container closed with a dangling key");
-  const bool had_members = !stack_.back().first;
-  stack_.pop_back();
+  const bool had_members = !levels_[depth_ - 1].first;
+  --depth_;
   if (pretty_ && had_members) {
     out_ += '\n';
-    out_.append(stack_.size() * 2, ' ');
+    w_.rep(' ', depth_ * 2);
   }
   out_ += c;
 }
@@ -61,7 +63,7 @@ JsonWriter& JsonWriter::end_array() {
 }
 
 JsonWriter& JsonWriter::key(std::string_view k) {
-  MCS_ASSERT(!stack_.empty() && stack_.back().is_object,
+  MCS_ASSERT(depth_ > 0 && levels_[depth_ - 1].is_object,
              "JsonWriter: key() outside an object");
   MCS_ASSERT(!after_key_, "JsonWriter: two keys in a row");
   pre_value();
@@ -82,19 +84,19 @@ JsonWriter& JsonWriter::value(std::string_view v) {
 
 JsonWriter& JsonWriter::value(double v) {
   pre_value();
-  out_ += number(v);
+  number_to(out_, v);
   return *this;
 }
 
 JsonWriter& JsonWriter::value(std::uint64_t v) {
   pre_value();
-  out_ += strf("%llu", static_cast<unsigned long long>(v));
+  w_.u64(v);
   return *this;
 }
 
 JsonWriter& JsonWriter::value(std::int64_t v) {
   pre_value();
-  out_ += strf("%lld", static_cast<long long>(v));
+  w_.i64(v);
   return *this;
 }
 
@@ -105,10 +107,8 @@ JsonWriter& JsonWriter::value(bool v) {
 }
 
 std::string JsonWriter::escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  escape_to(out, s);
-  return out;
+  return build(s.size() + 8,
+               [s](std::string& out) { escape_to(out, s); });
 }
 
 void JsonWriter::escape_to(std::string& out, std::string_view s) {
@@ -121,7 +121,9 @@ void JsonWriter::escape_to(std::string& out, std::string_view s) {
       case '\t': out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          out += strf("\\u%04x", c);
+          char u[8];
+          std::snprintf(u, sizeof(u), "\\u%04x", c);
+          out += u;
         } else {
           out += c;
         }
@@ -129,12 +131,23 @@ void JsonWriter::escape_to(std::string& out, std::string_view s) {
   }
 }
 
-std::string JsonWriter::number(double v) {
-  if (!std::isfinite(v)) return "null";
-  if (v == std::floor(v) && std::fabs(v) < 1e15) {
-    return strf("%.0f", v);
+void JsonWriter::number_to(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
   }
-  return strf("%.10g", v);
+  char buf[40];
+  int n;
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    n = std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    n = std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  if (n > 0) out += buf;  // snprintf NUL-terminated
+}
+
+std::string JsonWriter::number(double v) {
+  return build(24, [v](std::string& out) { number_to(out, v); });
 }
 
 }  // namespace mcs::sim

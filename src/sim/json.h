@@ -3,7 +3,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <vector>
+
+#include "sim/arena.h"
 
 namespace mcs::sim {
 
@@ -52,6 +53,9 @@ class JsonWriter {
 
  private:
   static constexpr std::size_t kInitialCapacity = 4096;
+  // Fixed nesting budget: snapshots here are a handful of levels deep, and a
+  // flat array keeps open()/close() allocation-free on the stats hot path.
+  static constexpr std::size_t kMaxDepth = 64;
 
   struct Level {
     bool is_object = false;
@@ -59,6 +63,7 @@ class JsonWriter {
   };
 
   static void escape_to(std::string& out, std::string_view s);
+  static void number_to(std::string& out, double v);
 
   // Emits the separator/indent owed before the next key or value.
   void pre_value();
@@ -68,7 +73,9 @@ class JsonWriter {
   bool pretty_ = true;
   bool after_key_ = false;
   std::string out_;
-  std::vector<Level> stack_;
+  BufWriter w_{out_};
+  Level levels_[kMaxDepth];
+  std::size_t depth_ = 0;
 };
 
 }  // namespace mcs::sim

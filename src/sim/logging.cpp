@@ -4,7 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 
-#include "sim/util.h"
+#include "sim/arena.h"
 
 namespace mcs::sim {
 namespace {
@@ -14,19 +14,25 @@ namespace {
 // synchronization point.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
+// Lines that passed the level gate and were formatted. Relaxed: the test
+// that reads it only needs eventual per-thread consistency.
+std::atomic<std::uint64_t> g_lines_formatted{0};
+
 // Per thread like the tracer itself: sweep cell threads must not tag each
 // other's lines.
 thread_local LogTagProvider t_tag_provider = nullptr;
 
-// " trace=<id>/<span>" when a span is active on this thread, else "".
-std::string trace_tag() {
+// " trace=<id>/<span>" into `buf` when a span is active on this thread,
+// else "". Formats on the stack: the tag rides on every emitted line.
+const char* trace_tag_to(char* buf, std::size_t cap) {
   std::uint64_t trace_id = 0;
   std::uint32_t span_id = 0;
-  if (t_tag_provider == nullptr || !t_tag_provider(&trace_id, &span_id)) {
-    return {};
+  buf[0] = '\0';
+  if (t_tag_provider != nullptr && t_tag_provider(&trace_id, &span_id)) {
+    std::snprintf(buf, cap, " trace=%016llx/%u",
+                  static_cast<unsigned long long>(trace_id), span_id);
   }
-  return strf(" trace=%016llx/%u",
-              static_cast<unsigned long long>(trace_id), span_id);
+  return buf;
 }
 
 const char* level_name(LogLevel level) {
@@ -50,22 +56,49 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_tag_provider(LogTagProvider p) { t_tag_provider = p; }
 
+std::uint64_t log_lines_formatted() {
+  return g_lines_formatted.load(std::memory_order_relaxed);
+}
+
 void log(LogLevel level, Time now, const std::string& component,
          const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "[%12s] %s %s: %s%s\n", now.to_string().c_str(),
-               level_name(level), component.c_str(), message.c_str(),
-               trace_tag().c_str());
+  g_lines_formatted.fetch_add(1, std::memory_order_relaxed);
+  char tbuf[32];
+  char tag[48];
+  now.format_to(tbuf, sizeof(tbuf));
+  std::fprintf(stderr, "[%12s] %s %s: %s%s\n", tbuf, level_name(level),
+               component.c_str(), message.c_str(),
+               trace_tag_to(tag, sizeof(tag)));
 }
 
 void logf(LogLevel level, Time now, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
+  g_lines_formatted.fetch_add(1, std::memory_order_relaxed);
+  char msg[512];
   std::va_list ap;
   va_start(ap, fmt);
-  const std::string msg = vstrf(fmt, ap);
+  const int n = std::vsnprintf(msg, sizeof(msg), fmt, ap);
   va_end(ap);
-  std::fprintf(stderr, "[%12s] %s %s%s\n", now.to_string().c_str(),
-               level_name(level), msg.c_str(), trace_tag().c_str());
+  char tbuf[32];
+  char tag[48];
+  now.format_to(tbuf, sizeof(tbuf));
+  if (n >= static_cast<int>(sizeof(msg))) {
+    // Rare long line: one right-sized allocation, full fidelity.
+    std::va_list ap2;
+    va_start(ap2, fmt);
+    const auto full =
+        build(static_cast<std::size_t>(n) + 1, [&](std::string& out) {
+          out.resize(static_cast<std::size_t>(n));
+          std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+        });
+    va_end(ap2);
+    std::fprintf(stderr, "[%12s] %s %s%s\n", tbuf, level_name(level),
+                 full.c_str(), trace_tag_to(tag, sizeof(tag)));
+    return;
+  }
+  std::fprintf(stderr, "[%12s] %s %s%s\n", tbuf, level_name(level), msg,
+               trace_tag_to(tag, sizeof(tag)));
 }
 
 }  // namespace mcs::sim

@@ -21,6 +21,17 @@ using LogTagProvider = bool (*)(std::uint64_t* trace_id,
                                 std::uint32_t* span_id);
 void set_log_tag_provider(LogTagProvider p);
 
+// Count of log lines that actually reached the formatter (i.e. passed the
+// level gate). Tests assert this stays flat across suppressed logf() calls:
+// the early-out must fire before any formatting work happens.
+std::uint64_t log_lines_formatted();
+
+// True when `level` would pass the threshold. For call sites whose
+// *arguments* are expensive to build (describe() strings, joined lists):
+// logf()'s own early-out cannot help there because C++ evaluates arguments
+// before the call, so guard those sites explicitly.
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
 // Emit one log line: "[12.5ms] INFO  tcp: message". `now` is the simulation
 // clock of the caller (pass Time::zero() outside a simulation).
 void log(LogLevel level, Time now, const std::string& component,

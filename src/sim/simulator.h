@@ -45,7 +45,7 @@ class Simulator {
     // Construct the callback directly in its slot: no InlineFunction
     // temporary, no relocate through the dispatch table.
     const std::uint32_t slot = acquire_slot();
-    slots_[slot].fn.emplace(std::forward<F>(fn));
+    slots_[slot].fn.install(std::forward<F>(fn));
     return finish_schedule(t, slot);
   }
   // Schedule `fn` after `delay` (must be >= 0) from now().

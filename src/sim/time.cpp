@@ -1,15 +1,30 @@
 #include "sim/time.h"
 
-#include "sim/util.h"
+#include <cstdio>
+
+#include "sim/arena.h"
 
 namespace mcs::sim {
 
-std::string Time::to_string() const {
+std::size_t Time::format_to(char* buf, std::size_t cap) const {
   const double abs_ns = ns_ < 0 ? -static_cast<double>(ns_) : static_cast<double>(ns_);
-  if (abs_ns >= 1e9) return strf("%.3fs", to_seconds());
-  if (abs_ns >= 1e6) return strf("%.3fms", to_millis());
-  if (abs_ns >= 1e3) return strf("%.3fus", to_micros());
-  return strf("%lldns", static_cast<long long>(ns_));
+  int n;
+  if (abs_ns >= 1e9) {
+    n = std::snprintf(buf, cap, "%.3fs", to_seconds());
+  } else if (abs_ns >= 1e6) {
+    n = std::snprintf(buf, cap, "%.3fms", to_millis());
+  } else if (abs_ns >= 1e3) {
+    n = std::snprintf(buf, cap, "%.3fus", to_micros());
+  } else {
+    n = std::snprintf(buf, cap, "%lldns", static_cast<long long>(ns_));
+  }
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+std::string Time::to_string() const {
+  char buf[32];
+  const std::size_t n = format_to(buf, sizeof(buf));
+  return cat(Slice{buf, n});
 }
 
 }  // namespace mcs::sim

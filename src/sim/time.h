@@ -72,6 +72,10 @@ class Time {
 
   // Human-readable rendering with an auto-selected unit, e.g. "12.5ms".
   std::string to_string() const;
+  // Same rendering into a caller-owned buffer (>= 32 bytes recommended);
+  // returns the length written. The logger uses this so emitting a line
+  // never heap-allocates for the timestamp.
+  std::size_t format_to(char* buf, std::size_t cap) const;
 
  private:
   constexpr explicit Time(std::int64_t ns) : ns_{ns} {}

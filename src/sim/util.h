@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mcs::sim {
@@ -24,6 +25,38 @@ std::string trim(const std::string& s);
 std::string to_lower(const std::string& s);
 bool starts_with(const std::string& s, const std::string& prefix);
 bool ends_with(const std::string& s, const std::string& suffix);
+
+// Non-allocating counterparts used on the protocol hot path (DESIGN.md §12):
+// views into the caller's buffer instead of trimmed/lowered copies.
+
+inline char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+// Case-insensitive ASCII comparison without lowering either side.
+inline bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+// Matches std::isspace in the C locale (the set trim() uses), branch-free
+// on the common printable path.
+inline bool is_ascii_space(char c) {
+  return c == ' ' || (c >= '\t' && c <= '\r');
+}
+
+// View of `s` with whitespace removed from both ends; the zero-copy
+// counterpart of trim() (identical character set).
+inline std::string_view trim_view(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_ascii_space(s[b])) ++b;
+  while (e > b && is_ascii_space(s[e - 1])) --e;
+  return std::string_view{s.data() + b, e - b};
+}
 
 // FNV-1a 64-bit hash; used for checksums and non-cryptographic MACs.
 std::uint64_t fnv1a(const void* data, std::size_t len,

@@ -1,5 +1,6 @@
 #include "station/browser.h"
 
+#include "sim/arena.h"
 #include "sim/logging.h"
 #include "sim/util.h"
 
@@ -71,10 +72,10 @@ void MicroBrowser::browse(const std::string& url, PageCallback cb) {
       secure_invoke(url, started, page, std::move(done));
       return;
     }
-    const std::string payload = middleware::wsp_encode_request(url);
+    auto payload = middleware::wsp_encode_request(url);
     battery_.drain_tx_bytes(payload.size() + 36);  // + WDP/IP framing
     obs::ActiveScope scope{page};
-    wtp_->invoke(cfg_.gateway, payload,
+    wtp_->invoke(cfg_.gateway, std::move(payload),
                  [this, url, started, page, cb = std::move(done)](
                      std::optional<std::string> result) mutable {
       wsp_result(url, started, std::move(result), 0, page, std::move(cb));
@@ -83,7 +84,7 @@ void MicroBrowser::browse(const std::string& url, PageCallback cb) {
   }
 
   // i-mode: GET /<host:port/path> through the gateway over persistent HTTP.
-  const std::string path = "/" + url;
+  const auto path = sim::cat("/", url);
   battery_.drain_tx_bytes(path.size() + 60);
   obs::ActiveScope scope{page};
   http_->get(cfg_.gateway, path,
@@ -105,7 +106,7 @@ void MicroBrowser::browse(const std::string& url, PageCallback cb) {
 
 // Decode one (possibly absent) WTP result into a page.
 void MicroBrowser::wsp_result(const std::string& url, sim::Time started,
-                              std::optional<std::string> result,
+                              std::optional<std::string>&& result,
                               std::size_t air_bytes, obs::TraceContext page,
                               PageCallback cb) {
   if (!result.has_value()) {
@@ -116,7 +117,7 @@ void MicroBrowser::wsp_result(const std::string& url, sim::Time started,
     return;
   }
   battery_.drain_rx_bytes(result->size());
-  const auto wsp = middleware::wsp_decode_response(*result);
+  auto wsp = middleware::wsp_decode_response(*result);
   if (!wsp.has_value()) {
     stats_.counter("failures").add();
     PageResult r;
@@ -125,7 +126,7 @@ void MicroBrowser::wsp_result(const std::string& url, sim::Time started,
     return;
   }
   const bool wbxml = wsp->content_type == "application/vnd.wap.wmlc";
-  finish_with_content(url, wsp->status, wsp->body,
+  finish_with_content(url, wsp->status, std::move(wsp->body),
                       air_bytes != 0 ? air_bytes : result->size(), started,
                       wbxml, page, std::move(cb));
 }
@@ -141,17 +142,19 @@ void MicroBrowser::secure_invoke(const std::string& url, sim::Time started,
     auto hs = std::make_shared<security::WtlsHandshake>(
         security::WtlsHandshake::Role::kClient, rng_.fork(),
         cfg_.wtls_ca_key);
-    const std::string hello = "WTLS-HELLO " + hs->client_hello();
+    auto hello = sim::cat("WTLS-HELLO ", hs->client_hello());
     battery_.drain_tx_bytes(hello.size() + 36);
     obs::ActiveScope scope{page};
-    wtp_->invoke(cfg_.gateway, hello,
+    wtp_->invoke(cfg_.gateway, std::move(hello),
                  [this, hs](std::optional<std::string> result) {
       wtls_handshaking_ = false;
       auto waiters = std::move(wtls_waiters_);
       wtls_waiters_.clear();
       const bool ok =
           result.has_value() && sim::starts_with(*result, "WTLS-SHELLO ") &&
-          hs->on_server_hello(result->substr(12)).has_value();
+          hs->on_server_hello(
+                std::string_view{result->data() + 12, result->size() - 12})
+              .has_value();
       if (!ok) {
         stats_.counter("wtls_failures").add();
         for (auto& w : waiters) {
@@ -168,17 +171,18 @@ void MicroBrowser::secure_invoke(const std::string& url, sim::Time started,
     });
     return;
   }
-  const std::string sealed =
-      "WTLS-DATA " + wtls_channel_->seal(middleware::wsp_encode_request(url));
+  auto sealed = sim::cat(
+      "WTLS-DATA ", wtls_channel_->seal(middleware::wsp_encode_request(url)));
   battery_.drain_tx_bytes(sealed.size() + 36);
   obs::ActiveScope scope{page};
-  wtp_->invoke(cfg_.gateway, sealed,
+  wtp_->invoke(cfg_.gateway, std::move(sealed),
                [this, url, started, page, cb = std::move(cb)](
                    std::optional<std::string> result) mutable {
     if (result.has_value() && sim::starts_with(*result, "WTLS-DATA ")) {
-      const auto opened = wtls_channel_->open(result->substr(10));
+      auto opened = wtls_channel_->open(
+          std::string_view{result->data() + 10, result->size() - 10});
       if (opened.has_value()) {
-        wsp_result(url, started, *opened, result->size(), page,
+        wsp_result(url, started, std::move(opened), result->size(), page,
                    std::move(cb));
         return;
       }
@@ -194,7 +198,7 @@ void MicroBrowser::secure_invoke(const std::string& url, sim::Time started,
 }
 
 void MicroBrowser::finish_with_content(const std::string& url, int status,
-                                       std::string content,
+                                       std::string&& content,
                                        std::size_t air_bytes,
                                        sim::Time started, bool was_wbxml,
                                        obs::TraceContext page,

@@ -74,7 +74,7 @@ class MicroBrowser {
   // `page` is the browse span (obs/trace.h); parse/render child spans and
   // outgoing-request stamping hang off it.
   void finish_with_content(const std::string& url, int status,
-                           std::string content, std::size_t air_bytes,
+                           std::string&& content, std::size_t air_bytes,
                            sim::Time started, bool was_wbxml,
                            obs::TraceContext page, PageCallback cb);
   // WAP+WTLS path: establish the session if needed, then run one sealed
@@ -84,7 +84,7 @@ class MicroBrowser {
   // `air_bytes` of 0 means "use the result's size" (plain path); the WTLS
   // path passes the sealed wire size explicitly.
   void wsp_result(const std::string& url, sim::Time started,
-                  std::optional<std::string> result, std::size_t air_bytes,
+                  std::optional<std::string>&& result, std::size_t air_bytes,
                   obs::TraceContext page, PageCallback cb);
 
   net::Node& station_;

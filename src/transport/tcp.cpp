@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/arena.h"
 #include "sim/contract.h"
 #include "sim/logging.h"
 
@@ -307,11 +308,20 @@ void TcpSocket::handle_data(const net::PacketPtr& p) {
     return;
   }
 
-  // In-order (possibly overlapping) segment: deliver the new suffix.
-  std::string deliverable = payload.substr(rcv_nxt_ - seq);
-  rcv_nxt_ += deliverable.size();
-  counters_.bytes_delivered += deliverable.size();
-  if (on_data) on_data(deliverable);
+  // In-order (possibly overlapping) segment: deliver the new suffix. The
+  // common case (exactly in-order) hands the payload through untouched; an
+  // overlap copies just the fresh tail, sized once.
+  const std::size_t dup = static_cast<std::size_t>(rcv_nxt_ - seq);
+  const std::size_t fresh = payload.size() - dup;
+  rcv_nxt_ += fresh;
+  counters_.bytes_delivered += fresh;
+  if (on_data) {
+    if (dup == 0) {
+      on_data(payload);
+    } else {
+      on_data(sim::cat(sim::Slice{payload.data() + dup, fresh}));
+    }
+  }
 
   // Drain any out-of-order segments that are now contiguous.
   while (!out_of_order_.empty()) {
@@ -319,10 +329,18 @@ void TcpSocket::handle_data(const net::PacketPtr& p) {
     if (it->first > rcv_nxt_) break;
     const std::uint64_t end = it->first + it->second.size();
     if (end > rcv_nxt_) {
-      std::string chunk = it->second.substr(rcv_nxt_ - it->first);
+      const std::size_t skip = static_cast<std::size_t>(rcv_nxt_ - it->first);
+      const sim::Slice chunk{it->second.data() + skip,
+                             it->second.size() - skip};
       rcv_nxt_ = end;
       counters_.bytes_delivered += chunk.size();
-      if (on_data) on_data(chunk);
+      if (on_data) {
+        if (skip == 0) {
+          on_data(it->second);
+        } else {
+          on_data(sim::cat(chunk));
+        }
+      }
     }
     out_of_order_.erase(it);
   }
@@ -409,7 +427,9 @@ void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len,
   auto p = make_segment(net::kTcpAck, seq);
   MCS_ASSERT(seq >= send_buffer_base_,
              "segment seq points below the retained send buffer");
-  p->payload = send_buffer_.substr(seq - send_buffer_base_, len);
+  // One sized assignment into the (possibly recycled) packet payload; the
+  // copy itself is inherent — the segment owns its wire bytes.
+  p->payload.assign(send_buffer_, seq - send_buffer_base_, len);
   ++counters_.segments_sent;
   if (is_rtx) {
     ++counters_.retransmissions;

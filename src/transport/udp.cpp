@@ -1,5 +1,6 @@
 #include "transport/udp.h"
 
+#include "sim/contract.h"
 #include "sim/logging.h"
 
 namespace mcs::transport {
@@ -30,7 +31,10 @@ void UdpStack::send(net::Endpoint dst, std::uint16_t src_port,
 
 std::uint16_t UdpStack::allocate_port() {
   while (ports_.contains(next_ephemeral_)) ++next_ephemeral_;
-  return next_ephemeral_++;
+  const std::uint16_t port = next_ephemeral_++;
+  MCS_INVARIANT(!ports_.contains(port),
+                "an allocated ephemeral port must be free to bind");
+  return port;
 }
 
 void UdpStack::on_packet(const net::PacketPtr& p) {

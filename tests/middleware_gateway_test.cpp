@@ -102,7 +102,7 @@ TEST_F(GatewayFixture, WtpSegmentsLargePayloads) {
     respond(std::string(3'000, 'w'));
   };
   std::optional<std::string> got;
-  initiator.invoke({gateway->addr(), 9300}, big,
+  initiator.invoke({gateway->addr(), 9300}, std::string{big},
                    [&](std::optional<std::string> r) { got = r; });
   sim.run();
   ASSERT_TRUE(got.has_value());

@@ -1,0 +1,188 @@
+// Tests for the zero-copy vocabulary (sim/arena.h, DESIGN.md §12): bump
+// allocation + wholesale reset, nested scopes, pooled recycling, and the
+// BufWriter/cat/build serialization helpers the protocol codecs build on.
+#include "sim/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace mcs::sim {
+namespace {
+
+TEST(Arena, HandsOutAlignedStorage) {
+  Arena arena;
+  // Up to alignof(std::max_align_t): the chunk base (operator new[]) only
+  // guarantees fundamental alignment, and allocate() documents the same.
+  for (std::size_t align : {std::size_t{1}, std::size_t{2}, std::size_t{8},
+                            alignof(std::max_align_t)}) {
+    void* p = arena.allocate(3, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "alignment " << align;
+  }
+  // Interleaved odd sizes must not break later alignment.
+  arena.alloc_chars(1);
+  void* p = arena.allocate(16, alignof(std::max_align_t));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::max_align_t),
+            0u);
+}
+
+TEST(Arena, ResetKeepsChunksAndReusesThem) {
+  Arena arena{64};
+  // Force a couple of chunks into existence.
+  for (int i = 0; i < 8; ++i) arena.alloc_chars(48);
+  const std::size_t reserved = arena.bytes_reserved();
+  const std::size_t chunks = arena.chunk_count();
+  ASSERT_GT(chunks, 1u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // A warmed arena re-serves the same load without growing.
+  for (int i = 0; i < 8; ++i) arena.alloc_chars(48);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.chunk_count(), chunks);
+}
+
+TEST(Arena, OversizeRequestGetsDedicatedChunk) {
+  Arena arena{64};
+  char* big = arena.alloc_chars(1000);  // far larger than the chunk size
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 'x', 1000);  // must all be writable
+  EXPECT_GE(arena.bytes_reserved(), 1000u);
+  // The arena stays usable for small allocations afterwards.
+  char* small = arena.alloc_chars(8);
+  ASSERT_NE(small, nullptr);
+}
+
+TEST(Arena, CopyProducesOwnedSlice) {
+  Arena arena;
+  std::string src = "hello arena";
+  Slice s = arena.copy(src);
+  src.assign(src.size(), '?');  // clobber the original
+  EXPECT_EQ(s, "hello arena");
+  EXPECT_TRUE(arena.copy(Slice{}).empty());
+}
+
+TEST(Arena, NestedScopesReleaseLifo) {
+  Arena arena{128};
+  arena.alloc_chars(10);
+  const std::size_t outer = arena.bytes_used();
+  {
+    ArenaScope scope{arena};
+    arena.alloc_chars(500);  // spills into a new chunk
+    EXPECT_GT(arena.bytes_used(), outer);
+    {
+      ArenaScope inner{arena};
+      arena.alloc_chars(32);
+    }
+  }
+  EXPECT_EQ(arena.bytes_used(), outer);
+  // Storage allocated after the rewind reuses the released chunks.
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.alloc_chars(500);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaPool, LeaseResetsAndRecyclesWarmArenas) {
+  ArenaPool pool;
+  std::size_t warmed = 0;
+  {
+    ArenaPool::Lease lease = pool.acquire();
+    lease->alloc_chars(100);
+    warmed = lease->bytes_reserved();
+    EXPECT_GT(warmed, 0u);
+  }
+  EXPECT_EQ(pool.pool().fresh_allocations(), 1u);
+  {
+    ArenaPool::Lease lease = pool.acquire();
+    // Recycled, already reset, chunks kept warm.
+    EXPECT_EQ(lease->bytes_used(), 0u);
+    EXPECT_EQ(lease->bytes_reserved(), warmed);
+    lease->alloc_chars(100);
+    EXPECT_EQ(lease->bytes_reserved(), warmed);
+  }
+  EXPECT_EQ(pool.pool().reuses(), 1u);
+}
+
+TEST(ArenaDeathTest, OffThreadUseTripsConfinementChecker) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Arena arena;
+  arena.alloc_chars(8);  // binds the arena to this thread
+  EXPECT_DEATH(
+      {
+        std::thread t{[&] { arena.alloc_chars(8); }};
+        t.join();
+      },
+      "off-thread");
+}
+
+TEST(BufWriter, AppendsIntoCallerOwnedBuffer) {
+  std::string out;
+  BufWriter w{out};
+  w.need(32).put("GET ").put("/index.wml").ch(' ').rep('x', 3);
+  w.u64(42).ch(' ').i64(-7);
+  EXPECT_EQ(out, "GET /index.wml xxx42 -7");
+  EXPECT_EQ(w.size(), out.size());
+  EXPECT_EQ(w.view(), Slice{out});
+}
+
+TEST(BufWriter, ReusedBufferAmortizesToZeroGrowth) {
+  std::string out;
+  out.reserve(128);
+  for (int i = 0; i < 100; ++i) {
+    out.clear();
+    BufWriter w{out};
+    w.put("HTTP/1.1 ").u64(200).put(" OK\r\n");
+    EXPECT_EQ(out, "HTTP/1.1 200 OK\r\n");
+    EXPECT_LE(out.capacity(), 128u);  // never re-grew past the warm capacity
+  }
+}
+
+TEST(BufWriter, PrintfStyleMatchesSnprintfForShortAndLongResults) {
+  std::string out;
+  BufWriter w{out};
+  w.f("%d %s %.6g", 7, "ok", 0.25);
+  EXPECT_EQ(out, "7 ok 0.25");
+  // Longer than the 256-byte stack window: formats into the string itself.
+  out.clear();
+  std::string big(600, 'A');
+  BufWriter{out}.f("[%s]", big.c_str());
+  EXPECT_EQ(out, "[" + big + "]");
+}
+
+TEST(NumStrHelpers, RenderDecimalBounds) {
+  EXPECT_EQ(Slice{u64s(0)}, "0");
+  EXPECT_EQ(Slice{u64s(18446744073709551615ull)}, "18446744073709551615");
+  EXPECT_EQ(Slice{i64s(-1)}, "-1");
+  EXPECT_EQ(Slice{i64s(INT64_MIN)}, "-9223372036854775808");
+  EXPECT_EQ(Slice{i64s(INT64_MAX)}, "9223372036854775807");
+}
+
+TEST(CatAndBuild, ProduceExactlyReservedStrings) {
+  const std::string s = cat("a", Slice{"bc"}, u64s(123), "|");
+  EXPECT_EQ(s, "abc123|");
+  const std::string b = build(16, [](std::string& out) {
+    BufWriter w{out};
+    w.put("k=").u64(9);
+  });
+  EXPECT_EQ(b, "k=9");
+}
+
+TEST(Scratch, SlotsKeepCapacityAcrossUses) {
+  std::string& a = scratch(0);
+  a.assign("warm-up-string-with-some-length");
+  const std::size_t cap = a.capacity();
+  a.clear();
+  std::string& again = scratch(0);
+  EXPECT_EQ(&a, &again);
+  EXPECT_GE(again.capacity(), cap);
+  // Distinct slots are distinct buffers.
+  EXPECT_NE(&scratch(0), &scratch(1));
+}
+
+}  // namespace
+}  // namespace mcs::sim

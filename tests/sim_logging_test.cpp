@@ -50,5 +50,36 @@ TEST_F(LogLevelTest, ConcurrentReadersDuringLevelChange) {
   EXPECT_EQ(bogus.load(), 0);
 }
 
+// PR 8 early-out contract: a filtered call must cost one relaxed level load
+// and nothing else — no formatting, no allocation. log_lines_formatted()
+// counts only lines that passed the gate, so it must stay flat across any
+// number of below-threshold calls.
+TEST_F(LogLevelTest, FilteredCallsNeverFormat) {
+  set_log_level(LogLevel::kWarn);
+  const std::uint64_t before = log_lines_formatted();
+  for (int i = 0; i < 1000; ++i) {
+    logf(LogLevel::kDebug, Time::zero(), "dropped %d %s", i, "payload");
+    log(LogLevel::kTrace, Time::zero(), "component", "dropped");
+  }
+  EXPECT_EQ(log_lines_formatted(), before);
+
+  // Above threshold the counter moves — the flat reading above was the
+  // early-out, not a dead counter.
+  logf(LogLevel::kError, Time::zero(), "kept %d", 1);
+  EXPECT_EQ(log_lines_formatted(), before + 1);
+}
+
+// log_enabled() is the guard callers wrap argument evaluation in (e.g.
+// node.cpp's kDebug paths): it must agree exactly with what logf would do.
+TEST_F(LogLevelTest, LogEnabledMatchesThreshold) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
 }  // namespace
 }  // namespace mcs::sim

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""check_protocol_bench: gate CI on protocol-codec allocation and throughput.
+
+Compares a fresh bench/protocol run (its JSON output) against the committed
+baseline BENCH_protocol.json and fails when any of:
+
+  * a workload's bytes_per_req rose more than --bytes-slack above the
+    baseline. Allocator traffic per request is deterministic for a given
+    build (it does not depend on machine load), so this is the hard gate:
+    it catches "someone re-introduced a per-request allocation" even on a
+    noisy runner. The small slack absorbs stdlib growth-policy differences
+    across toolchains, not real regressions.
+  * a legacy-vs-new workload's alloc_reduction (legacy bytes / new bytes,
+    denominator clamped to 1 byte) fell below --min-alloc-reduction
+    (default 3.0) — the zero-copy pipeline's contract from DESIGN.md §12.
+  * a legacy-vs-new workload's speedup fell below --min-speedup (default
+    1.0): both sides run in one process on one machine, so the ratio is
+    robust to the runner being a different or busy box.
+  * absolute ops_per_sec regressed more than --tolerance below baseline —
+    only checked when the fresh run is not a smoke run (iteration scales
+    match by construction then).
+
+Usage:
+  check_protocol_bench.py --baseline BENCH_protocol.json --current fresh.json \
+      [--tolerance 0.25] [--min-alloc-reduction 3.0] [--min-speedup 1.0] \
+      [--bytes-slack 0.10]
+
+Exit status: 0 ok, 1 regression, 2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_protocol_bench: cannot read {path}: {exc}",
+              file=sys.stderr)
+        sys.exit(2)
+    if data.get("bench") != "protocol" or "workloads" not in data:
+        print(f"check_protocol_bench: {path} is not a bench/protocol JSON",
+              file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--current", required=True, type=Path)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional ops/sec drop (default 0.25)")
+    parser.add_argument("--min-alloc-reduction", type=float, default=3.0,
+                        help="minimum legacy/new bytes-per-request ratio for "
+                             "workloads with a legacy twin (default 3.0)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="minimum new/legacy ops/sec ratio (default 1.0)")
+    parser.add_argument("--bytes-slack", type=float, default=0.10,
+                        help="allowed fractional bytes-per-req growth over "
+                             "baseline (default 0.10); a zero-byte baseline "
+                             "allows up to 16 bytes/req of slack")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    comparable = not current.get("smoke", False)
+    if not comparable:
+        print("check_protocol_bench: smoke run; "
+              "skipping absolute ops/sec comparison")
+
+    failures = []
+    for name, base in baseline["workloads"].items():
+        cur = current["workloads"].get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+
+        # Hard, machine-independent gate: per-request allocator traffic.
+        ceiling = max(base["bytes_per_req"] * (1.0 + args.bytes_slack), 16.0)
+        if cur["bytes_per_req"] > ceiling:
+            failures.append(
+                f"{name}: bytes/req grew {base['bytes_per_req']:.1f} -> "
+                f"{cur['bytes_per_req']:.1f} (ceiling {ceiling:.1f})")
+
+        has_legacy = "alloc_reduction" in cur
+        if has_legacy:
+            if cur["alloc_reduction"] < args.min_alloc_reduction:
+                failures.append(
+                    f"{name}: alloc reduction vs legacy is "
+                    f"{cur['alloc_reduction']:.1f}x, below the "
+                    f"{args.min_alloc_reduction:.1f}x floor")
+            if cur["speedup"] < args.min_speedup:
+                failures.append(
+                    f"{name}: speedup over legacy codec is "
+                    f"{cur['speedup']:.2f}x, below the "
+                    f"{args.min_speedup:.2f}x floor")
+
+        if comparable:
+            floor = base["ops_per_sec"] * (1.0 - args.tolerance)
+            if cur["ops_per_sec"] < floor:
+                failures.append(
+                    f"{name}: ops/sec regressed {base['ops_per_sec']:.0f} -> "
+                    f"{cur['ops_per_sec']:.0f} "
+                    f"(floor {floor:.0f} at {args.tolerance:.0%} tolerance)")
+
+        detail = (f", reduction {cur['alloc_reduction']:.1f}x, "
+                  f"speedup {cur['speedup']:.2f}x" if has_legacy else "")
+        print(f"{name}: {cur['ops_per_sec']:.0f} ops/sec, "
+              f"{cur['bytes_per_req']:.1f} B/req "
+              f"(baseline {base['bytes_per_req']:.1f}){detail}")
+
+    if failures:
+        print("\nprotocol bench regression:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_protocol_bench: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,6 +97,13 @@ class CallGraph:
             found.extend(self.by_qual.get((c, name), ()))
         return found
 
+    def _class_in_type(self, ty):
+        hit = None
+        for word in ty.replace("<", " ").replace(">", " ").split():
+            if word in self.project.class_index:
+                hit = word  # last class name wins: unique_ptr<ThreadPool>
+        return hit
+
     def _receiver_class(self, fm, fn, recv_name):
         """Resolve a receiver variable name to a project class name, through
         locals then the enclosing class's members. Type text may be a smart
@@ -116,11 +123,41 @@ class CallGraph:
                     break
         if ty is None:
             return None
-        hit = None
-        for word in ty.replace("<", " ").replace(">", " ").split():
-            if word in self.project.class_index:
-                hit = word  # last class name wins: unique_ptr<ThreadPool>
-        return hit
+        return self._class_in_type(ty)
+
+    def _chain_receiver_class(self, fm, fn, toks, i):
+        """Receiver class for the call at token i (toks[i-1] is . or ->),
+        following plain member-access chains: db_.wal_.append(...) resolves
+        db_ -> Database, then member wal_ -> Wal. Computed receivers
+        (foo().m(), arr[k].m()) resolve to None as before."""
+        names = []
+        j = i - 1  # the . or -> before the method name
+        while j >= 1 and toks[j].kind == "punct" and toks[j].text in (".",
+                                                                     "->"):
+            recv = toks[j - 1]
+            if recv.kind != "id":
+                return None  # computed receiver: fall back as before
+            names.append(recv.text)
+            j -= 2
+        names.reverse()
+        if not names:
+            return None
+        head = names[0]
+        if head == "this":
+            cls = fn.cls_name
+        else:
+            cls = self._receiver_class(fm, fn, head)
+        for name in names[1:]:
+            if cls is None:
+                return None
+            ci = self.project.class_index.get(cls)
+            if ci is None:
+                return None
+            mem = ci.member(name)
+            if mem is None:
+                return None
+            cls = self._class_in_type(mem.type_text)
+        return cls
 
     def _calls_from(self, fm, fn):
         toks = fm.tokens
@@ -141,7 +178,13 @@ class CallGraph:
                 out.append((callee, t.line))
         return out
 
-    def _resolve(self, fm, fn, toks, i):
+    def _resolve(self, fm, fn, toks, i, allow_fallback=True):
+        """Callee candidates for the call at token i. With
+        allow_fallback=False the receiver-less everyone-named-X guess is
+        disabled: only definitive resolutions (receiver type known, explicit
+        qualification, enclosing class, project free function) are returned
+        — the mode hotpath-alloc uses to decide whether a call lands in
+        analyzed project code."""
         name = toks[i].text
         prev = toks[i - 1] if i > 0 else None
         if prev is not None and prev.kind == "punct":
@@ -156,16 +199,13 @@ class CallGraph:
                     return list(self.by_qual.get(("", name), ()))
                 return []  # std:: call
             if prev.text in (".", "->"):
-                recv = toks[i - 2] if i >= 2 else None
-                if recv is None or recv.kind != "id":
-                    return self._fallback(name)
-                if recv.text == "this":
-                    cls = fn.cls_name
-                else:
-                    cls = self._receiver_class(fm, fn, recv.text)
+                cls = self._chain_receiver_class(fm, fn, toks, i)
                 if cls is None:
-                    return self._fallback(name)
-                return self._methods_on(cls, name)
+                    return self._fallback(name) if allow_fallback else []
+                methods = self._methods_on(cls, name)
+                if not methods and not allow_fallback:
+                    return []  # known class, but the method isn't its own
+                return methods
         # Bare call: enclosing class family first, then free functions.
         if fn.cls_name:
             methods = self._methods_on(fn.cls_name, name)

@@ -1,5 +1,5 @@
 // known-bad fixture for hotpath-alloc: heap allocation, std::string
-// construction, and container growth reachable from the wbxml_encode
+// construction, and container growth reachable from the translate_html
 // entry point, including one hop down the call graph.
 #include <string>
 #include <vector>
@@ -25,7 +25,7 @@ int deep_helper(int n) {
 
 }  // namespace fixture_hotpath
 
-std::string wbxml_encode(const std::string& doc) {
+std::string translate_html(const std::string& doc) {
   std::string head = fixture_hotpath::build_payload(3);
   (void)fixture_hotpath::deep_helper(2);
   return head + std::to_string(doc.size());  // allocating call

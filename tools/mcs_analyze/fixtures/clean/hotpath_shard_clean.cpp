@@ -1,6 +1,9 @@
 // known-clean counterpart for hotpath-alloc and shard-escape: a hot-path
-// entry that works in preallocated storage, plus shared-state shapes the
-// checks must accept (const, thread_local, atomic, unreachable-from-entry).
+// entry that works in preallocated storage through a project-defined
+// zero-copy writer (the sim/arena.h mold: an alloc/growth-named call that
+// resolves to project code charges the callee's body, not the call site),
+// plus shared-state shapes the checks must accept (const, thread_local,
+// atomic, unreachable-from-entry).
 #include <atomic>
 #include <cstddef>
 
@@ -15,9 +18,26 @@ void configure(int v) {  // not an entry point; g_cold_config never escapes
   g_cold_config = v;
 }
 
-int html_to_wml(char* buf, int len) {
+namespace fixture_arena {
+
+// Writes into caller-provided storage. The growth-named method is project
+// code whose own body allocates nothing, so neither the call site below nor
+// this callee may trip hotpath-alloc.
+struct SliceWriter {
+  char* dst = nullptr;
+  std::size_t len = 0;
+  void append(const char* s, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) dst[len++] = s[i];
+  }
+};
+
+}  // namespace fixture_arena
+
+int translate_html(char* buf, int len) {
   t_scratch = len;
   g_ticks.fetch_add(1, std::memory_order_relaxed);
+  fixture_arena::SliceWriter w{buf, 0};
+  w.append("ok", 2);  // resolves to SliceWriter::append: not a call-site hit
   int sum = 0;
   for (int i = 0; i < len && i < kTableSize; ++i) {
     sum += buf[i];  // in-place transform, no allocation
