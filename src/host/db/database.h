@@ -7,28 +7,38 @@
 #include <vector>
 
 #include "host/db/table.h"
+#include "sim/arena.h"
+#include "sim/thread_annotations.h"
 
 namespace mcs::host::db {
 
 // Write-ahead log record; the log is the durability model (the simulated
-// fsync cost lives in DbServer's timing, the content here).
+// fsync cost lives in DbServer's timing, the content here). Records are an
+// intrusive list bump-allocated from the owning Wal's arena: both the
+// structs and the op bytes die together at checkpoint().
 struct WalRecord {
   std::uint64_t txn = 0;
-  std::string op;  // "INS product 5|Phone|299.9", "COMMIT", ...
+  // "INS product 5|Phone|299.9", "COMMIT", ...
+  sim::Slice op MCS_ARENA_STABLE = {};        // bytes in the Wal's arena
+  WalRecord* next MCS_ARENA_STABLE = nullptr;  // same arena, same lifetime
 };
 
-class Wal {
+class MCS_OWNS_ARENA Wal {
  public:
-  void append(std::uint64_t txn, std::string op);
-  std::size_t records() const { return records_.size(); }
+  void append(std::uint64_t txn, sim::Slice op);
+  std::size_t records() const { return count_; }
   std::size_t bytes() const { return bytes_; }
-  const std::vector<WalRecord>& all() const { return records_; }
-  // Truncate after a checkpoint.
+  const WalRecord* head() const { return head_; }  // oldest-first traversal
+  // Truncate after a checkpoint: one wholesale arena reset frees every
+  // record and its bytes, keeping the warmed chunks for the next epoch.
   void checkpoint();
   std::uint64_t checkpoints() const { return checkpoints_; }
 
  private:
-  std::vector<WalRecord> records_;
+  sim::Arena arena_;  // WalRecord structs + op bytes
+  WalRecord* head_ = nullptr;
+  WalRecord* tail_ = nullptr;
+  std::size_t count_ = 0;
   std::size_t bytes_ = 0;
   std::uint64_t checkpoints_ = 0;
 };

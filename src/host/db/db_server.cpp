@@ -232,7 +232,7 @@ void DbServer::complete(const std::shared_ptr<Connection>& conn,
     // dead after this flush, so its message doubles as the send buffer.
     obs::ActiveScope scope{front->ctx};
     front->msg += '\n';
-    conn->socket->send(std::move(front->msg));
+    conn->socket->send(front->msg);
   }
 }
 
@@ -501,7 +501,7 @@ void DbClient::send_command(std::string&& line, Callback cb) {
   stats_.counter("commands").add();
   pending_.push_back(std::move(cb));
   line += '\n';
-  socket_->send(std::move(line));
+  socket_->send(line);
 }
 
 void DbClient::on_data(const std::string& bytes) {

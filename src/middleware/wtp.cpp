@@ -73,7 +73,7 @@ void WtpEndpoint::send_segments(net::Endpoint to, const char* kind,
     });
     stats_.counter("datagrams_sent").add();
     stats_.counter("bytes_sent").add(frame.size());
-    udp_.send(to, port_, std::move(frame));
+    udp_.send(to, port_, frame);
   }
 }
 

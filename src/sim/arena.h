@@ -44,7 +44,54 @@
 #include "sim/pool.h"
 #include "sim/threading.h"
 
+// Manual AddressSanitizer poisoning (the dynamic oracle behind mcs-analyze's
+// arena-escape check, DESIGN.md §13): under MCS_SANITIZE=address the arena
+// poisons every byte it has taken back — reset(), scope rewind(), fresh
+// chunks before first use — and unpoisons exactly the ranges it hands out.
+// Any read through a stale Slice/pointer after the arena reclaimed it traps
+// as use-after-poison instead of silently reading recycled bytes. Without
+// ASan every hook compiles to nothing.
+#if defined(__SANITIZE_ADDRESS__)
+#define MCS_ARENA_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MCS_ARENA_ASAN 1
+#endif
+#endif
+#if defined(MCS_ARENA_ASAN)
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace mcs::sim {
+
+// True when arena memory is poisoned on reclaim (tests use this to skip
+// death tests that need the oracle).
+inline constexpr bool arena_poisoning_enabled() {
+#if defined(MCS_ARENA_ASAN)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+inline void arena_poison(const void* p, std::size_t n) {
+#if defined(MCS_ARENA_ASAN)
+  if (n != 0) __asan_poison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+inline void arena_unpoison(const void* p, std::size_t n) {
+#if defined(MCS_ARENA_ASAN)
+  if (n != 0) __asan_unpoison_memory_region(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+}  // namespace detail
 
 // Non-owning byte range: the currency between protocol pipeline stages.
 using Slice = std::string_view;
@@ -62,6 +109,11 @@ class Arena {
   }
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
+  ~Arena() {
+    // Hand the chunks back to operator delete[] unpoisoned so the teardown
+    // itself never reads as a sanitizer hit.
+    for (Chunk& c : chunks_) detail::arena_unpoison(c.data.get(), c.size);
+  }
 
   // Aligned raw storage, valid until reset()/rewind() passes it.
   void* allocate(std::size_t n,
@@ -74,7 +126,9 @@ class Arena {
       if (aligned + n <= chunks_[cur_].size) {
         off_ = aligned + n;
         used_ = high_water_ + off_;
-        return chunks_[cur_].data.get() + aligned;
+        char* p = chunks_[cur_].data.get() + aligned;
+        detail::arena_unpoison(p, n);
+        return p;
       }
     }
     grow(n + align);
@@ -83,7 +137,9 @@ class Arena {
                   "Arena grow() produced an undersized chunk");
     off_ = aligned + n;
     used_ = high_water_ + off_;
-    return chunks_[cur_].data.get() + aligned;
+    char* p = chunks_[cur_].data.get() + aligned;
+    detail::arena_unpoison(p, n);
+    return p;
   }
 
   char* alloc_chars(std::size_t n) {
@@ -100,8 +156,11 @@ class Arena {
   }
 
   // Rewind to empty. Chunks are kept: a warmed arena never re-allocates.
+  // Under ASan every retained byte is poisoned, so any Slice or pointer
+  // that escaped the request traps on its next use.
   void reset() {
     confinement_.assert_confined("Arena::reset() off-thread");
+    for (Chunk& c : chunks_) detail::arena_poison(c.data.get(), c.size);
     cur_ = 0;
     off_ = 0;
     used_ = 0;
@@ -121,6 +180,16 @@ class Arena {
     confinement_.assert_confined("Arena::rewind() off-thread");
     MCS_ASSERT(m.cur < cur_ || (m.cur == cur_ && m.off <= off_),
                "Arena::rewind() must release LIFO");
+    // Poison everything the scope is releasing: the tail of the marker's
+    // chunk plus every later chunk (ASan granularity makes the first few
+    // bytes past an unaligned m.off best-effort; the rest is exact).
+    if (m.cur < chunks_.size()) {
+      const Chunk& c = chunks_[m.cur];
+      detail::arena_poison(c.data.get() + m.off, c.size - m.off);
+    }
+    for (std::size_t i = m.cur + 1; i < chunks_.size() && i <= cur_; ++i) {
+      detail::arena_poison(chunks_[i].data.get(), chunks_[i].size);
+    }
     cur_ = m.cur;
     off_ = m.off;
     used_ = m.used;
@@ -159,6 +228,9 @@ class Arena {
     chunks_.push_back(Chunk{std::unique_ptr<char[]>{new char[size]}, size});
     cur_ = chunks_.size() - 1;
     off_ = 0;
+    // Fresh storage starts poisoned; allocate() unpoisons exactly what it
+    // hands out, so the gaps between allocations stay trapped too.
+    detail::arena_poison(chunks_[cur_].data.get(), size);
   }
 
   std::vector<Chunk> chunks_;

@@ -62,3 +62,18 @@
 // function's field accesses from the unguarded-field check; without the
 // marker a merge reached from threaded code is reported.
 #define MCS_EXTERNALLY_SERIALIZED
+
+// Arena-lifetime annotations for mcs_analyze's arena-escape check
+// (DESIGN.md §13). Both expand to nothing; they are read by the analyzer.
+//
+//   MCS_ARENA_STABLE   on a field, global, or function: the arena-backed
+//       value stored here (or returned from here) is an INTENTIONAL
+//       transfer — the author has checked that the owner's lifetime is
+//       nested inside the arena's, or that the value is re-pointed before
+//       every use after a reset. The comment next to the annotation must
+//       say which.
+//   MCS_OWNS_ARENA     on a class: the class owns the Arena its members
+//       point into (arena and views die together), so storing arena-backed
+//       slices into its fields is safe by construction.
+#define MCS_ARENA_STABLE
+#define MCS_OWNS_ARENA

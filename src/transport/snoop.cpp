@@ -31,6 +31,9 @@ void SnoopAgent::flush() {
     ap_.sim().cancel(scan_timer_);
     scan_timer_ = sim::kInvalidEventId;
   }
+  MCS_INVARIANT(!any_cached() && scan_timer_ == sim::kInvalidEventId,
+                "flush must leave no cached segments and no scan timer, "
+                "or a dead AP keeps retransmitting into the void");
 }
 
 bool SnoopAgent::any_cached() const {

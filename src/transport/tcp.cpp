@@ -84,7 +84,7 @@ void TcpSocket::start_accept(const net::PacketPtr& /*syn*/) {
   arm_rto();
 }
 
-void TcpSocket::send(std::string data) {
+void TcpSocket::send(sim::Slice data) {
   if (data.empty() || fin_pending_ || state_ == State::kClosed ||
       state_ == State::kFinWait || state_ == State::kLastAck) {
     return;
@@ -95,6 +95,9 @@ void TcpSocket::send(std::string data) {
   }
   send_buffer_ += data;
   send_buffer_end_ += data.size();
+  MCS_INVARIANT(send_buffer_end_ - send_buffer_base_ == send_buffer_.size(),
+                "stream-offset accounting must track the buffered bytes "
+                "exactly or retransmission slices the wrong data");
   if (state_ == State::kEstablished || state_ == State::kCloseWait) {
     try_send();
   }
@@ -103,6 +106,9 @@ void TcpSocket::send(std::string data) {
 void TcpSocket::close() {
   if (fin_pending_ || state_ == State::kClosed) return;
   fin_pending_ = true;
+  MCS_INVARIANT(state_ != State::kClosed,
+                "graceful close never teleports to CLOSED; teardown goes "
+                "through the FIN handshake states");
   if (state_ == State::kEstablished || state_ == State::kCloseWait) {
     try_send();
   }
@@ -129,6 +135,9 @@ void TcpSocket::notify_handoff() {
   } else {
     rto_ = cfg_.initial_rto;
   }
+  MCS_INVARIANT(rto_ <= cfg_.max_rto,
+                "the mobility RTO reset must discard congestion backoff, "
+                "not reintroduce it");
   retransmit_head("handoff");
   arm_rto();
 }
@@ -624,6 +633,9 @@ void TcpStack::notify_handoff_all() {
   std::vector<TcpSocket::Ptr> socks;
   socks.reserve(connections_.size());
   for (auto& [k, s] : connections_) socks.push_back(s);
+  MCS_ASSERT(socks.size() == connections_.size(),
+             "the snapshot must cover every live connection before "
+             "handoff callbacks start mutating the map");
   for (auto& s : socks) s->notify_handoff();
 }
 

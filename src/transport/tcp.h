@@ -11,6 +11,7 @@
 
 #include "net/node.h"
 #include "obs/trace.h"
+#include "sim/arena.h"
 #include "sim/stats.h"
 
 namespace mcs::transport {
@@ -75,7 +76,10 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   // Connection fully closed or reset; last callback the socket fires.
   std::function<void()> on_closed;
 
-  void send(std::string data);
+  // Queue application bytes for transmission. The view is consumed into
+  // send_buffer_ before returning, so callers may pass slices of reused
+  // buffers (sim/arena.h vocabulary) without materializing a std::string.
+  void send(sim::Slice data);
   // Half-close: FIN after all buffered data is delivered.
   void close();
   // Drop the connection immediately (RST to peer).

@@ -18,14 +18,17 @@ void UdpStack::bind(std::uint16_t port, ReceiveCallback cb) {
 void UdpStack::unbind(std::uint16_t port) { ports_.erase(port); }
 
 void UdpStack::send(net::Endpoint dst, std::uint16_t src_port,
-                    std::string payload) {
+                    sim::Slice payload) {
+  MCS_ASSERT(dst.port != 0,
+             "datagram to port 0 would be silently dropped by every "
+             "receiver; the caller forgot to fill in the endpoint");
   auto p = net::make_packet();
   p->src = node_.addr();
   p->dst = dst.addr;
   p->proto = net::Protocol::kUdp;
   p->udp.src_port = src_port;
   p->udp.dst_port = dst.port;
-  p->payload = std::move(payload);
+  p->payload.assign(payload.data(), payload.size());
   node_.send(p);
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "net/node.h"
+#include "sim/arena.h"
 
 namespace mcs::transport {
 
@@ -26,7 +27,9 @@ class UdpStack {
   bool bound(std::uint16_t port) const { return ports_.contains(port); }
 
   // Send one datagram. `src_port` may be 0 for fire-and-forget senders.
-  void send(net::Endpoint dst, std::uint16_t src_port, std::string payload);
+  // The view is copied into the packet before returning, so callers may
+  // pass slices of reused buffers without materializing a std::string.
+  void send(net::Endpoint dst, std::uint16_t src_port, sim::Slice payload);
 
   // Allocate an unused ephemeral port.
   std::uint16_t allocate_port();

@@ -38,6 +38,8 @@ void HandoffManager::stop() {
     sim_.cancel(timer_);
     timer_ = sim::kInvalidEventId;
   }
+  MCS_INVARIANT(timer_ == sim::kInvalidEventId,
+                "a stopped manager must leave no pending probe timer");
 }
 
 WirelessMedium* HandoffManager::best_cell() const {

@@ -46,6 +46,9 @@ void WirelessMedium::disassociate(net::Interface* station) {
   if (it->second.in_call) end_call(station);
   stations_.erase(it);
   if (station->channel() == this) station->detach();
+  MCS_INVARIANT(!stations_.contains(station) && !has_call(station),
+                "a disassociated station must hold neither an association "
+                "record nor a reserved circuit channel");
   stats_.counter("disassociations").add();
   if (on_topology_changed) on_topology_changed();
 }
@@ -67,6 +70,9 @@ void WirelessMedium::place_call(net::Interface* station,
     return;
   }
   ++calls_;  // channel reserved during setup
+  MCS_INVARIANT(calls_ <= cfg_.circuit_channels,
+                "reserving a setup channel can never oversubscribe the "
+                "cell's circuit capacity");
   stats_.counter("calls_placed").add();
   sim_.after(cfg_.phy.call_setup, [this, station, done = std::move(done)] {
     auto sit = stations_.find(station);
@@ -84,6 +90,9 @@ void WirelessMedium::end_call(net::Interface* station) {
   auto it = stations_.find(station);
   if (it == stations_.end() || !it->second.in_call) return;
   it->second.in_call = false;
+  MCS_ASSERT(calls_ > 0,
+             "a station marked in_call implies at least one reserved "
+             "circuit channel to release");
   --calls_;
   stats_.counter("calls_ended").add();
 }

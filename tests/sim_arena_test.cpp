@@ -108,6 +108,55 @@ TEST(ArenaPool, LeaseResetsAndRecyclesWarmArenas) {
   EXPECT_EQ(pool.pool().reuses(), 1u);
 }
 
+// ASan-poisoning oracle (DESIGN.md §13): with MCS_SANITIZE=address the arena
+// poisons reclaimed bytes, so the lifetime bugs mcs-analyze's arena-escape
+// check hunts statically also trap at runtime. The full seeded-escape matrix
+// lives in arena_poison_test.cpp; these cover the three canonical seeds in
+// the vocabulary's own test file. All skip without ASan.
+TEST(ArenaDeathTest, PoisonedUseAfterResetTraps) {
+  if (!arena_poisoning_enabled()) {
+    GTEST_SKIP() << "needs MCS_SANITIZE=address";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Arena arena;
+  char* volatile p = arena.alloc_chars(16);
+  arena.reset();
+  EXPECT_DEATH({ [[maybe_unused]] volatile char c = p[0]; },
+               "use-after-poison");
+}
+
+TEST(ArenaDeathTest, PoisonedUseAfterPoolReturnTraps) {
+  if (!arena_poisoning_enabled()) {
+    GTEST_SKIP() << "needs MCS_SANITIZE=address";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ArenaPool pool;
+  char* volatile p = nullptr;
+  {
+    ArenaPool::Lease lease = pool.acquire();
+    p = lease->alloc_chars(16);
+  }
+  EXPECT_DEATH({ [[maybe_unused]] volatile char c = p[0]; },
+               "use-after-poison");
+}
+
+TEST(BufWriterDeathTest, StaleViewAcrossGrowingAppendTraps) {
+  if (!arena_poisoning_enabled()) {
+    GTEST_SKIP() << "needs MCS_SANITIZE=address";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        std::string out;
+        BufWriter w{out};
+        w.rep('x', 64);
+        Slice stale = w.view();
+        w.rep('y', out.capacity() - out.size() + 1);  // reallocates
+        [[maybe_unused]] volatile char c = stale.data()[0];
+      },
+      "heap-use-after-free");
+}
+
 TEST(ArenaDeathTest, OffThreadUseTripsConfinementChecker) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   Arena arena;

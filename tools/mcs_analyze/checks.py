@@ -19,8 +19,15 @@ frontend ran, and yields Finding records. Six families:
                simulation (interprocedural).
   locking      lock-order — cycles in the mutex acquisition graph and
                cond-var waits holding a second lock (interprocedural).
+  arena        arena-escape — arena-backed views/pointers (Arena::copy,
+               alloc_chars, BufWriter::view, functions summarized as
+               returning arena memory) escaping their arena's lifetime:
+               stored into long-lived fields/globals, returned from a
+               function that recycles the arena, used after an invalidating
+               reset/append, or handed to another thread (interprocedural;
+               DESIGN.md §13).
 
-The last three run over the project call graph (callgraph.py, DESIGN.md §11)
+The last four run over the project call graph (callgraph.py, DESIGN.md §11)
 rather than file by file.
 
 Suppress a finding with `// mcs-analyze: allow(<check>)` on (or directly
@@ -42,6 +49,7 @@ FAMILIES = {
     "hotpath": ["hotpath-alloc"],
     "shard": ["shard-escape"],
     "locking": ["lock-order"],
+    "arena": ["arena-escape"],
 }
 
 ALL_CHECKS = [c for checks in FAMILIES.values() for c in checks]
@@ -1115,10 +1123,480 @@ def _canon_receiver(cg, fm, fn, name, type_re):
     return f"?::{name}", False
 
 
+# ---------------------------------------------------------------------------
+# arena family (DESIGN.md §13)
+#
+# arena-escape tracks arena-backed values — results of Arena::copy /
+# alloc_chars / allocate (directly or through any function the summary fixed
+# point proves returns arena memory), BufWriter::view() slices, and members
+# reached through arena-resident nodes — on a three-point lattice per local:
+#
+#   arena-tainted   points into recyclable storage
+#   stable/owning   deep-copied into owned storage (std::string, cat, build)
+#   unknown         everything else; never reported
+#
+# and reports four escape shapes:
+#   (a) tainted value stored into a view-typed field or namespace-scope
+#       global whose owner outlives the arena (silence: MCS_ARENA_STABLE on
+#       the field/global, MCS_OWNS_ARENA on the class);
+#   (b) tainted value returned from a function that also ends the arena's
+#       lifetime — opens an ArenaScope, leases from an ArenaPool, or calls
+#       reset()/rewind() (silence: MCS_ARENA_STABLE on the function);
+#   (c) use of a view after the operation that invalidated it: a BufWriter
+#       append after view(), or any arena reset()/rewind() over a live
+#       tainted local;
+#   (d) thread-entry lambda capturing an arena handle, scratch slot, or
+#       tainted view: arena memory is thread-confined (arena.h's
+#       ThreadConfinementChecker enforces the same at runtime).
+
+ARENA_ALLOC_METHODS = frozenset("allocate alloc_chars copy".split())
+# BufWriter mutators that may reallocate the underlying string and so
+# invalidate every view() previously taken from the same writer.
+WRITER_MUTATORS = frozenset("put ch rep u64 i64 f need".split())
+# Methods on a tainted receiver whose result still points into the arena.
+VIEW_CARRYING = frozenset(
+    "data c_str begin end front back substr".split())
+# Heads of expressions that deep-copy their inputs: assigning or returning
+# one of these kills taint even when the declared type is auto.
+OWNING_HEADS = frozenset("string cat build to_string u64s i64s".split())
+
+ARENA_SCOPE_TYPE = re.compile(r"\bArenaScope\b")
+ARENA_WRITER_TYPE = re.compile(r"\bBufWriter\b")
+ARENA_HANDLE_TYPE = re.compile(r"\b(Arena|ArenaPool|Lease)\b")
+ARENA_VIEW_TYPE = re.compile(r"\b(Slice|string_view)\b|\*")
+ARENA_OWNING_TYPE = re.compile(r"\b(string|NumStr)\b")
+
+
+def _arena_family_member(project, cg, cls_name, name):
+    """(ClassInfo, Member) for `name` looked up through the class family."""
+    for c in cg._family(cls_name):
+        ci = project.class_index.get(c)
+        if ci is not None:
+            mem = ci.member(name)
+            if mem is not None:
+                return ci, mem
+    return None, None
+
+
+def _arena_fn_stable(project, cg, fn) -> bool:
+    """MCS_ARENA_STABLE on the definition or the in-class declaration."""
+    if fn.arena_stable:
+        return True
+    if fn.cls_name:
+        for c in cg._family(fn.cls_name):
+            ci = project.class_index.get(c)
+            if ci is None:
+                continue
+            for m in ci.method_named(fn.name):
+                if m.arena_stable:
+                    return True
+    return False
+
+
+def _arena_stmt_end(toks, i, end):
+    """Token index of the `;` (or closing bracket) ending the statement."""
+    depth = 0
+    while i < end:
+        t = toks[i]
+        if t.kind == "punct":
+            if t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.text in (")", "]", "}"):
+                if depth == 0:
+                    return i
+                depth -= 1
+            elif t.text == ";" and depth == 0:
+                return i
+        i += 1
+    return end
+
+
+def _arena_owning_head(toks, lo, hi) -> bool:
+    """True when the expression at [lo, hi) is headed by a deep copy:
+    std::string{...}, cat(...), build(...), u64s/i64s, to_string."""
+    k = lo
+    while k < hi:
+        t = toks[k]
+        if t.kind == "id":
+            if t.text in ("std", "sim", "mcs"):
+                k += 1
+                continue
+            return t.text in OWNING_HEADS
+        if t.kind == "punct" and t.text == "::":
+            k += 1
+            continue
+        return False
+    return False
+
+
+class _ArenaState:
+    """Per-function result of _arena_flow."""
+
+    __slots__ = ("returns_tainted", "findings", "tainted", "handles")
+
+    def __init__(self):
+        self.returns_tainted = False
+        self.findings = []  # [(line, message)]
+        self.tainted = {}  # local -> first-taint line
+        self.handles = {}  # local -> 'arena' | 'scope' | 'writer' | 'scratch'
+
+
+def _arena_flow(project, cg, fm, fn, returns_arena, globals_by_name,
+                report) -> _ArenaState:
+    """Single linear walk of fn's body tokens. With report=False only the
+    returns_tainted summary bit is computed (the fixed-point phase); with
+    report=True escape findings are collected too."""
+    st = _ArenaState()
+    toks = fm.tokens
+    start, end = fn.body
+    tainted = st.tainted
+    handles = st.handles
+    views = {}  # view local -> BufWriter local it was taken from
+    killed = {}  # local -> (line, why): invalidated, use = finding (c)
+    recycle = None  # (line, why) evidence this fn ends an arena lifetime
+
+    for name, ty in fn.locals.items():
+        if ARENA_SCOPE_TYPE.search(ty):
+            handles[name] = "scope"
+            recycle = recycle or (fn.line, f"opens ArenaScope '{name}'")
+        elif ARENA_WRITER_TYPE.search(ty):
+            handles[name] = "writer"
+        elif ARENA_HANDLE_TYPE.search(ty):
+            handles[name] = "arena"
+            if "Lease" in ty:
+                recycle = recycle or (fn.line,
+                                      f"holds pool lease '{name}'")
+
+    def span_tainted(lo, hi):
+        """Does the expression at [lo, hi) evaluate to arena-backed memory?"""
+        if _arena_owning_head(toks, lo, hi):
+            return False
+        k = lo
+        while k < hi:
+            t = toks[k]
+            if t.kind != "id":
+                k += 1
+                continue
+            prev = _prev_tok(toks, k)
+            accessed = (prev is not None and prev.kind == "punct"
+                        and prev.text in (".", "->", "::"))
+            if _is_call(toks, k):
+                if t.text in ARENA_ALLOC_METHODS and accessed \
+                        and prev.text in (".", "->") \
+                        and toks[k - 2].kind == "id" \
+                        and handles.get(toks[k - 2].text) == "arena":
+                    return True
+                if not (accessed and prev.text == "::"
+                        and toks[k - 2].text == "std"):
+                    for callee in cg._resolve(fm, fn, toks, k,
+                                              allow_fallback=False):
+                        if callee in returns_arena:
+                            return True
+            elif not accessed and t.text in tainted:
+                # v.size() yields a scalar, not the pointer; v.data() (and
+                # friends) still carries it. Bare v / v->field carries it.
+                nxt = _next_tok(toks, k)
+                if nxt is not None and nxt.kind == "punct" \
+                        and nxt.text in (".", "->") \
+                        and k + 2 < hi and toks[k + 2].kind == "id" \
+                        and _is_call(toks, k + 2) \
+                        and toks[k + 2].text not in VIEW_CARRYING:
+                    k += 1
+                    continue
+                return True
+            k += 1
+        return False
+
+    def span_view_writer(lo, hi):
+        """BufWriter local whose .view() heads the expression, else None."""
+        k = lo
+        while k < hi:
+            t = toks[k]
+            if t.kind == "id" and t.text == "view" and _is_call(toks, k):
+                prev = _prev_tok(toks, k)
+                if prev is not None and prev.kind == "punct" \
+                        and prev.text in (".", "->") \
+                        and toks[k - 2].kind == "id" \
+                        and handles.get(toks[k - 2].text) == "writer":
+                    return toks[k - 2].text
+            k += 1
+        return None
+
+    def span_acquires_lease(lo, hi):
+        """True for `pool.acquire()` where pool is ArenaPool-typed."""
+        k = lo
+        while k < hi:
+            t = toks[k]
+            if t.kind == "id" and t.text == "acquire" and _is_call(toks, k):
+                prev = _prev_tok(toks, k)
+                if prev is not None and prev.kind == "punct" \
+                        and prev.text in (".", "->") \
+                        and toks[k - 2].kind == "id":
+                    recv = toks[k - 2].text
+                    ty = fn.locals.get(recv, "")
+                    if not ty and fn.cls_name:
+                        _ci, mem = _arena_family_member(project, cg,
+                                                        fn.cls_name, recv)
+                        ty = mem.type_text if mem is not None else ""
+                    if not ty:
+                        gv = globals_by_name.get(recv)
+                        ty = gv.type_text if gv is not None else ""
+                    if "ArenaPool" in ty:
+                        return True
+            k += 1
+        return False
+
+    def span_has_scratch(lo, hi):
+        k = lo
+        while k < hi:
+            if toks[k].kind == "id" and toks[k].text == "scratch" \
+                    and _is_call(toks, k):
+                return True
+            k += 1
+        return False
+
+    def decl_type(name):
+        ty = fn.locals.get(name)
+        if ty is None and fn.cls_name:
+            _ci, mem = _arena_family_member(project, cg, fn.cls_name, name)
+            if mem is not None:
+                ty = mem.type_text
+        return ty or ""
+
+    i = start + 1
+    while i < end:
+        t = toks[i]
+        if t.kind != "id":
+            i += 1
+            continue
+        prev = _prev_tok(toks, i)
+        nxt = _next_tok(toks, i)
+        accessed = (prev is not None and prev.kind == "punct"
+                    and prev.text in (".", "->", "::"))
+
+        # --- returns: summary bit + rule (b) -----------------------------
+        if t.text == "return" and not accessed:
+            lo = i + 1
+            hi = _arena_stmt_end(toks, lo, end)
+            if hi > lo and span_tainted(lo, hi):
+                st.returns_tainted = True
+                if report and recycle is not None \
+                        and not _arena_fn_stable(project, cg, fn):
+                    qual = (f"{fn.cls_name}::{fn.name}" if fn.cls_name
+                            else fn.name)
+                    st.findings.append((t.line, (
+                        f"'{qual}' returns an arena-backed value but "
+                        f"{recycle[1]} (line {recycle[0]}): the storage is "
+                        f"recycled before the caller can read it; return an "
+                        f"owned copy (std::string/cat/build) or annotate "
+                        f"the function MCS_ARENA_STABLE (DESIGN.md §13)")))
+            i += 1
+            continue
+
+        # --- assignments: `<lvalue> = <expr>` ----------------------------
+        if nxt is not None and nxt.kind == "punct" and nxt.text == "=":
+            lhs = t.text
+            lo = i + 2
+            hi = _arena_stmt_end(toks, lo, end)
+            rhs_tainted = span_tainted(lo, hi)
+
+            if prev is not None and prev.kind == "punct" \
+                    and prev.text in (".", "->"):
+                # member store through a receiver chain: obj.field = ...
+                if report and rhs_tainted:
+                    j = i - 1
+                    while j >= 1 and toks[j].kind == "punct" \
+                            and toks[j].text in (".", "->"):
+                        j -= 2
+                    head = toks[j + 1] if toks[j + 1].kind == "id" else None
+                    head_name = head.text if head is not None else None
+                    owner = cg._chain_receiver_class(fm, fn, toks, i)
+                    # Stores into arena-resident nodes die with the arena
+                    # themselves: a tainted receiver head is not an escape.
+                    if head_name not in tainted and owner is not None:
+                        ci, mem = _arena_family_member(project, cg, owner,
+                                                       lhs)
+                        if mem is not None and not mem.arena_stable \
+                                and not (ci is not None and ci.owns_arena) \
+                                and ARENA_VIEW_TYPE.search(mem.type_text):
+                            st.findings.append((t.line, (
+                                f"arena-backed view stored into field "
+                                f"'{owner}::{lhs}', whose owner outlives "
+                                f"the arena; copy into owned storage, or "
+                                f"annotate the field MCS_ARENA_STABLE / "
+                                f"the class MCS_OWNS_ARENA "
+                                f"(DESIGN.md §13)")))
+                i += 1
+                continue
+
+            if lhs in fn.locals:
+                ty = fn.locals.get(lhs, "")
+                if span_acquires_lease(lo, hi):
+                    handles[lhs] = "arena"
+                    recycle = recycle or (t.line,
+                                          f"leases arena '{lhs}' from a "
+                                          f"pool")
+                elif span_has_scratch(lo, hi):
+                    handles[lhs] = "scratch"
+                w = span_view_writer(lo, hi)
+                if w is not None and not (ARENA_VIEW_TYPE.search(ty)
+                                          or re.search(r"\bauto\b", ty)):
+                    # view() consumed inside the RHS (a call argument); the
+                    # scalar/owned result does not hold the pointer.
+                    w = None
+                if w is not None:
+                    views[lhs] = w
+                    tainted.setdefault(lhs, t.line)
+                    killed.pop(lhs, None)
+                elif rhs_tainted and not ARENA_OWNING_TYPE.search(ty):
+                    tainted.setdefault(lhs, t.line)
+                    killed.pop(lhs, None)
+                else:
+                    # reassignment from a stable source heals the local
+                    tainted.pop(lhs, None)
+                    views.pop(lhs, None)
+                    killed.pop(lhs, None)
+                i += 1
+                continue
+
+            if fn.cls_name:
+                ci, mem = _arena_family_member(project, cg, fn.cls_name,
+                                               lhs)
+                if mem is not None:
+                    if report and rhs_tainted and not mem.arena_stable \
+                            and not (ci is not None and ci.owns_arena) \
+                            and ARENA_VIEW_TYPE.search(mem.type_text):
+                        st.findings.append((t.line, (
+                            f"arena-backed view stored into field "
+                            f"'{ci.name}::{lhs}', whose owner outlives the "
+                            f"arena; copy into owned storage, or annotate "
+                            f"the field MCS_ARENA_STABLE / the class "
+                            f"MCS_OWNS_ARENA (DESIGN.md §13)")))
+                    i += 1
+                    continue
+
+            gv = globals_by_name.get(lhs)
+            if gv is not None and report and rhs_tainted \
+                    and not gv.arena_stable \
+                    and ARENA_VIEW_TYPE.search(gv.type_text):
+                st.findings.append((t.line, (
+                    f"arena-backed view stored into global '{lhs}': the "
+                    f"global outlives every arena; copy into owned storage "
+                    f"or annotate it MCS_ARENA_STABLE (DESIGN.md §13)")))
+            i += 1
+            continue
+
+        # --- calls: invalidation events ----------------------------------
+        if _is_call(toks, i) and prev is not None and prev.kind == "punct" \
+                and prev.text in (".", "->") and toks[i - 2].kind == "id":
+            recv = toks[i - 2].text
+            kind = handles.get(recv)
+            if t.text in ("reset", "rewind") and kind == "arena":
+                recycle = recycle or (t.line, f"calls {recv}.{t.text}()")
+                for name in list(tainted):
+                    killed.setdefault(name,
+                                      (t.line, f"{recv}.{t.text}()"))
+            elif t.text in WRITER_MUTATORS and kind == "writer":
+                for v, w in views.items():
+                    if w == recv:
+                        killed.setdefault(v, (t.line,
+                                              f"{recv}.{t.text}(...)"))
+
+        # --- rule (c): use of an invalidated view ------------------------
+        if report and t.text in killed and not accessed \
+                and not (nxt is not None and nxt.kind == "punct"
+                         and nxt.text == "="):
+            kline, why = killed.pop(t.text)
+            st.findings.append((t.line, (
+                f"'{t.text}' points into storage invalidated by {why} "
+                f"(line {kline}); re-take the view after the mutation or "
+                f"copy it into owned storage first (DESIGN.md §13)")))
+        i += 1
+
+    return st
+
+
+def check_arena_escape(project: Project, out):
+    cg = project.callgraph()
+
+    globals_by_name = {}
+    for fm in project.files:
+        for gv in fm.globals:
+            globals_by_name.setdefault(gv.name, gv)
+
+    # Seed: Arena's own allocators return arena memory by definition.
+    returns_arena = set()
+    for m in ARENA_ALLOC_METHODS:
+        returns_arena.update(cg.by_qual.get(("Arena", m), ()))
+
+    # Fixed point on the returns-arena summary: a function that returns a
+    # tainted value is itself a taint source for its callers.
+    changed = True
+    rounds = 0
+    while changed and rounds < 20:
+        changed = False
+        rounds += 1
+        for fm in project.files:
+            for fn in fm.functions:
+                if fn in returns_arena:
+                    continue
+                st = _arena_flow(project, cg, fm, fn, returns_arena,
+                                 globals_by_name, report=False)
+                if st.returns_tainted:
+                    returns_arena.add(fn)
+                    changed = True
+
+    for fm in project.files:
+        flows = {}
+        for fn in fm.functions:
+            st = _arena_flow(project, cg, fm, fn, returns_arena,
+                             globals_by_name, report=True)
+            flows[fn] = st
+            for line, msg in st.findings:
+                _emit(out, project, fm, line, "arena-escape", msg)
+
+        # rule (d): thread-entry lambdas must not capture arena memory.
+        for lam in fm.lambdas:
+            if not _is_thread_entry(lam) or lam.func is None:
+                continue
+            st = flows.get(lam.func)
+            if st is None:
+                continue
+            confined = {}
+            for name, kind in st.handles.items():
+                if kind in ("arena", "scope"):
+                    confined[name] = "arena handle"
+                elif kind == "scratch":
+                    confined[name] = "thread-local scratch slot"
+            for name in st.tainted:
+                confined.setdefault(name, "arena-backed view")
+            caught = set()
+            for kind, name in lam.captures:
+                if kind in ("ref", "val") and name in confined:
+                    caught.add(name)
+            if any(kind in ("default_ref", "default_val")
+                   for kind, _name in lam.captures):
+                s, e = lam.body
+                k = s + 1
+                while k < e:
+                    tt = fm.tokens[k]
+                    if tt.kind == "id" and tt.text in confined \
+                            and not _is_member_access(fm.tokens, k):
+                        caught.add(tt.text)
+                    k += 1
+            for name in sorted(caught):
+                _emit(out, project, fm, lam.line, "arena-escape",
+                      f"thread-entry lambda captures {confined[name]} "
+                      f"'{name}': arenas, leases, and scratch slots are "
+                      f"thread-confined (DESIGN.md §13); hand the thread "
+                      f"an owned copy instead")
+
+
 PROJECT_CHECK_FNS = {
     "hotpath-alloc": check_hotpath_alloc,
     "shard-escape": check_shard_escape,
     "lock-order": check_lock_order,
+    "arena-escape": check_arena_escape,
 }
 
 

@@ -1,0 +1,22 @@
+// known-bad fixture for arena-escape rule (a): arena-backed views stored
+// into fields whose owner outlives the arena — once through a bare member
+// assignment inside a method, once through a receiver chain from a free
+// function. Neither target is annotated MCS_ARENA_STABLE / MCS_OWNS_ARENA.
+#include <string>
+
+namespace fixture_arena_field {
+
+struct SessionCache {
+  Slice last_title_ = {};
+  const char* last_body_ = nullptr;
+
+  void remember(Arena& arena, const std::string& title) {
+    last_title_ = arena.copy(title);  // bad: cache outlives the arena
+  }
+};
+
+void stash_body(SessionCache* cache, Arena& arena, const std::string& body) {
+  cache->last_body_ = arena.alloc_chars(body.size());  // bad: chain store
+}
+
+}  // namespace fixture_arena_field

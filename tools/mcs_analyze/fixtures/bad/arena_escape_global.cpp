@@ -1,0 +1,14 @@
+// known-bad fixture for arena-escape rule (a), global flavor: a view into
+// recyclable arena storage parked in a namespace-scope global, which
+// outlives every arena. The global carries no MCS_ARENA_STABLE annotation.
+#include <string>
+
+namespace fixture_arena_global {
+
+Slice g_last_packet = {};
+
+void remember_packet(Arena& arena, const std::string& payload) {
+  g_last_packet = arena.copy(payload);  // bad: global outlives the arena
+}
+
+}  // namespace fixture_arena_global

@@ -1,0 +1,26 @@
+// known-bad fixture for arena-escape rule (c), reset/rewind flavor: views
+// used after the arena operation that recycled their storage. The first
+// case also exercises the interprocedural summary — the taint arrives
+// through helper_copy(), not a direct Arena::copy call.
+#include <string>
+
+namespace fixture_arena_reset {
+
+Slice helper_copy(Arena& arena, const std::string& s) {
+  return arena.copy(s);  // fine here: the caller's arena owns the bytes
+}
+
+std::size_t use_after_reset(Arena& arena, const std::string& s) {
+  Slice t = helper_copy(arena, s);
+  arena.reset();
+  return t.size();  // bad: t's bytes were recycled by the reset
+}
+
+std::size_t use_after_rewind(Arena& arena, const std::string& s) {
+  auto m = arena.mark();
+  Slice t = arena.copy(s);
+  arena.rewind(m);
+  return t.size();  // bad: the rewind released t's storage
+}
+
+}  // namespace fixture_arena_reset

@@ -1,0 +1,26 @@
+// known-bad fixture for arena-escape rule (b): functions that return
+// arena-backed values while also ending the arena's lifetime — via an
+// ArenaScope pop, a pool-lease return, and an explicit reset(). In every
+// case the storage is recycled before the caller can read it.
+#include <string>
+
+namespace fixture_arena_return {
+
+Slice scoped_title(Arena& arena, const std::string& raw) {
+  ArenaScope scope{arena};
+  Slice title = arena.copy(raw);
+  return title;  // bad: the scope pops this storage on the way out
+}
+
+Slice leased_label(ArenaPool& pool, const std::string& raw) {
+  auto lease = pool.acquire();
+  return lease->copy(raw);  // bad: the lease resets the arena on return
+}
+
+const char* reset_then_return(Arena& arena, std::size_t n) {
+  char* p = arena.alloc_chars(n);
+  arena.reset();
+  return p;  // bad: reset already recycled the bytes behind p
+}
+
+}  // namespace fixture_arena_return

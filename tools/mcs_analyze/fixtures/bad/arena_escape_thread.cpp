@@ -1,0 +1,24 @@
+// known-bad fixture for arena-escape rule (d): thread-entry lambdas
+// capturing thread-confined arena state — the arena handle itself by
+// reference, and an arena-backed view by value. Arena memory never crosses
+// threads (ThreadConfinementChecker aborts the same at runtime).
+#include <string>
+#include <thread>
+
+namespace fixture_arena_thread {
+
+void consume(Slice s);
+
+void handoff(Arena& arena, const std::string& s) {
+  Slice t = arena.copy(s);
+  std::thread producer{[&arena] {
+    arena.alloc_chars(8);  // bad: arena is confined to the spawning thread
+  }};
+  std::thread reader{[t] {
+    consume(t);  // bad: t points into the spawning thread's arena
+  }};
+  producer.join();
+  reader.join();
+}
+
+}  // namespace fixture_arena_thread

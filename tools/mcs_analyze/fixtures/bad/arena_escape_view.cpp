@@ -1,0 +1,19 @@
+// known-bad fixture for arena-escape rule (c), BufWriter flavor: a view()
+// slice held across a later append to the same writer, which may grow the
+// underlying string and dangle every previously taken view.
+#include <string>
+
+namespace fixture_arena_view {
+
+void consume(Slice s);
+
+void stale_view(std::string& out, const std::string& a,
+                const std::string& b) {
+  BufWriter w{out};
+  w.put(a);
+  Slice head = w.view();
+  w.put(b);       // may reallocate `out`: `head` now dangles
+  consume(head);  // bad: stale view used after the invalidating append
+}
+
+}  // namespace fixture_arena_view

@@ -1,0 +1,18 @@
+// Clean fixture for arena-escape: the caller's-arena contract. A function
+// handed an Arena& that returns memory allocated from it — without opening
+// a scope, leasing, or resetting — transfers nothing: the caller owns the
+// arena and decides how long the bytes live.
+#include <string>
+
+namespace fixture_arena_caller {
+
+Slice lower_copy(Arena& arena, const std::string& s) {
+  return arena.copy(s);  // fine: caller's arena, caller's lifetime
+}
+
+Slice relabel(Arena& arena, const std::string& s) {
+  Slice t = lower_copy(arena, s);
+  return t;  // fine: still the caller's arena, one summary hop deep
+}
+
+}  // namespace fixture_arena_caller

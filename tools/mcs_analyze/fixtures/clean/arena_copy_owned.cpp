@@ -1,0 +1,22 @@
+// Clean fixture for arena-escape: deep copies kill taint. Assigning an
+// arena-backed view into owned storage (std::string, cat) detaches the
+// bytes from the arena, so returning or storing the copy is fine even when
+// the function recycles the arena.
+#include <string>
+
+namespace fixture_arena_copy {
+
+std::string owned_copy(Arena& arena, const std::string& s) {
+  ArenaScope scope{arena};
+  Slice t = arena.copy(s);
+  std::string owned = std::string(t.data(), t.size());
+  return owned;  // fine: `owned` holds its own bytes
+}
+
+std::string owned_cat(Arena& arena, const std::string& s) {
+  ArenaScope scope{arena};
+  Slice t = arena.copy(s);
+  return cat("title=", t);  // fine: cat materializes an owning string
+}
+
+}  // namespace fixture_arena_copy

@@ -1,0 +1,20 @@
+// Clean fixture for arena-escape rule (a): stores into arena-resident
+// nodes are not escapes — the target object dies with the same arena the
+// stored view points into (the translate.cpp VNode graph pattern).
+#include <string>
+
+namespace fixture_arena_nodes {
+
+struct Node {
+  Slice name = {};
+  Node* next = nullptr;
+};
+
+Node* push_node(Arena& arena, const std::string& label, Node* head) {
+  Node* n = static_cast<Node*>(arena.allocate(sizeof(Node), alignof(Node)));
+  n->name = arena.copy(label);  // fine: `n` lives in the same arena
+  n->next = head;
+  return n;  // fine: caller's arena, no recycle here
+}
+
+}  // namespace fixture_arena_nodes

@@ -1,0 +1,16 @@
+// Clean fixture for arena-escape: MCS_OWNS_ARENA on a class declares that
+// its view members point into an arena the class itself owns, so the
+// members cannot outlive their storage.
+#include <string>
+
+namespace fixture_arena_owns {
+
+struct MCS_OWNS_ARENA RequestFrame {
+  Slice path_ = {};
+
+  void set_path(Arena& arena, const std::string& p) {
+    path_ = arena.copy(p);  // fine: the frame owns the arena it views into
+  }
+};
+
+}  // namespace fixture_arena_owns

@@ -1,0 +1,14 @@
+// Clean fixture for arena-escape: scalars computed from a view (size(),
+// empty()) carry no pointer into the arena, so returning one from a
+// recycling function is fine.
+#include <string>
+
+namespace fixture_arena_scalar {
+
+std::size_t measured(Arena& arena, const std::string& s) {
+  ArenaScope scope{arena};
+  Slice t = arena.copy(s);
+  return t.size();  // fine: the length survives the reset, the bytes go
+}
+
+}  // namespace fixture_arena_scalar

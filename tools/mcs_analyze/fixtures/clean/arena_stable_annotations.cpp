@@ -1,0 +1,28 @@
+// Clean fixture for arena-escape: MCS_ARENA_STABLE silences every rule it
+// names — on a field, on a namespace-scope global, and on a function that
+// recycles its arena but whose returned view is vetted (e.g. the arena is
+// boot-scoped and never reset in practice).
+#include <string>
+
+namespace fixture_arena_stable {
+
+struct InternTable {
+  Slice last_interned_ MCS_ARENA_STABLE = {};
+
+  void intern(Arena& arena, const std::string& s) {
+    last_interned_ = arena.copy(s);  // vetted: field annotated stable
+  }
+};
+
+Slice g_boot_banner MCS_ARENA_STABLE = {};
+
+void publish_banner(Arena& arena, const std::string& s) {
+  g_boot_banner = arena.copy(s);  // vetted: boot-time arena never resets
+}
+
+Slice pinned_slice(Arena& arena, const std::string& s) MCS_ARENA_STABLE {
+  ArenaScope scope{arena};
+  return arena.copy(s);  // vetted: the function is annotated stable
+}
+
+}  // namespace fixture_arena_stable

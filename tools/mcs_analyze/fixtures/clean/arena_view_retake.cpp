@@ -1,0 +1,18 @@
+// Clean fixture for arena-escape rule (c): views consumed before the next
+// append are fine, and a view re-taken after an invalidating append is
+// healed.
+#include <string>
+
+namespace fixture_arena_retake {
+
+std::size_t view_then_append(std::string& out, const std::string& a) {
+  BufWriter w{out};
+  w.put(a);
+  Slice head = w.view();
+  std::size_t n = head.size();  // fine: consumed before the next append
+  w.put(a);
+  head = w.view();  // re-taken after the append: healed
+  return n + head.size();
+}
+
+}  // namespace fixture_arena_retake

@@ -28,7 +28,8 @@ ATTR_MACROS = frozenset(
     "MCS_ACQUIRE MCS_RELEASE MCS_TRY_ACQUIRE MCS_EXCLUDES MCS_CAPABILITY "
     "MCS_ACQUIRED_BEFORE MCS_ACQUIRED_AFTER MCS_RETURN_CAPABILITY "
     "MCS_SCOPED_CAPABILITY MCS_NO_THREAD_SAFETY_ANALYSIS "
-    "MCS_EXTERNALLY_SERIALIZED alignas noexcept final override".split())
+    "MCS_EXTERNALLY_SERIALIZED MCS_ARENA_STABLE MCS_OWNS_ARENA "
+    "alignas noexcept final override".split())
 
 ALLOW_RE = re.compile(
     r"(?:mcs-analyze|detlint):\s*allow\(([a-zA-Z0-9_,\- ]+)\)")
@@ -106,9 +107,30 @@ class _Parser:
                     fn = FunctionDef(
                         name=m.name, cls_name=ci.name, line=m.line,
                         path=self.fm.rel, body=m.body, is_const=m.is_const,
-                        externally_serialized=m.externally_serialized)
+                        externally_serialized=m.externally_serialized,
+                        arena_stable=m.arena_stable,
+                        params=self._inline_params(m))
                     self.fm.functions.append(fn)
                     self._scan_body(fn)
+
+    def _inline_params(self, m):
+        """Parameters of an inline method body: the `(...)` right after the
+        method name, searched backwards from the body brace (skips over
+        ctor init lists and trailing specifiers)."""
+        start = m.body[0]
+        j = start - 1
+        lo = max(0, start - 400)
+        while j > lo:
+            t = self.toks[j]
+            if t.kind == "id" and t.text == m.name and j + 1 < self.n \
+                    and self.toks[j + 1].kind == "punct" \
+                    and self.toks[j + 1].text == "(":
+                close = _skip_balanced(self.toks, j + 1, "(", ")") - 1
+                if j + 1 < close < start:
+                    return _parse_params(self.toks[j + 2 : close])
+                return []
+            j -= 1
+        return []
 
     # ---- namespace/class region scanning --------------------------------
 
@@ -228,6 +250,8 @@ class _Parser:
             is_const="const" in words or "constexpr" in words,
             is_thread_local="thread_local" in words,
             is_static="static" in words,
+            arena_stable=any(t.kind == "id" and t.text == "MCS_ARENA_STABLE"
+                             for t in buf),
         ))
 
     def _parse_class(self, i, end):
@@ -238,6 +262,7 @@ class _Parser:
         j = i + 1
         name = None
         bases = []
+        owns_arena = False
         in_bases = False
         while j < end:
             t = toks[j]
@@ -271,6 +296,8 @@ class _Parser:
                     j += 1
                     continue
                 if t.text == "final" or t.text in ATTR_MACROS:
+                    if t.text == "MCS_OWNS_ARENA":
+                        owns_arena = True
                     j += 1
                     continue
                 if name is None and toks[j + 1].text != "(" if j + 1 < end else True:
@@ -288,7 +315,7 @@ class _Parser:
         if body_end is None:
             return None
         ci = ClassInfo(name=name, line=toks[i].line, path=self.fm.rel,
-                       bases=bases)
+                       bases=bases, owns_arena=owns_arena)
         self.fm.classes.append(ci)
         default_access = "public" if keyword == "struct" else "private"
         self._parse_class_body(ci, body_open + 1, body_end, default_access)
@@ -468,6 +495,8 @@ class _Parser:
         is_const = any(t.kind == "id" and t.text == "const" for t in tail)
         ext_ser = any(t.kind == "id" and t.text == "MCS_EXTERNALLY_SERIALIZED"
                       for t in tail)
+        arena_stable = any(t.kind == "id" and t.text == "MCS_ARENA_STABLE"
+                           for t in decl)
         if any(t.kind == "id" and t.text in ("default", "delete")
                for t in tail):
             is_special = True
@@ -476,7 +505,8 @@ class _Parser:
         ci.methods.append(Method(
             name=name, line=name_tok.line, access=access, is_const=is_const,
             is_static=is_static, is_special=is_special,
-            externally_serialized=ext_ser, body=body))
+            externally_serialized=ext_ser, arena_stable=arena_stable,
+            body=body))
 
     def _add_member(self, ci, decl, has_init):
         toks = list(decl)
@@ -545,6 +575,8 @@ class _Parser:
             is_mutable="mutable" in words,
             is_thread_local="thread_local" in words,
             is_const="const" in words or "constexpr" in words,
+            arena_stable=any(t.kind == "id" and t.text == "MCS_ARENA_STABLE"
+                             for t in decl),
         )
 
     # ---- function definitions at namespace scope ------------------------
@@ -577,6 +609,7 @@ class _Parser:
         j = close + 1
         is_const = False
         ext_ser = False
+        arena_stable = False
         # tail: const/noexcept/attr-macros(+args)/-> trailing return
         while j < end:
             t = toks[j]
@@ -586,6 +619,10 @@ class _Parser:
                 continue
             if t.kind == "id" and t.text == "MCS_EXTERNALLY_SERIALIZED":
                 ext_ser = True
+                j += 1
+                continue
+            if t.kind == "id" and t.text == "MCS_ARENA_STABLE":
+                arena_stable = True
                 j += 1
                 continue
             if t.kind == "id" and (t.text in ATTR_MACROS
@@ -642,6 +679,7 @@ class _Parser:
             body=(j, body_end),
             is_const=is_const,
             externally_serialized=ext_ser,
+            arena_stable=arena_stable,
             params=_parse_params(params_toks),
         )
         self.fm.functions.append(fn)

@@ -43,6 +43,7 @@ class Member:
     is_mutable: bool = False
     is_thread_local: bool = False
     is_const: bool = False
+    arena_stable: bool = False  # MCS_ARENA_STABLE: intentional view transfer
 
 
 @dataclass
@@ -54,6 +55,7 @@ class Method:
     is_static: bool = False
     is_special: bool = False  # ctor/dtor/operator/defaulted/deleted
     externally_serialized: bool = False
+    arena_stable: bool = False  # MCS_ARENA_STABLE: returned view is vetted
     body: tuple | None = None  # (start_tok, end_tok) into the file's tokens
 
 
@@ -65,6 +67,7 @@ class ClassInfo:
     members: dict = field(default_factory=dict)  # name -> Member
     methods: list = field(default_factory=list)  # [Method]
     bases: list = field(default_factory=list)  # direct base class names
+    owns_arena: bool = False  # MCS_OWNS_ARENA: fields die with the arena
 
     def member(self, name):
         return self.members.get(name)
@@ -85,6 +88,7 @@ class FunctionDef:
     body: tuple  # (start_tok, end_tok)
     is_const: bool = False
     externally_serialized: bool = False
+    arena_stable: bool = False  # MCS_ARENA_STABLE on the definition
     params: list = field(default_factory=list)  # [(type_text, name)]
     locals: dict = field(default_factory=dict)  # name -> type_text
 
@@ -118,6 +122,7 @@ class GlobalVar:
     is_const: bool = False
     is_thread_local: bool = False
     is_static: bool = False  # internal linkage; irrelevant to shard safety
+    arena_stable: bool = False  # MCS_ARENA_STABLE: intentional view transfer
 
 
 @dataclass

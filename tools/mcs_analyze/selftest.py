@@ -32,6 +32,12 @@ EXPECT_BAD = {
     "hotpath_alloc.cpp": {"hotpath-alloc": 5},
     "shard_escape.cpp": {"shard-escape": 3},
     "lock_order.cpp": {"lock-order": 4},
+    "arena_escape_field.cpp": {"arena-escape": 2},
+    "arena_escape_global.cpp": {"arena-escape": 1},
+    "arena_escape_return.cpp": {"arena-escape": 3},
+    "arena_escape_view.cpp": {"arena-escape": 1},
+    "arena_escape_reset_use.cpp": {"arena-escape": 2},
+    "arena_escape_thread.cpp": {"arena-escape": 2},
 }
 
 # Findings a bad fixture may legitimately raise beyond the check it targets
