@@ -5,6 +5,7 @@
 
 #include "host/db/db_server.h"
 #include "host/http_server.h"
+#include "sim/contract.h"
 
 namespace mcs::host {
 
@@ -30,6 +31,9 @@ class AppServer {
   // server hands matching requests to the program.
   void install(const std::string& method, const std::string& prefix,
                Program program) {
+    MCS_ASSERT(!method.empty() && !prefix.empty(),
+               "programs mount on an explicit (method, path prefix)");
+    MCS_ASSERT(program != nullptr, "cannot install a null program");
     http_.route_async(method, prefix,
                       [this, program = std::move(program)](
                           const HttpRequest& req,

@@ -70,19 +70,22 @@ Transaction::~Transaction() {
   if (state_ == State::kActive) abort();
 }
 
-bool Transaction::lock(const std::string& table) {
-  if (!db_.try_lock(table, id_)) return false;
-  for (const auto& t : locked_tables_) {
-    if (t == table) return true;
+bool Transaction::lock(const Table& table) {
+  if (!db_.try_lock(table.name(), id_)) return false;
+  for (std::size_t i = 0; i < locked_count_; ++i) {
+    if (locked_tables_[i] == &table.name()) return true;  // already held
   }
-  locked_tables_.push_back(table);
+  MCS_ASSERT(locked_count_ < kMaxLockedTables,
+             "transaction locked more tables than the inline lock table "
+             "holds; raise kMaxLockedTables");
+  locked_tables_[locked_count_++] = &table.name();
   return true;
 }
 
 bool Transaction::insert(const std::string& table, Row row) {
   if (state_ != State::kActive) return false;
   Table* t = db_.table(table);
-  if (t == nullptr || !lock(table)) return false;
+  if (t == nullptr || !lock(*t)) return false;
   MCS_ASSERT(t->primary_key_col() < row.size(),
              "row too short to carry the table's primary key");
   const Value pk = row[t->primary_key_col()];
@@ -104,7 +107,7 @@ bool Transaction::update(const std::string& table, const Value& pk,
                          std::size_t col, const Value& v) {
   if (state_ != State::kActive) return false;
   Table* t = db_.table(table);
-  if (t == nullptr || !lock(table)) return false;
+  if (t == nullptr || !lock(*t)) return false;
   const Row* old = t->find(pk);
   if (old == nullptr) return false;
   Row old_copy = *old;
@@ -128,7 +131,7 @@ bool Transaction::update(const std::string& table, const Value& pk,
 bool Transaction::erase(const std::string& table, const Value& pk) {
   if (state_ != State::kActive) return false;
   Table* t = db_.table(table);
-  if (t == nullptr || !lock(table)) return false;
+  if (t == nullptr || !lock(*t)) return false;
   const Row* old = t->find(pk);
   if (old == nullptr) return false;
   Row old_copy = *old;
@@ -158,7 +161,7 @@ bool Transaction::commit() {
   for (const auto& op : redo_) db_.wal_.append(id_, op);
   db_.wal_.append(id_, "COMMIT");
   state_ = State::kCommitted;
-  db_.unlock_all(id_, locked_tables_);
+  db_.unlock_all(id_, {locked_tables_.data(), locked_count_});
   ++db_.committed_;
   MCS_INVARIANT(state_ != State::kActive,
                 "a committed transaction can never mutate again");
@@ -184,7 +187,7 @@ void Transaction::abort() {
     }
   }
   state_ = State::kAborted;
-  db_.unlock_all(id_, locked_tables_);
+  db_.unlock_all(id_, {locked_tables_.data(), locked_count_});
   ++db_.aborted_;
   MCS_INVARIANT(state_ == State::kAborted,
                 "abort must land in the terminal state even when undo "
@@ -209,6 +212,7 @@ Table& Database::create_table(const std::string& table,
 }
 
 Table* Database::table(const std::string& name) {
+  MCS_ASSERT(!name.empty(), "table lookup requires a name");
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.get();
 }
@@ -270,9 +274,9 @@ bool Database::try_lock(const std::string& table, std::uint64_t txn) {
 }
 
 void Database::unlock_all(std::uint64_t txn,
-                          const std::vector<std::string>& tables) {
-  for (const auto& t : tables) {
-    auto it = table_locks_.find(t);
+                          std::span<const std::string* const> tables) {
+  for (const std::string* t : tables) {
+    auto it = table_locks_.find(*t);
     if (it != table_locks_.end() && it->second == txn) table_locks_.erase(it);
   }
 }

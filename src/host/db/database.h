@@ -1,7 +1,9 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +35,9 @@ class MCS_OWNS_ARENA Wal {
   // record and its bytes, keeping the warmed chunks for the next epoch.
   void checkpoint();
   std::uint64_t checkpoints() const { return checkpoints_; }
+  // Occupancy view for the flight recorder (obs/flight_recorder.h): how
+  // much of the arena is live vs. retained across checkpoints.
+  const sim::Arena& arena() const { return arena_; }
 
  private:
   sim::Arena arena_;  // WalRecord structs + op bytes
@@ -82,14 +87,20 @@ class Transaction {
   };
 
   Transaction(Database& db, std::uint64_t id) : db_{db}, id_{id} {}
-  bool lock(const std::string& table);
+  bool lock(const Table& table);
 
   Database& db_;
   std::uint64_t id_ = 0;
   State state_ = State::kActive;
   std::vector<UndoOp> undo_;
   std::vector<std::string> redo_;  // WAL ops, written on commit
-  std::vector<std::string> locked_tables_;
+  // Lock bookkeeping is a fixed inline array of pointers to each locked
+  // Table's own (stable) name string: taking a lock on the transaction hot
+  // path allocates nothing. A transaction touches a handful of tables; the
+  // capacity is contract-checked in lock().
+  static constexpr std::size_t kMaxLockedTables = 8;
+  std::array<const std::string*, kMaxLockedTables> locked_tables_{};
+  std::size_t locked_count_ = 0;
 };
 
 // The server-side database engine (§7 "database servers"): named tables,
@@ -125,7 +136,7 @@ class Database {
   friend class Transaction;
   bool try_lock(const std::string& table, std::uint64_t txn);
   void unlock_all(std::uint64_t txn,
-                  const std::vector<std::string>& tables);
+                  std::span<const std::string* const> tables);
 
   std::string name_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;

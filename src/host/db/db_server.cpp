@@ -261,6 +261,9 @@ void DbServer::respond_commit(const std::shared_ptr<Connection>& conn,
                         complete(conn, slot, std::move(msg));
                       });
       stats_.counter("fsyncs").add();
+      obs::metric_add(m_fsyncs_);
+      obs::metric_record(m_wal_flush_us_,
+                         (log_busy_until_ - stack_.sim().now()).to_micros());
       return;
     }
     case SyncPolicy::kGroup:
@@ -274,12 +277,17 @@ void DbServer::respond_commit(const std::shared_ptr<Connection>& conn,
         stack_.sim().at(log_busy_until_, [this] {
           group_timer_armed_ = false;
           stats_.counter("fsyncs").add();
+          obs::metric_add(m_fsyncs_);
           auto batch = std::move(pending_commits_);
           pending_commits_.clear();
           stats_.counter("group_commit_batches").add();
           for (auto& [c, sl, m] : batch) complete(c, sl, std::move(m));
         });
       }
+      // Once the window is armed log_busy_until_ is this batch's flush
+      // completion, so every joining commit observes its true wait.
+      obs::metric_record(m_wal_flush_us_,
+                         (log_busy_until_ - stack_.sim().now()).to_micros());
       return;
   }
 }
@@ -313,6 +321,7 @@ void DbServer::respond_row(const std::shared_ptr<Connection>& conn,
 void DbServer::on_line(const std::shared_ptr<Connection>& conn,
                        sim::Slice line) {
   stats_.counter("requests").add();
+  obs::metric_add(m_requests_);
   Slot slot = std::make_shared<PendingResponse>();
   conn->outbox.push_back(slot);
   sim::Slice f[6];

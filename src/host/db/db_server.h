@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "host/db/database.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/arena.h"
 #include "sim/stats.h"
@@ -108,6 +109,13 @@ class DbServer {
   // The WAL lives on one log device: fsyncs serialize on it.
   sim::Time log_busy_until_;
   sim::StatsRegistry stats_;
+  // Telemetry handles, cached at construction (obs/metrics.h). WAL flush
+  // latency is commit-observed: queueing behind the busy log device counts,
+  // which is exactly what an SLO investigation needs to see.
+  obs::TsCounter* m_requests_ = obs::metric_counter("host.db.requests");
+  obs::TsCounter* m_fsyncs_ = obs::metric_counter("host.db.fsyncs");
+  obs::TsLogHist* m_wal_flush_us_ =
+      obs::metric_histogram("host.db.wal_flush_us");
 };
 
 // Async client for DbServer; commands pipeline on one connection.

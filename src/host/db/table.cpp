@@ -31,10 +31,13 @@ bool Table::insert(Row row) {
   if (primary_.contains(pk)) return false;  // duplicate key
 
   std::size_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    slots_[slot] = Slot{std::move(row), true};
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    Slot& s = slots_[slot];
+    free_head_ = s.next_free;
+    s.row = std::move(row);
+    s.live = true;
+    s.next_free = kNoSlot;
   } else {
     slot = slots_.size();
     slots_.push_back(Slot{std::move(row), true});
@@ -98,7 +101,8 @@ bool Table::erase(const Value& pk) {
   primary_.erase(it);
   slots_[slot].live = false;
   slots_[slot].row.clear();
-  free_slots_.push_back(slot);
+  slots_[slot].next_free = free_head_;
+  free_head_ = slot;
   --live_rows_;
   MCS_INVARIANT(primary_.size() == live_rows_,
                 "erase must retire both the slot and its primary-key entry");

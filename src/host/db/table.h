@@ -43,9 +43,15 @@ class Table {
   std::size_t size() const { return live_rows_; }
 
  private:
+  // Dead slots chain through the slots themselves: erase/insert churn on
+  // the steady state reuses storage with no free-list container to grow
+  // (the table hot path stays allocation-free once the slot vector has
+  // reached the working-set size).
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
   struct Slot {
     Row row;
     bool live = false;
+    std::size_t next_free = kNoSlot;  // intrusive free-list link
   };
   struct ValueLess {
     bool operator()(const Value& a, const Value& b) const {
@@ -61,7 +67,7 @@ class Table {
   std::vector<Column> columns_;
   std::size_t pk_col_ = 0;
   std::vector<Slot> slots_;
-  std::vector<std::size_t> free_slots_;
+  std::size_t free_head_ = kNoSlot;  // head of the intrusive free list
   std::map<Value, std::size_t, ValueLess> primary_;
   std::map<std::size_t, Index> indexes_;  // col -> index
   std::size_t live_rows_ = 0;

@@ -211,6 +211,11 @@ void HttpParser::fail(const std::string& why) {
 }
 
 void HttpParser::feed(const std::string& bytes) {
+  MCS_ASSERT((mode_ == Mode::kRequest ? on_request != nullptr
+                                      : on_response != nullptr) ||
+                 on_error != nullptr,
+             "a sink (message or error callback) must be wired before bytes "
+             "arrive, or every parse outcome vanishes silently");
   if (failed_) return;
   buffer_ += bytes;
   while (try_parse_one()) {

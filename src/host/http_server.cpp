@@ -90,6 +90,7 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
                           HttpRequest&& req) {
   stats_.counter("requests").add();
   stats_.counter("request_bytes").add(req.wire_size());
+  obs::metric_add(m_requests_);
   const bool close_after =
       sim::to_lower(req.header("Connection")) == "close" ||
       req.version == "HTTP/1.0";
@@ -134,9 +135,13 @@ void HttpServer::dispatch(const std::shared_ptr<Connection>& conn,
   const obs::TraceContext app = obs::begin_child(
       req_ctx, obs::Component::kApplication, "app.program",
       stack_.sim().now());
-  auto app_respond = [this, app,
+  const sim::Time app_start = stack_.sim().now();
+  auto app_respond = [this, app, app_start,
                       respond = std::move(respond)](HttpResponse resp) mutable {
     obs::end_span(app, stack_.sim().now());
+    obs::metric_add(m_app_responses_);
+    obs::metric_record(m_app_us_,
+                       (stack_.sim().now() - app_start).to_micros());
     respond(std::move(resp));
   };
   if (processing_delay_.is_zero()) {
@@ -203,6 +208,11 @@ std::shared_ptr<HttpClient::PooledConn> HttpClient::conn_for(
 
 void HttpClient::request(net::Endpoint server, HttpRequest req,
                          ResponseCallback cb) {
+  MCS_ASSERT(cb != nullptr,
+             "every request must have a completion callback (errors are "
+             "reported through it too)");
+  MCS_ASSERT(!req.method.empty() && !req.path.empty(),
+             "a request needs a method and a path");
   auto conn = conn_for(server);
   conn->waiters.push_back(std::move(cb));
   stats_.counter("requests").add();
@@ -211,6 +221,7 @@ void HttpClient::request(net::Endpoint server, HttpRequest req,
 
 void HttpClient::get(net::Endpoint server, const std::string& path,
                      ResponseCallback cb) {
+  MCS_ASSERT(!path.empty(), "GET needs a target path");
   HttpRequest req;
   req.method = "GET";
   req.path = path;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "host/http.h"
+#include "obs/metrics.h"
 #include "sim/stats.h"
 #include "transport/tcp.h"
 
@@ -85,6 +86,13 @@ class HttpServer {
   std::vector<Route> routes_;
   sim::Time processing_delay_;
   sim::StatsRegistry stats_;
+  // Telemetry handles, cached at construction (obs/metrics.h). Application
+  // programs (dynamic routes) count separately under "application." so the
+  // Figure-2 application bucket has its own throughput series.
+  obs::TsCounter* m_requests_ = obs::metric_counter("host.http.requests");
+  obs::TsCounter* m_app_responses_ =
+      obs::metric_counter("application.responses");
+  obs::TsLogHist* m_app_us_ = obs::metric_histogram("application.latency_us");
 };
 
 // Minimal async HTTP client with per-endpoint persistent connections

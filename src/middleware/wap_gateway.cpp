@@ -159,6 +159,7 @@ void WapGateway::handle_request(const std::string& payload,
                                 net::Endpoint from,
                                 std::function<void(std::string)> respond_raw) {
   ++stats_.requests;
+  obs::metric_add(m_requests_);
   // Gateway span: child of the stamped invoke (the phone's browse span).
   // The wrapped respond closes it and re-enters it so the WTP result
   // datagrams carry this context over the air.
@@ -220,6 +221,7 @@ void WapGateway::handle_request(const std::string& payload,
                        respond = std::move(respond)]() mutable {
       obs::end_span(xlate, node_.sim().now());
       ++stats_.translations;
+      obs::metric_add(m_translations_);
       // Fused zero-copy translation (translate.cpp): parse + translate +
       // adapt + serialize (+ WBXML) in one arena pass into reused buffers,
       // byte-identical to the legacy tree pipeline.
@@ -232,6 +234,7 @@ void WapGateway::handle_request(const std::string& payload,
               ? sim::cat("200 application/vnd.wap.wmlc\n", wbxml_buf_)
               : sim::cat("200 text/vnd.wap.wml\n", wml_buf_);
       stats_.air_bytes_out += out.size();
+      obs::metric_add(m_air_bytes_, out.size());
       MCS_INVARIANT(stats_.translations <= stats_.requests,
                     "gateway translated more responses than it saw requests");
       respond(std::move(out));
@@ -261,6 +264,7 @@ IModeGateway::IModeGateway(transport::TcpStack& tcp, HostResolver resolver,
 void IModeGateway::handle(const host::HttpRequest& req,
                           std::function<void(host::HttpResponse)> respond_raw) {
   ++stats_.requests;
+  obs::metric_add(m_requests_);
   const obs::TraceContext gw = obs::begin_span(
       obs::Component::kMiddleware, "imode.request", tcp_.sim().now());
   auto respond = [this, gw, respond_raw = std::move(respond_raw)](
@@ -319,6 +323,7 @@ void IModeGateway::handle(const host::HttpRequest& req,
       // Fused zero-copy translation into the reused buffer (translate.cpp).
       translate_html(body, MarkupKind::kChtml, cfg_.adaptation, chtml_buf_);
       stats_.chtml_bytes_out += chtml_buf_.size();
+      obs::metric_add(m_translations_);
       respond(host::HttpResponse::make(200, "text/html; charset=cp932",
                                        chtml_buf_));
     });

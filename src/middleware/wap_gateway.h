@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "host/http_server.h"
+#include "obs/metrics.h"
 #include "security/wtls.h"
 #include "middleware/adaptation.h"
 #include "middleware/wtp.h"
@@ -105,6 +106,11 @@ class WapGateway {
   std::unordered_map<net::Endpoint, security::SecureChannel> wtls_channels_;
   std::uint64_t wtls_sessions_ = 0;
   Stats stats_;
+  // Telemetry handles, cached at construction (obs/metrics.h).
+  obs::TsCounter* m_requests_ = obs::metric_counter("middleware.requests");
+  obs::TsCounter* m_translations_ =
+      obs::metric_counter("middleware.translations");
+  obs::TsCounter* m_air_bytes_ = obs::metric_counter("middleware.air_bytes");
   // Translation output buffers, reused across requests so steady-state
   // translation allocates nothing (DESIGN.md §12).
   std::string wml_buf_;
@@ -153,6 +159,11 @@ class IModeGateway {
   // Per-phone cookie jar, keyed by the phone's TCP endpoint (X-Peer).
   std::unordered_map<std::string, host::CookieJar> phone_jars_;
   Stats stats_;
+  // Telemetry handles, cached at construction (obs/metrics.h); shared names
+  // with WapGateway so "middleware.*" totals cover either gateway flavour.
+  obs::TsCounter* m_requests_ = obs::metric_counter("middleware.requests");
+  obs::TsCounter* m_translations_ =
+      obs::metric_counter("middleware.translations");
   // Reused translation output buffer (DESIGN.md §12).
   std::string chtml_buf_;
 };

@@ -134,6 +134,7 @@ void HomeAgent::tunnel_to(const net::PacketPtr& p, net::IpAddress coa) {
   obs::instant(obs::TraceContext{p->trace_id, p->trace_span},
                obs::Component::kMobileIp, "ha.tunnel", router_.sim().now());
   stats_.counter("tunneled_packets").add();
+  obs::metric_add(m_encap_);
   stats_.counter("tunneled_bytes").add(outer->size_bytes());
   stats_.counter("tunnel_overhead_bytes").add(outer->size_bytes() -
                                               p->size_bytes());
@@ -261,6 +262,7 @@ void ForeignAgent::on_tunnel_packet(const net::PacketPtr& p) {
   if (!p->inner) return;
   net::PacketPtr inner = p->inner;
   stats_.counter("decapsulated_packets").add();
+  obs::metric_add(m_decap_);
   obs::instant(obs::TraceContext{inner->trace_id, inner->trace_span},
                obs::Component::kMobileIp, "fa.decap", router_.sim().now());
   if (visitors_.contains(inner->dst)) {

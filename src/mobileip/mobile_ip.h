@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "net/node.h"
+#include "obs/metrics.h"
 #include "sim/stats.h"
 #include "transport/udp.h"
 
@@ -100,6 +101,8 @@ class HomeAgent {
   std::unordered_map<net::IpAddress, bool> served_;  // home addrs
   std::unordered_map<net::IpAddress, Binding> bindings_;
   sim::StatsRegistry stats_;
+  // Telemetry handle, cached at construction (obs/metrics.h).
+  obs::TsCounter* m_encap_ = obs::metric_counter("mobileip.tunnel.encap");
 };
 
 struct ForeignAgentConfig {
@@ -160,6 +163,8 @@ class ForeignAgent {
   std::unordered_map<net::IpAddress, ForwardPointer> forwards_;
   std::unordered_map<net::IpAddress, std::vector<BufferedPacket>> buffered_;
   sim::StatsRegistry stats_;
+  // Telemetry handle, cached at construction (obs/metrics.h).
+  obs::TsCounter* m_decap_ = obs::metric_counter("mobileip.tunnel.decap");
 };
 
 struct MobileClientConfig {

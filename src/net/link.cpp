@@ -18,14 +18,19 @@ Link::Link(sim::Simulator& sim, Interface* a, Interface* b, LinkConfig cfg,
 }
 
 void Link::transmit(Interface* from, IpAddress /*next_hop*/, PacketPtr p) {
+  MCS_ASSERT(p != nullptr, "link cannot transmit a null packet");
+  MCS_ASSERT(from == a_ || from == b_,
+             "transmit must originate from one of the link's endpoints");
   Direction& dir = direction_for(from);
   const std::size_t size = p->size_bytes();
   if (dir.queued_bytes + size > cfg_.queue_limit_bytes) {
     stats_.counter("drop_queue_overflow").add();
+    obs::metric_add(m_drops_);
     return;
   }
   dir.queue.push_back(std::move(p));
   dir.queued_bytes += size;
+  obs::metric_adjust(m_queued_bytes_, static_cast<double>(size));
   if (!dir.busy) start_service(from);
 }
 
@@ -41,6 +46,7 @@ void Link::start_service(Interface* from) {
   MCS_INVARIANT(dir.queued_bytes >= p->size_bytes(),
                 "link queue byte accounting underflow");
   dir.queued_bytes -= p->size_bytes();
+  obs::metric_adjust(m_queued_bytes_, -static_cast<double>(p->size_bytes()));
 
   const sim::Time serialization =
       sim::transmission_time(p->size_bytes(), cfg_.bandwidth_bps);
@@ -54,13 +60,17 @@ void Link::start_service(Interface* from) {
     const bool lost = rng_.bernoulli(cfg_.loss_rate);
     if (lost) {
       stats_.counter("drop_loss").add();
+      obs::metric_add(m_drops_);
       obs::end_span(wire, sim_.now());
     } else if (!to->up() || !from->up()) {
       stats_.counter("drop_iface_down").add();
+      obs::metric_add(m_drops_);
       obs::end_span(wire, sim_.now());
     } else {
       stats_.counter("delivered_packets").add();
       stats_.counter("delivered_bytes").add(p->size_bytes());
+      obs::metric_add(m_tx_packets_);
+      obs::metric_add(m_tx_bytes_, p->size_bytes());
       sim_.after(cfg_.propagation, [this, to, p, wire] {
         obs::end_span(wire, sim_.now());
         obs::ActiveScope scope{obs::TraceContext{p->trace_id, p->trace_span}};

@@ -5,6 +5,7 @@
 
 #include "net/channel.h"
 #include "net/node.h"
+#include "obs/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -56,6 +57,13 @@ class Link : public Channel {
   Direction ab_;
   Direction ba_;
   sim::StatsRegistry stats_;
+  // Telemetry handles, cached at construction (obs/metrics.h). Shared names
+  // across links: "wired.*" is the tier total, per-link detail stays in
+  // stats_.
+  obs::TsCounter* m_tx_packets_ = obs::metric_counter("wired.tx_packets");
+  obs::TsCounter* m_tx_bytes_ = obs::metric_counter("wired.tx_bytes");
+  obs::TsCounter* m_drops_ = obs::metric_counter("wired.drops");
+  obs::TsGauge* m_queued_bytes_ = obs::metric_gauge("wired.queued_bytes");
 };
 
 }  // namespace mcs::net

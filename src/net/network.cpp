@@ -39,6 +39,7 @@ Link* Network::connect(Node* a, IpAddress addr_a, Node* b, IpAddress addr_b,
 }
 
 void Network::compute_routes() {
+  MCS_ASSERT(!nodes_.empty(), "route computation needs a topology");
   // Collect current edges from wired links and registered channels.
   std::vector<Channel::Edge> edges;
   for (const auto& l : links_) {

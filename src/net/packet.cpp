@@ -126,4 +126,6 @@ PacketPoolStats packet_pool_stats() {
                          pool().free_count()};
 }
 
+void reset_packet_pool() { pool().clear(); }
+
 }  // namespace mcs::net

@@ -93,4 +93,10 @@ struct PacketPoolStats {
 };
 PacketPoolStats packet_pool_stats();
 
+// Empties this thread's packet pool and zeroes its stats. Occupancy series
+// (workload/telemetry.h) are only deterministic across in-process reruns if
+// every measured run starts from a cold pool; bench/telemetry calls this
+// before each cell. No correctness effect — packets are reset on acquire.
+void reset_packet_pool();
+
 }  // namespace mcs::net

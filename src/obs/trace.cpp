@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace_clock.h"
 #include "sim/contract.h"
 #include "sim/json.h"
@@ -128,6 +129,42 @@ void Tracer::end_span(TraceContext ctx, sim::Time now) {
   MCS_ASSERT(now >= s->start, "span ended before it started");
   s->end = now;
   s->open = false;
+  // Live self-time: this span's full duration lands in its bucket; the part
+  // of it the parent did not spend itself comes back out of the parent's
+  // bucket. Sim time is monotonic, so a parent still open here will close
+  // at or after `now` and the overlap is the whole duration; a parent that
+  // already closed clamps the overlap to its own interval — the same
+  // arithmetic breakdown() does in batch.
+  const double dur = (s->end - s->start).to_micros();
+  live_bucket_add(s->component, dur);
+  if (s->parent != 0) {
+    const Span& p = spans_[s->parent - 1];
+    double overlap = dur;
+    if (!p.open) {
+      const sim::Time lo = std::max(p.start, s->start);
+      const sim::Time hi = std::min(p.end, s->end);
+      overlap = hi > lo ? (hi - lo).to_micros() : 0.0;
+    }
+    live_bucket_add(p.component, -overlap);
+  }
+}
+
+void Tracer::live_bucket_add(Component c, double us) {
+  const int bucket = kBucketOf[static_cast<std::size_t>(c)];
+  if (bucket < 0) {
+    live_unattributed_us_ += us;
+  } else {
+    live_bucket_us_[static_cast<std::size_t>(bucket)] += us;
+  }
+}
+
+double Tracer::live_bucket_self_us(std::size_t bucket) const {
+  MCS_ASSERT(bucket < kBucketCount, "bucket index out of range");
+  return std::max(0.0, live_bucket_us_[bucket]);
+}
+
+double Tracer::live_unattributed_self_us() const {
+  return std::max(0.0, live_unattributed_us_);
 }
 
 void Tracer::add_instant(TraceContext ctx, Component c, const char* name,
@@ -156,6 +193,8 @@ void Tracer::clear() {
   traces_started_ = 0;
   traces_sampled_ = 0;
   dropped_spans_ = 0;
+  live_bucket_us_.fill(0.0);
+  live_unattributed_us_ = 0.0;
 }
 
 Tracer::Breakdown Tracer::breakdown() const {
@@ -194,8 +233,8 @@ Tracer::Breakdown Tracer::breakdown() const {
 // Exporters
 // ---------------------------------------------------------------------------
 
-void Tracer::export_chrome_trace(sim::JsonWriter& w,
-                                 bool wallclock_anchor) const {
+void Tracer::export_chrome_trace(sim::JsonWriter& w, bool wallclock_anchor,
+                                 const FlightRecorder* counters) const {
   w.begin_object();
   w.key("displayTimeUnit").value("ms");
   w.key("traceEvents").begin_array();
@@ -247,6 +286,7 @@ void Tracer::export_chrome_trace(sim::JsonWriter& w,
     w.end_object();
     w.end_object();
   }
+  if (counters != nullptr) counters->append_chrome_counters(w);
   w.end_array();
   if (wallclock_anchor) {
     // Out-of-band metadata only; never on for deterministic outputs.
@@ -258,9 +298,10 @@ void Tracer::export_chrome_trace(sim::JsonWriter& w,
   w.end_object();
 }
 
-std::string Tracer::chrome_trace_json(bool pretty) const {
+std::string Tracer::chrome_trace_json(bool pretty,
+                                      const FlightRecorder* counters) const {
   sim::JsonWriter w{pretty};
-  export_chrome_trace(w);
+  export_chrome_trace(w, /*wallclock_anchor=*/false, counters);
   return w.take();
 }
 

@@ -41,6 +41,8 @@ class StatsSnapshot;
 
 namespace mcs::obs {
 
+class FlightRecorder;
+
 // Span vocabulary: who did the work. Finer-grained than the paper's six
 // components; component_bucket() folds back onto Figure 2.
 enum class Component : std::uint8_t {
@@ -143,14 +145,27 @@ class Tracer {
   };
   Breakdown breakdown() const;
 
+  // Incrementally-maintained per-bucket self time over *closed* spans:
+  // end_span adds the span's duration to its component's bucket and
+  // subtracts the parent-overlap from the parent's bucket, so reading this
+  // is O(1) — cheap enough for the flight recorder to sample every tick.
+  // Matches breakdown() exactly once a trace's spans are all closed; while
+  // a parent is still open its bucket temporarily runs low (its own
+  // duration is not yet added), so reads clamp at zero.
+  double live_bucket_self_us(std::size_t bucket) const;
+  double live_unattributed_self_us() const;
+
   // Chrome trace-event JSON ("X" complete spans, "i" instants, one tid row
   // per component), loadable in chrome://tracing or ui.perfetto.dev.
-  // Timestamps are simulation microseconds. When `wallclock_anchor` is set
-  // (never by default — it breaks byte-identical reruns), otherData records
-  // the host time of export; see obs/trace_clock.h.
-  void export_chrome_trace(sim::JsonWriter& w,
-                           bool wallclock_anchor = false) const;
-  std::string chrome_trace_json(bool pretty = false) const;
+  // Timestamps are simulation microseconds. When `counters` is supplied its
+  // flight-recorder series are merged in as Perfetto counter ("C") tracks
+  // above the span rows. When `wallclock_anchor` is set (never by default —
+  // it breaks byte-identical reruns), otherData records the host time of
+  // export; see obs/trace_clock.h.
+  void export_chrome_trace(sim::JsonWriter& w, bool wallclock_anchor = false,
+                           const FlightRecorder* counters = nullptr) const;
+  std::string chrome_trace_json(bool pretty = false,
+                                const FlightRecorder* counters = nullptr) const;
 
   // Fold counts, per-bucket self-time histograms and a log-bucketed (power
   // of four) root-latency distribution into `reg` under "trace"-less plain
@@ -162,6 +177,8 @@ class Tracer {
  private:
   Span* find(TraceContext ctx);
 
+  void live_bucket_add(Component c, double us);
+
   TracerConfig cfg_;
   sim::Rng rng_;
   std::vector<Span> spans_;
@@ -169,6 +186,9 @@ class Tracer {
   std::uint64_t traces_started_ = 0;
   std::uint64_t traces_sampled_ = 0;
   std::uint64_t dropped_spans_ = 0;
+  // Running self-time accumulators behind live_bucket_self_us(); see there.
+  std::array<double, kBucketCount> live_bucket_us_{};
+  double live_unattributed_us_ = 0.0;
 };
 
 // Event-kernel instrumentation riding the same snapshot pipeline: event

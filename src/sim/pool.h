@@ -60,6 +60,19 @@ class RecyclingPool {
   std::uint64_t fresh_allocations() const { return fresh_; }
   std::uint64_t reuses() const { return reused_; }
 
+  // Drops every pooled object and zeroes the counters. Pools are per-thread
+  // process state, so occupancy series recorded by the flight recorder are
+  // only run-deterministic if each measured run starts cold; bench/telemetry
+  // calls this between in-process repetitions. Never needed for
+  // correctness — recycled objects are reset on acquire.
+  void clear() {
+    confinement_.assert_confined("RecyclingPool::clear() off-thread");
+    for (T* obj : free_) delete obj;
+    free_.clear();
+    fresh_ = 0;
+    reused_ = 0;
+  }
+
  private:
   std::vector<T*> free_;
   std::uint64_t fresh_ = 0;

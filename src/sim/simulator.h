@@ -71,6 +71,19 @@ class Simulator {
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed() const { return executed_; }
 
+  // Timestamp of the next pending event (now() when the queue is empty).
+  // The kernel profiler samples next_time() - now() as deterministic
+  // event-loop lookahead: how far the kernel can jump before more work.
+  Time next_time() const { return heap_.empty() ? now_ : heap_.front().t; }
+
+  // Bytes reserved by the kernel's own structures (heap nodes + slot
+  // table). Capacity-based, so it tracks high-water footprint rather than
+  // the instantaneous queue depth; sampled by the kernel profiler.
+  std::size_t footprint_bytes() const {
+    return heap_.capacity() * sizeof(HeapNode) +
+           slots_.capacity() * sizeof(Slot);
+  }
+
   // FNV-1a hash over the (time, sequence) pairs of every executed event.
   // Two runs of the same scenario with the same seed must produce identical
   // hashes; the determinism tests (and the kernel rewrite itself) assert on

@@ -30,6 +30,7 @@ MicroBrowser::MicroBrowser(net::Node& station, DeviceProfile device,
 void MicroBrowser::browse(const std::string& url, PageCallback cb) {
   const sim::Time started = station_.sim().now();
   stats_.counter("page_requests").add();
+  obs::metric_add(m_browses_);
 
   // Browse span: child of the driver's request when one is active, else its
   // own trace root (a directly driven browser still yields a span tree).
@@ -37,14 +38,18 @@ void MicroBrowser::browse(const std::string& url, PageCallback cb) {
       obs::active_context().sampled()
           ? obs::begin_span(obs::Component::kStation, "browse", started)
           : obs::start_trace(obs::Component::kStation, "browse", started);
-  PageCallback done = [this, page, cb = std::move(cb)](PageResult r) mutable {
+  PageCallback done = [this, page, started,
+                       cb = std::move(cb)](PageResult r) mutable {
     obs::end_span(page, station_.sim().now());
+    obs::metric_record(m_page_us_,
+                       (station_.sim().now() - started).to_micros());
     cb(std::move(r));
   };
 
   // Cache hit: only render cost applies.
   if (auto hit = cache_.get(url); hit.has_value()) {
     stats_.counter("cache_hits").add();
+    obs::metric_add(m_cache_hits_);
     PageResult r = *hit;
     r.from_cache = true;
     r.network_time = sim::Time::zero();

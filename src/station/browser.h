@@ -5,6 +5,7 @@
 #include <string>
 
 #include "middleware/wap_gateway.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "security/wtls.h"
 #include "middleware/wbxml.h"
@@ -104,6 +105,11 @@ class MicroBrowser {
   };
   std::vector<SecureWaiter> wtls_waiters_;
   sim::StatsRegistry stats_;
+  // Telemetry handles, cached at construction (obs/metrics.h): null when no
+  // registry is ambient, so each update is one predictable branch.
+  obs::TsCounter* m_browses_ = obs::metric_counter("station.browse");
+  obs::TsCounter* m_cache_hits_ = obs::metric_counter("station.cache_hits");
+  obs::TsLogHist* m_page_us_ = obs::metric_histogram("station.page_us");
 };
 
 }  // namespace mcs::station

@@ -440,9 +440,11 @@ void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t len,
   // copy itself is inherent — the segment owns its wire bytes.
   p->payload.assign(send_buffer_, seq - send_buffer_base_, len);
   ++counters_.segments_sent;
+  obs::metric_add(m_segments_);
   if (is_rtx) {
     ++counters_.retransmissions;
     counters_.bytes_retransmitted += len;
+    obs::metric_add(m_rtx_);
     obs::instant(trace_ctx_, obs::Component::kTransport, "tcp.rtx",
                  stack_.sim().now());
     timed_seq_retransmitted_ = timing_ && seq < timing_end_seq_
@@ -470,6 +472,7 @@ void TcpSocket::retransmit_head(const char* reason) {
     if (fin_sent_ && snd_una_ == fin_seq_) {
       send_flags(net::kTcpFin | net::kTcpAck, fin_seq_);
       ++counters_.retransmissions;
+      obs::metric_add(m_rtx_);
     }
     return;
   }
@@ -525,6 +528,7 @@ void TcpSocket::cancel_rto() {
 
 void TcpSocket::on_rto_expired() {
   ++counters_.timeouts;
+  obs::metric_add(m_timeouts_);
   if (++consecutive_rtos_ > cfg_.max_retries) {
     sim::logf(LogLevel::kDebug, stack_.sim().now(),
               "tcp %s: too many retries, resetting",

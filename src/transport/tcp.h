@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "net/node.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/arena.h"
 #include "sim/stats.h"
@@ -196,6 +197,11 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket> {
   obs::TraceContext trace_ctx_;
 
   TcpCounters counters_;
+  // Telemetry handles, cached per socket at construction (obs/metrics.h);
+  // the names are shared, so "transport.tcp.*" totals every connection.
+  obs::TsCounter* m_segments_ = obs::metric_counter("transport.tcp.segments");
+  obs::TsCounter* m_rtx_ = obs::metric_counter("transport.tcp.rtx");
+  obs::TsCounter* m_timeouts_ = obs::metric_counter("transport.tcp.timeouts");
 };
 
 const char* to_string(TcpSocket::State s);

@@ -86,7 +86,10 @@ void HandoffManager::switch_to(WirelessMedium* target) {
   current_ = target;
   if (target != nullptr) {
     target->associate(station_, mobility_);
-    if (old != nullptr) ++handoffs_;
+    if (old != nullptr) {
+      ++handoffs_;
+      obs::metric_add(m_handoffs_);
+    }
   } else {
     ++coverage_losses_;
   }

@@ -52,6 +52,8 @@ class HandoffManager {
   sim::EventId timer_ = sim::kInvalidEventId;
   std::uint64_t handoffs_ = 0;
   std::uint64_t coverage_losses_ = 0;
+  // Telemetry handle, cached at construction (obs/metrics.h).
+  obs::TsCounter* m_handoffs_ = obs::metric_counter("mobileip.handoffs");
 };
 
 }  // namespace mcs::wireless

@@ -126,24 +126,33 @@ void WirelessMedium::transmit(net::Interface* from, net::IpAddress next_hop,
     Station* st = station_iface ? station_state(station_iface) : nullptr;
     if (st == nullptr || !st->in_call) {
       stats_.counter("drop_no_call").add();
+      obs::metric_add(m_drops_);
       return;
     }
     if (st->queued_bytes + p->size_bytes() > cfg_.queue_limit_bytes) {
       stats_.counter("drop_queue_overflow").add();
+      obs::metric_add(m_drops_);
       return;
     }
     st->queue.push_back(PendingTx{from, next_hop, std::move(p)});
     st->queued_bytes += st->queue.back().packet->size_bytes();
+    obs::metric_adjust(
+        m_queued_bytes_,
+        static_cast<double>(st->queue.back().packet->size_bytes()));
     if (!st->busy) start_circuit_service(station_iface);
     return;
   }
 
   if (shared_queued_bytes_ + p->size_bytes() > cfg_.queue_limit_bytes) {
     stats_.counter("drop_queue_overflow").add();
+    obs::metric_add(m_drops_);
     return;
   }
   shared_queue_.push_back(PendingTx{from, next_hop, std::move(p)});
   shared_queued_bytes_ += shared_queue_.back().packet->size_bytes();
+  obs::metric_adjust(
+      m_queued_bytes_,
+      static_cast<double>(shared_queue_.back().packet->size_bytes()));
   if (!shared_busy_) start_shared_service();
 }
 
@@ -156,6 +165,8 @@ void WirelessMedium::start_shared_service() {
   PendingTx tx = std::move(shared_queue_.front());
   shared_queue_.pop_front();
   shared_queued_bytes_ -= tx.packet->size_bytes();
+  obs::metric_adjust(m_queued_bytes_,
+                     -static_cast<double>(tx.packet->size_bytes()));
   // Compute before the capture: function-argument evaluation order is
   // unspecified, and the move-capture would empty tx first.
   const sim::Time service = service_time(tx.packet);
@@ -180,6 +191,8 @@ void WirelessMedium::start_circuit_service(net::Interface* station_iface) {
   PendingTx tx = std::move(st->queue.front());
   st->queue.pop_front();
   st->queued_bytes -= tx.packet->size_bytes();
+  obs::metric_adjust(m_queued_bytes_,
+                     -static_cast<double>(tx.packet->size_bytes()));
   // Dedicated channel: full effective rate, no contention factor.
   const sim::Time service = sim::transmission_time(
       tx.packet->size_bytes(), cfg_.phy.effective_rate_bps());
@@ -197,12 +210,14 @@ void WirelessMedium::deliver(net::Interface* from, net::IpAddress next_hop,
   net::Interface* to = find_destination(next_hop);
   if (to == nullptr || !to->up() || !from->up()) {
     stats_.counter("drop_not_attached").add();
+    obs::metric_add(m_drops_);
     obs::end_span(air, sim_.now());
     return;
   }
   const double dist = position_of(from).distance_to(position_of(to));
   if (dist > cfg_.phy.range_m) {
     stats_.counter("drop_out_of_range").add();
+    obs::metric_add(m_drops_);
     obs::end_span(air, sim_.now());
     return;
   }
@@ -225,11 +240,14 @@ void WirelessMedium::deliver(net::Interface* from, net::IpAddress next_hop,
   }
   if (rng_.bernoulli(std::min(p_loss, 1.0))) {
     stats_.counter("drop_loss").add();
+    obs::metric_add(m_drops_);
     obs::end_span(air, sim_.now());
     return;
   }
   stats_.counter("delivered_packets").add();
   stats_.counter("delivered_bytes").add(p->size_bytes());
+  obs::metric_add(m_frames_);
+  obs::metric_add(m_tx_bytes_, p->size_bytes());
   sim_.after(kAirPropagation, [this, to, p, air] {
     obs::end_span(air, sim_.now());
     obs::ActiveScope scope{obs::TraceContext{p->trace_id, p->trace_span}};

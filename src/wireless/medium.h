@@ -7,6 +7,7 @@
 
 #include "net/channel.h"
 #include "net/node.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -123,6 +124,12 @@ class WirelessMedium : public net::Channel {
   bool shared_busy_ = false;
   int calls_ = 0;
   sim::StatsRegistry stats_;
+  // Telemetry handles, cached at construction (obs/metrics.h); shared names
+  // across cells so "wireless.*" totals the whole air tier.
+  obs::TsCounter* m_frames_ = obs::metric_counter("wireless.frames");
+  obs::TsCounter* m_tx_bytes_ = obs::metric_counter("wireless.tx_bytes");
+  obs::TsCounter* m_drops_ = obs::metric_counter("wireless.drops");
+  obs::TsGauge* m_queued_bytes_ = obs::metric_gauge("wireless.queued_bytes");
 };
 
 }  // namespace mcs::wireless

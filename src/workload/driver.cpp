@@ -88,7 +88,10 @@ void LoadDriver::arm_timeout(Request& req) {
     // Still queued: drop it so an overloaded client never burns service
     // time on a request whose deadline already passed.
     if (!reqp->issued) reqp->dropped = true;
-    if (reqp->measured) ++report_.timeout;
+    if (reqp->measured) {
+      ++report_.timeout;
+      obs::metric_add(m_timeout_);
+    }
   });
 }
 
@@ -97,13 +100,17 @@ void LoadDriver::complete(Request& req, bool ok) {
   MCS_ASSERT(sim_.now() >= req.arrival,
              "completion before its request arrived");
   req.done = true;
+  if (req.issued) obs::metric_adjust(m_inflight_, -1.0);
   if (!req.measured) return;
   if (ok) {
     ++report_.ok;
+    obs::metric_add(m_ok_);
   } else {
     ++report_.error;
+    obs::metric_add(m_error_);
   }
   report_.latency_ms.record((sim_.now() - req.arrival).to_millis());
+  obs::metric_record(m_latency_us_, (sim_.now() - req.arrival).to_micros());
 }
 
 void LoadDriver::enqueue(Request& req) {
@@ -120,6 +127,7 @@ void LoadDriver::issue_next(std::size_t client) {
     MCS_ASSERT(!reqp->issued, "queued request already issued");
     reqp->issued = true;
     reqp->issued_at = sim_.now();
+    obs::metric_adjust(m_inflight_, 1.0);
     MCS_ASSERT(reqp->issued_at >= reqp->arrival,
                "request issued before it arrived");
     busy_[client] = true;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/apps.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/stats.h"
 #include "workload/arrival.h"
@@ -125,6 +126,16 @@ class LoadDriver {
   DriverConfig cfg_;
   sim::Rng rng_;
   sim::Time start_;
+
+  // Telemetry handles, cached at construction (obs/metrics.h): the SLO
+  // outcome classes as counters, end-to-end latency as a log histogram,
+  // and issued-but-unfinished requests as a gauge.
+  obs::TsCounter* m_ok_ = obs::metric_counter("workload.ok");
+  obs::TsCounter* m_error_ = obs::metric_counter("workload.error");
+  obs::TsCounter* m_timeout_ = obs::metric_counter("workload.timeout");
+  obs::TsGauge* m_inflight_ = obs::metric_gauge("workload.inflight");
+  obs::TsLogHist* m_latency_us_ =
+      obs::metric_histogram("workload.latency_us");
 
   std::vector<std::unique_ptr<Request>> requests_;
   std::vector<std::deque<Request*>> queues_;  // open loop, per client

@@ -1,0 +1,39 @@
+#include "workload/telemetry.h"
+
+#include "host/db/database.h"
+#include "net/packet.h"
+
+namespace mcs::workload {
+
+void attach_system_series(obs::FlightRecorder& rec, core::McSystem& sys) {
+  // Packet pool: thread-local, so these series are per-cell by construction
+  // (the same confinement the metrics registry relies on).
+  rec.add_series("pool.packet.free", [] {
+    return static_cast<double>(net::packet_pool_stats().free_now);
+  });
+  rec.add_series("pool.packet.fresh", [] {
+    return static_cast<double>(net::packet_pool_stats().fresh_allocations);
+  });
+  rec.add_series("pool.packet.reuses", [] {
+    return static_cast<double>(net::packet_pool_stats().reuses);
+  });
+
+  // WAL occupancy: live records/bytes plus the arena beneath them. Reserved
+  // bytes never shrink (checkpoints keep warmed chunks), so the series also
+  // reads as the arena's high-water mark.
+  host::db::Database* db = &sys.database();
+  rec.add_series("db.wal.records", [db] {
+    return static_cast<double>(db->wal().records());
+  });
+  rec.add_series("db.wal.bytes", [db] {
+    return static_cast<double>(db->wal().bytes());
+  });
+  rec.add_series("db.wal.arena_used_bytes", [db] {
+    return static_cast<double>(db->wal().arena().bytes_used());
+  });
+  rec.add_series("db.wal.arena_reserved_bytes", [db] {
+    return static_cast<double>(db->wal().arena().bytes_reserved());
+  });
+}
+
+}  // namespace mcs::workload

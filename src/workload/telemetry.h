@@ -1,0 +1,21 @@
+#pragma once
+
+// Wires a FlightRecorder to the structural occupancy signals of a built
+// McSystem: queue depths the metric gauges already track arrive via
+// add_registry; this helper adds the sources a registry cannot see —
+// RecyclingPool hit rates, WAL arena occupancy, and event-loop shape —
+// by sampling the owning objects directly.
+
+#include "core/system.h"
+#include "obs/flight_recorder.h"
+
+namespace mcs::workload {
+
+// Registers pool/arena/WAL occupancy series on `rec`:
+//   pool.packet.free / pool.packet.fresh / pool.packet.reuses
+//   db.wal.records / db.wal.bytes
+//   db.wal.arena_used_bytes / db.wal.arena_reserved_bytes
+// The system must outlive the recorder's sampling window.
+void attach_system_series(obs::FlightRecorder& rec, core::McSystem& sys);
+
+}  // namespace mcs::workload

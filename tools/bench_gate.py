@@ -1,0 +1,52 @@
+"""bench_gate: shared plumbing for the BENCH_*.json CI gate scripts.
+
+Every check_*_bench.py script does the same three things around its actual
+checks: load a bench JSON and validate its `bench` tag (exit 2 on schema or
+I/O problems), accumulate failure strings while printing per-item detail,
+and report either "ok" (exit 0) or the failure list (exit 1). This module
+is that boilerplate, factored once; the gate-specific thresholds and
+comparisons stay in the individual scripts.
+
+Exit-status contract (shared by all gates): 0 ok, 1 gate failure,
+2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def load_bench_json(path: Path, tool: str, bench: str | None = None,
+                    required: tuple[str, ...] = ()) -> dict:
+    """Read a bench JSON, exiting 2 with a message on any schema problem.
+
+    `bench` checks the file's "bench" tag; `required` lists top-level keys
+    that must be present.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{tool}: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if bench is not None and data.get("bench") != bench:
+        print(f"{tool}: {path} is not a bench/{bench} JSON", file=sys.stderr)
+        sys.exit(2)
+    for key in required:
+        if key not in data:
+            print(f"{tool}: {path} missing '{key}'", file=sys.stderr)
+            sys.exit(2)
+    return data
+
+
+def report(tool: str, failures: list[str], ok_detail: str = "") -> int:
+    """Print the verdict and return the script's exit status."""
+    if failures:
+        print(f"\n{tool}: gate failure:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    suffix = f" — {ok_detail}" if ok_detail else ""
+    print(f"{tool}: ok{suffix}")
+    return 0

@@ -25,9 +25,10 @@ Exit status: 0 ok, 1 gate failure, 2 usage/schema error.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
+
+from bench_gate import load_bench_json
 
 COMPONENTS = ("application", "station", "middleware", "wireless", "wired",
               "host")
@@ -45,16 +46,8 @@ def main() -> int:
                         help="minimum aggregate share per component")
     args = parser.parse_args()
 
-    try:
-        data = json.loads(args.breakdown.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"check_fig2_breakdown: cannot read {args.breakdown}: {exc}",
-              file=sys.stderr)
-        return 2
-    if data.get("bench") != "fig2_breakdown":
-        print(f"check_fig2_breakdown: {args.breakdown} is not a "
-              "fig2_breakdown JSON", file=sys.stderr)
-        return 2
+    data = load_bench_json(args.breakdown, "check_fig2_breakdown",
+                           bench="fig2_breakdown")
 
     scenarios = data.get("scenarios", [])
     aggregate = data.get("aggregate", {})

@@ -26,22 +26,15 @@ Exit status: 0 ok, 1 regression, 2 usage/schema error.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
+from bench_gate import load_bench_json, report
+
 
 def load(path: Path) -> dict:
-    try:
-        data = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"check_kernel_bench: cannot read {path}: {exc}", file=sys.stderr)
-        sys.exit(2)
-    if data.get("bench") != "kernel" or "workloads" not in data:
-        print(f"check_kernel_bench: {path} is not a bench/kernel JSON",
-              file=sys.stderr)
-        sys.exit(2)
-    return data
+    return load_bench_json(path, "check_kernel_bench", bench="kernel",
+                           required=("workloads",))
 
 
 def main() -> int:
@@ -84,13 +77,7 @@ def main() -> int:
               f"(baseline {base['ops_per_sec']:.0f}), "
               f"speedup {cur['speedup']:.2f}x")
 
-    if failures:
-        print("\nkernel bench regression:", file=sys.stderr)
-        for f in failures:
-            print(f"  {f}", file=sys.stderr)
-        return 1
-    print("check_kernel_bench: ok")
-    return 0
+    return report("check_kernel_bench", failures)
 
 
 if __name__ == "__main__":

@@ -31,23 +31,15 @@ Exit status: 0 ok, 1 regression, 2 usage/schema error.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
+from bench_gate import load_bench_json, report
+
 
 def load(path: Path) -> dict:
-    try:
-        data = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"check_protocol_bench: cannot read {path}: {exc}",
-              file=sys.stderr)
-        sys.exit(2)
-    if data.get("bench") != "protocol" or "workloads" not in data:
-        print(f"check_protocol_bench: {path} is not a bench/protocol JSON",
-              file=sys.stderr)
-        sys.exit(2)
-    return data
+    return load_bench_json(path, "check_protocol_bench", bench="protocol",
+                           required=("workloads",))
 
 
 def main() -> int:
@@ -116,13 +108,7 @@ def main() -> int:
               f"{cur['bytes_per_req']:.1f} B/req "
               f"(baseline {base['bytes_per_req']:.1f}){detail}")
 
-    if failures:
-        print("\nprotocol bench regression:", file=sys.stderr)
-        for f in failures:
-            print(f"  {f}", file=sys.stderr)
-        return 1
-    print("check_protocol_bench: ok")
-    return 0
+    return report("check_protocol_bench", failures)
 
 
 if __name__ == "__main__":
